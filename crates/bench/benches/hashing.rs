@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks of the hash families — every sketch
+//! update bottoms out in these evaluations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use kcov_hash::{four_wise, log_wise, pairwise, MultiplyShift, RangeHash, SignHash, TabulationHash};
+
+fn bench_poly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poly_hash");
+    group.throughput(Throughput::Elements(1));
+    for (name, h) in [
+        ("pairwise", pairwise(1)),
+        ("four_wise", four_wise(1)),
+        ("log_wise_1e6", log_wise(1_000_000, 1_000_000, 1)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &h, |b, h| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(0x9e3779b97f4a7c15);
+                black_box(h.hash(black_box(i)));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_others(c: &mut Criterion) {
+    let mut group = c.benchmark_group("other_hashes");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("tabulation", |b| {
+        let h = TabulationHash::new(1);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9e3779b97f4a7c15);
+            black_box(h.hash_u64(black_box(i)));
+        });
+    });
+    group.bench_function("multiply_shift", |b| {
+        let h = MultiplyShift::new(20, 1);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9e3779b97f4a7c15);
+            black_box(h.hash(black_box(i)));
+        });
+    });
+    group.bench_function("sign_hash", |b| {
+        let h = SignHash::new(1);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9e3779b97f4a7c15);
+            black_box(h.sign(black_box(i)));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_poly, bench_others);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks of the sketch substrate (E7 companion):
+//! per-update throughput of every sketch on the estimator's hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use kcov_sketch::{
+    AmsF2, ContributingConfig, CountSketch, F2Contributing, F2HeavyHitter, Kmv, L0Estimator,
+};
+
+fn bench_l0(c: &mut Criterion) {
+    let mut group = c.benchmark_group("l0");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("kmv64_insert", |b| {
+        let mut kmv = Kmv::new(64, 1);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9e3779b97f4a7c15);
+            kmv.insert(black_box(i));
+        });
+    });
+    group.bench_function("estimator64x5_insert", |b| {
+        let mut est = L0Estimator::new(64, 5, 1);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9e3779b97f4a7c15);
+            est.insert(black_box(i));
+        });
+    });
+    group.finish();
+}
+
+fn bench_f2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f2");
+    group.throughput(Throughput::Elements(1));
+    for cols in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::new("ams_insert", cols), &cols, |b, &cols| {
+            let mut sk = AmsF2::new(3, cols, 1);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                sk.insert(black_box(i % 1000));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_count_sketch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count_sketch");
+    group.throughput(Throughput::Elements(1));
+    for width in [64usize, 4096] {
+        group.bench_with_input(BenchmarkId::new("insert", width), &width, |b, &w| {
+            let mut cs = CountSketch::new(5, w, 1);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                cs.insert(black_box(i % 10_000));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("query", width), &width, |b, &w| {
+            let mut cs = CountSketch::new(5, w, 1);
+            for i in 0..10_000u64 {
+                cs.insert(i);
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                black_box(cs.query(black_box(i % 10_000)));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_heavy_hitter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heavy_hitter");
+    group.throughput(Throughput::Elements(1));
+    for phi in [0.1f64, 0.01] {
+        group.bench_with_input(
+            BenchmarkId::new("insert", format!("phi={phi}")),
+            &phi,
+            |b, &phi| {
+                let mut hh = F2HeavyHitter::for_phi(phi, 1);
+                let mut i = 0u64;
+                b.iter(|| {
+                    i = i.wrapping_add(1);
+                    hh.insert(black_box(i % 3_000));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_contributing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contributing");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("insert_gamma0.05_r1024", |b| {
+        let mut fc =
+            F2Contributing::new(ContributingConfig::new(0.05, 1024), 100_000, 100_000, 1);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            fc.insert(black_box(i % 20_000));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_l0,
+    bench_f2,
+    bench_count_sketch,
+    bench_heavy_hitter,
+    bench_contributing
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Developer utility: raw per-operation timings of the sketch hot path
+//! and a full oracle observe — the quick number to check after touching
+//! anything on the update path (criterion benches give the rigorous
+//! version; this prints in seconds, not minutes).
+//!
+//! ```text
+//! cargo run --release -p kcov-bench --bin prof_hotpath
+//! ```
+
+use std::time::Instant;
+
+fn main() {
+    // Raw component timings at 200k ops each.
+    let mut hh = kcov_sketch::F2HeavyHitter::for_phi(0.01, 1);
+    let t = Instant::now();
+    for i in 0..200_000u64 { hh.insert(i % 5000); }
+    println!("F2HeavyHitter insert: {:?}/op", t.elapsed() / 200_000);
+
+    let mut ams = kcov_sketch::AmsF2::new(3, 16, 1);
+    let t = Instant::now();
+    for i in 0..200_000u64 { ams.insert(i % 5000); }
+    println!("AmsF2 3x16 insert:    {:?}/op", t.elapsed() / 200_000);
+
+    let mut cs = kcov_sketch::CountSketch::new(5, 4096, 1);
+    let t = Instant::now();
+    for i in 0..200_000u64 { cs.insert(i % 5000); }
+    println!("CountSketch insert:   {:?}/op", t.elapsed() / 200_000);
+    let t = Instant::now();
+    let mut acc = 0i64;
+    for i in 0..200_000u64 { acc += cs.query(i % 5000); }
+    println!("CountSketch query:    {:?}/op ({acc})", t.elapsed() / 200_000);
+
+    let mut fc = kcov_sketch::F2Contributing::new(kcov_sketch::ContributingConfig::new(0.01, 64), 10_000, 10_000, 1);
+    let t = Instant::now();
+    for i in 0..200_000u64 { fc.insert(i % 5000); }
+    println!("F2Contributing insert:{:?}/op", t.elapsed() / 200_000);
+
+    // Full oracle observe.
+    let params = kcov_core::Params::practical(400, 2000, 50, 8.0);
+    let mut oracle = kcov_core::Oracle::new(2000, &params, false, 3);
+    let t = Instant::now();
+    for i in 0..200_000u64 { oracle.observe(kcov_stream::Edge::new((i % 400) as u32, (i % 2000) as u32)); }
+    println!("Oracle observe:       {:?}/op", t.elapsed() / 200_000);
+}

@@ -1,0 +1,29 @@
+//! Developer utility: static space breakdown of the oracle's
+//! subroutines and the full estimator at one parameter point — the
+//! quick check that a constants change moved the component you meant.
+//!
+//! ```text
+//! cargo run --release -p kcov-bench --bin prof_space
+//! ```
+
+use kcov_core::*;
+use kcov_sketch::SpaceUsage;
+fn main() {
+    let (n, m, k, alpha) = (20_000usize, 2_000usize, 40usize, 16.0);
+    let params = Params::practical(m, n, k, alpha);
+    println!("s_alpha={} w={} phi1={} phi2={} B={} cap={}",
+        params.s_alpha, params.large_set_w(), params.phi1(), params.phi2(),
+        params.num_supersets(params.large_set_w()), params.small_set_edge_cap);
+    let lc = LargeCommon::new(n, &params, false, 1);
+    let ls = LargeSet::new(n, &params, 2);
+    let ss = SmallSet::new(n, &params, 3);
+    println!("LargeCommon: {} words", lc.space_words());
+    println!("LargeSet:    {} words ({} reps)", ls.space_words(), ls.num_reps());
+    println!("SmallSet:    {} words ({} lanes)", ss.space_words(), ss.num_lanes());
+    let o = Oracle::new(n, &params, false, 4);
+    println!("Oracle:      {} words", o.space_words());
+    let mut config = EstimatorConfig::practical(5);
+    config.reps = Some(1);
+    let est = MaxCoverEstimator::new(n, m, k, alpha, &config);
+    println!("Estimator:   {} words ({} lanes)", est.space_words(), est.num_lanes());
+}

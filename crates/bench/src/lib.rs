@@ -1,0 +1,127 @@
+//! Shared utilities for the experiment binaries (`src/bin/exp_*.rs`)
+//! and criterion benches.
+//!
+//! Each experiment binary regenerates one row of the experiment index in
+//! DESIGN.md §5 / EXPERIMENTS.md, printing fixed-width tables to stdout.
+
+/// An estimator config with a coarser z-guess grid (factor 4 instead of
+/// 2) and `reps` repetitions per guess. Costs only a constant factor in
+/// the approximation (a guess within 4× of OPT still exists) and makes
+/// the polylog lane-count constants commensurate with laptop-scale
+/// instances; every experiment states when it uses this.
+pub fn coarse_config(seed: u64, n: usize, reps: usize) -> kcov_core::EstimatorConfig {
+    let mut config = kcov_core::EstimatorConfig::practical(seed);
+    let mut zs = Vec::new();
+    let mut z = 16u64;
+    while z < 2 * n as u64 {
+        zs.push(z);
+        z *= 4;
+    }
+    config.z_guesses = Some(zs);
+    config.reps = Some(reps.max(1));
+    config
+}
+
+/// Print a fixed-width table: a header row and data rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Least-squares slope of `log y` against `log x` — the empirical
+/// power-law exponent of a sweep (e.g. space vs α should give ≈ −2).
+pub fn log_log_slope(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two points");
+    let lx: Vec<f64> = xs.iter().map(|&x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|&y| y.max(1e-12).ln()).collect();
+    let n = lx.len() as f64;
+    let mx = lx.iter().sum::<f64>() / n;
+    let my = ly.iter().sum::<f64>() / n;
+    let cov: f64 = lx.iter().zip(&ly).map(|(&a, &b)| (a - mx) * (b - my)).sum();
+    let var: f64 = lx.iter().map(|&a| (a - mx) * (a - mx)).sum();
+    cov / var
+}
+
+/// Geometric mean.
+pub fn geo_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    (xs.iter().map(|&x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Format a float compactly for tables.
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_perfect_power_law() {
+        let xs = [1.0f64, 2.0, 4.0, 8.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| 5.0 * x.powf(-2.0)).collect();
+        let s = log_log_slope(&xs, &ys);
+        assert!((s + 2.0).abs() < 1e-9, "slope {s}");
+    }
+
+    #[test]
+    fn slope_of_flat_series_is_zero() {
+        let xs = [1.0, 2.0, 4.0];
+        let ys = [3.0, 3.0, 3.0];
+        assert!(log_log_slope(&xs, &ys).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geo_mean_basic() {
+        assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert!((geo_mean(&[8.0]) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(12345.0), "12345");
+        assert_eq!(fmt(12.34), "12.3");
+        assert_eq!(fmt(1.2345), "1.234");
+    }
+
+    #[test]
+    fn print_table_smoke() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["30".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,275 @@
+//! The `(α, δ, η)`-oracle — paper §4, Fig 2 and Definition 3.4.
+//!
+//! Runs the three subroutines in parallel over the same single pass and
+//! returns the maximum of their (individually sound) estimates:
+//!
+//! * [`crate::LargeCommon`] fires when some frequency layer has many
+//!   common elements (case I);
+//! * [`crate::LargeSet`] fires when an optimal solution is dominated by
+//!   large sets (case II) — including automatically whenever
+//!   `sα ≥ 2k` (Claim 4.3);
+//! * [`crate::SmallSet`] fires when the optimum is many small sets
+//!   (case III; only instantiated when `sα < 2k`).
+//!
+//! Contract (Definition 3.4 with `η = 4`): if the optimum covers at
+//! least `|U|/η` then with good probability the output is at least
+//! `|C(OPT)|/Õ(α)`; and the output never exceeds `|C(OPT)|` (w.h.p.).
+
+use kcov_sketch::SpaceUsage;
+use kcov_stream::Edge;
+
+use crate::large_common::LargeCommon;
+use crate::large_set::LargeSet;
+use crate::params::Params;
+use crate::small_set::SmallSet;
+use crate::Witness;
+
+/// Which subroutine produced the winning estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubroutineKind {
+    /// Multi-layered set sampling (§4.1).
+    LargeCommon,
+    /// Heavy hitters / contributing classes (§4.2, Appendix B).
+    LargeSet,
+    /// Set + element sampling (§4.3).
+    SmallSet,
+}
+
+/// The oracle's answer.
+#[derive(Debug, Clone)]
+pub struct OracleOutput {
+    /// The estimate (0.0 when every subroutine reported infeasible).
+    pub estimate: f64,
+    /// The winning subroutine, if any.
+    pub winner: Option<SubroutineKind>,
+    /// The winner's reporting witness.
+    pub witness: Option<Witness>,
+}
+
+/// Single-pass `(α, δ, η)`-oracle of `Max k-Cover` (Fig 2).
+#[derive(Debug)]
+pub struct Oracle {
+    u: usize,
+    large_common: LargeCommon,
+    large_set: LargeSet,
+    small_set: Option<SmallSet>,
+}
+
+impl Oracle {
+    /// Create an oracle for universe size `u` (the pseudo-universe after
+    /// reduction; `params.n` is ignored in favour of `u`). `reporting`
+    /// enables the witness machinery of Theorem 3.2.
+    pub fn new(u: usize, params: &Params, reporting: bool, seed: u64) -> Self {
+        let mut seq = kcov_hash::SeedSequence::labeled(seed, "oracle");
+        Oracle {
+            u,
+            large_common: LargeCommon::new(u, params, reporting, seq.next_seed()),
+            large_set: LargeSet::new(u, params, seq.next_seed()),
+            small_set: params
+                .small_set_active()
+                .then(|| SmallSet::new(u, params, seq.next_seed())),
+        }
+    }
+
+    /// Observe one `(set, element)` edge (element already reduced).
+    pub fn observe(&mut self, edge: Edge) {
+        self.large_common.observe(edge);
+        self.large_set.observe(edge);
+        if let Some(ss) = &mut self.small_set {
+            ss.observe(edge);
+        }
+    }
+
+    /// Finalize after the pass: the max of the subroutine estimates,
+    /// clamped to the universe size.
+    pub fn finalize(&self) -> OracleOutput {
+        let mut out = OracleOutput {
+            estimate: 0.0,
+            winner: None,
+            witness: None,
+        };
+        let candidates = [
+            (SubroutineKind::LargeCommon, self.large_common.finalize()),
+            (SubroutineKind::LargeSet, self.large_set.finalize()),
+            (
+                SubroutineKind::SmallSet,
+                self.small_set.as_ref().and_then(SmallSet::finalize),
+            ),
+        ];
+        for (kind, cand) in candidates {
+            if let Some((est, witness)) = cand {
+                let est = est.min(self.u as f64);
+                if est > out.estimate {
+                    out = OracleOutput {
+                        estimate: est,
+                        winner: Some(kind),
+                        witness: Some(witness),
+                    };
+                }
+            }
+        }
+        out
+    }
+
+    /// Access to the case-I subroutine (reporting expansion).
+    pub fn large_common(&self) -> &LargeCommon {
+        &self.large_common
+    }
+
+    /// Access to the case-II subroutine (reporting expansion).
+    pub fn large_set(&self) -> &LargeSet {
+        &self.large_set
+    }
+
+    /// Access to the case-III subroutine, when active.
+    pub fn small_set(&self) -> Option<&SmallSet> {
+        self.small_set.as_ref()
+    }
+
+    /// Per-subroutine telemetry: each subroutine's estimate (`None` =
+    /// infeasible / inactive), in `(LargeCommon, LargeSet, SmallSet)`
+    /// order. Used by the ablation experiments and diagnostics.
+    pub fn diagnostics(&self) -> (Option<f64>, Option<f64>, Option<f64>) {
+        (
+            self.large_common.finalize().map(|(v, _)| v),
+            self.large_set.finalize().map(|(v, _)| v),
+            self.small_set
+                .as_ref()
+                .and_then(SmallSet::finalize)
+                .map(|(v, _)| v),
+        )
+    }
+
+    /// Expand a witness into concrete set indices (at most `k` after the
+    /// caller's truncation; see `report` module for the full policy).
+    pub fn expand_witness(&self, witness: &Witness) -> Vec<u32> {
+        match witness {
+            Witness::SampledGroup { lane, group } => self.large_common.group_sets(*lane, *group),
+            Witness::Superset { rep, superset } => {
+                self.large_set.superset_members(*rep, *superset)
+            }
+            Witness::ExplicitSets(sets) => sets.clone(),
+        }
+    }
+}
+
+impl SpaceUsage for Oracle {
+    fn space_words(&self) -> usize {
+        self.large_common.space_words()
+            + self.large_set.space_words()
+            + self.small_set.as_ref().map_or(0, SpaceUsage::space_words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcov_stream::gen::{common_heavy, few_large, many_small};
+    use kcov_stream::{edge_stream, ArrivalOrder};
+
+    fn run_oracle(
+        system: &kcov_stream::SetSystem,
+        k: usize,
+        alpha: f64,
+        seed: u64,
+    ) -> OracleOutput {
+        let params = Params::practical(system.num_sets(), system.num_elements(), k, alpha);
+        let mut oracle = Oracle::new(system.num_elements(), &params, false, seed);
+        for e in edge_stream(system, ArrivalOrder::Shuffled(seed)) {
+            oracle.observe(e);
+        }
+        oracle.finalize()
+    }
+
+    #[test]
+    fn fires_on_all_three_regimes() {
+        let regimes: [(&str, kcov_stream::SetSystem, usize); 3] = [
+            ("common-heavy", common_heavy(2000, 400, 1), 10),
+            ("few-large", few_large(2000, 300, 3, 500, 1), 10),
+            ("many-small", many_small(2000, 400, 50, 0.5, 1), 50),
+        ];
+        for (name, system, k) in regimes {
+            let out = run_oracle(&system, k, 6.0, 42);
+            assert!(
+                out.estimate > 0.0,
+                "oracle silent on {name} (winner {:?})",
+                out.winner
+            );
+        }
+    }
+
+    #[test]
+    fn estimate_never_exceeds_universe() {
+        let system = common_heavy(500, 200, 3);
+        let out = run_oracle(&system, 10, 2.0, 7);
+        assert!(out.estimate <= 500.0);
+    }
+
+    #[test]
+    fn winner_matches_regime_for_small_sets() {
+        // A needle-in-haystack variant of regime III: the planted
+        // optimum is 50 small sets, the decoys are near-empty, so a
+        // *random* k sets cover little (starving LargeCommon) and no
+        // set is individually heavy (starving LargeSet) — SmallSet must
+        // win.
+        let inst = kcov_stream::gen::planted_cover(2000, 400, 50, 0.4, 2, 3);
+        let out = run_oracle(&inst.system, 50, 8.0, 11);
+        assert_eq!(
+            out.winner,
+            Some(SubroutineKind::SmallSet),
+            "est {}",
+            out.estimate
+        );
+    }
+
+    #[test]
+    fn witness_expansion_nonempty_when_winner() {
+        let system = few_large(2000, 300, 3, 500, 2);
+        let params = Params::practical(300, 2000, 10, 6.0);
+        let mut oracle = Oracle::new(2000, &params, true, 5);
+        for e in edge_stream(&system, ArrivalOrder::Shuffled(1)) {
+            oracle.observe(e);
+        }
+        let out = oracle.finalize();
+        if let Some(w) = &out.witness {
+            assert!(!oracle.expand_witness(w).is_empty());
+        } else {
+            panic!("expected a winner on regime II");
+        }
+    }
+
+    #[test]
+    fn small_set_disabled_when_salpha_large() {
+        // k = 1 with alpha >= 8 → s_alpha = 2 >= 2k → SmallSet off.
+        let params = Params::practical(500, 500, 1, 8.0);
+        let oracle = Oracle::new(500, &params, false, 1);
+        assert!(oracle.small_set().is_none());
+    }
+
+    #[test]
+    fn diagnostics_mirror_finalize() {
+        let system = common_heavy(800, 300, 5);
+        let params = Params::practical(300, 800, 10, 4.0);
+        let mut oracle = Oracle::new(800, &params, false, 3);
+        for e in edge_stream(&system, ArrivalOrder::Shuffled(2)) {
+            oracle.observe(e);
+        }
+        let (lc, ls, ss) = oracle.diagnostics();
+        let best = [lc, ls, ss]
+            .into_iter()
+            .flatten()
+            .fold(0.0f64, f64::max)
+            .min(800.0);
+        let out = oracle.finalize();
+        assert!((out.estimate - best).abs() < 1e-9, "max of diagnostics must match");
+    }
+
+    #[test]
+    fn empty_stream_gives_zero() {
+        let params = Params::practical(100, 100, 5, 2.0);
+        let oracle = Oracle::new(100, &params, false, 1);
+        let out = oracle.finalize();
+        assert_eq!(out.estimate, 0.0);
+        assert!(out.winner.is_none());
+    }
+}

@@ -1,0 +1,292 @@
+//! `SmallSet` — set + element sampling for covers made of many small
+//! sets (paper §4.3, Fig 5).
+//!
+//! Handles the oracle's case III: `|C(OPT_large)| < |C(OPT)|/2`, i.e. an
+//! optimal solution's coverage comes from many sets each contributing
+//! less than `|C(OPT)|/(sα)`. Then (Lemma 4.16 / Corollary 4.19)
+//! subsampling the *sets* at rate `Θ(1/(sα))` keeps a
+//! `Θ(k/(sα))`-cover with coverage `Θ(|C(OPT)|/(sα))` alive, and
+//! (Lemma 2.5) subsampling the *elements* to `Θ̃(γ·k')` per coverage
+//! guess `γ` preserves constant-factor solutions. The induced
+//! sub-instance has `Õ(m/α²)` edges (Lemmas 4.20/4.21), is stored
+//! verbatim, and an offline `O(1)`-approximate greedy (`Max k'-Cover`)
+//! runs on it after the pass; the result is rescaled by the element
+//! sampling rate.
+//!
+//! Only active when `sα < 2k` (otherwise Claim 4.3 puts the instance in
+//! `LargeSet`'s case).
+
+use kcov_hash::{log_wise, KWise, RangeHash, SeedSequence, MERSENNE_P};
+use kcov_sketch::SpaceUsage;
+use kcov_stream::{Edge, SetSystem};
+
+use crate::params::Params;
+use crate::Witness;
+
+/// One γ-guess lane storing its sampled sub-instance. Lanes within a
+/// repetition share the repetition's set- and element-sampling hashes:
+/// the element samples are *nested* (`L_{γ} ⊇ L_{2γ}` via threshold
+/// comparison on one hash value), so a repetition costs two hash
+/// evaluations per edge regardless of how many γ guesses it carries.
+/// Sharing across guesses is sound — each lane's guarantee (Lemma 2.5
+/// for its γ) is individual and the union bound needs no independence
+/// between lanes.
+#[derive(Debug)]
+struct Lane {
+    /// Coverage-ratio guess (kept for experiment logging).
+    #[allow(dead_code)]
+    gamma: f64,
+    /// Element `e ∈ L` iff `rep.ehash(e) < e_keep` (probability `p_elem`).
+    e_keep: u64,
+    p_elem: f64,
+    edges: Vec<Edge>,
+    overflowed: bool,
+}
+
+/// One repetition: its sampling hashes and its γ lanes.
+#[derive(Debug)]
+struct Rep {
+    /// Set `S ∈ M` iff `mhash(S) mod m_buckets == 0` (probability
+    /// `≈ c/(sα)`, Lemma 4.16's `18/(sα)`).
+    mhash: KWise,
+    ehash: KWise,
+    lanes: Vec<Lane>,
+}
+
+/// Single-pass case-III subroutine (Fig 5).
+#[derive(Debug)]
+pub struct SmallSet {
+    u: usize,
+    m: usize,
+    /// Sub-cover budget `k' = Θ(k/(sα))` (paper: `36k/(sα)`).
+    k_sub: usize,
+    m_buckets: u64,
+    edge_cap: usize,
+    reps: Vec<Rep>,
+}
+
+impl SmallSet {
+    /// Create the subroutine for universe size `u`.
+    pub fn new(u: usize, params: &Params, seed: u64) -> Self {
+        let mut seq = SeedSequence::labeled(seed, "small-set");
+        let m = params.m;
+        let k = params.k as f64;
+        // k' = c·k/(sα); the paper's constant 36 collapses to 4 in
+        // practical mode via s_alpha's own calibration.
+        let k_sub = ((4.0 * k / params.s_alpha).ceil() as usize).clamp(1, params.k.max(1));
+        // Set-sampling probability Θ(1/(sα)) — Lemma 4.16 with c = 2
+        // (paper c = 18, absorbed into s_alpha's calibration).
+        let p_set = (2.0 / params.s_alpha).min(1.0);
+        let m_buckets = ((1.0 / p_set).round() as u64).max(1);
+        let lmn = ((m.max(2) * u.max(2)) as f64).ln().max(2.0);
+        // γ guesses: the coverage of the surviving k'-cover is |U|/γ for
+        // some γ ≤ Θ(sαη); try powers of two up to that bound.
+        let gamma_max = (4.0 * params.s_alpha * params.eta).max(2.0);
+        let num_gammas = gamma_max.log2().ceil() as u32;
+        let mut reps = Vec::new();
+        for _ in 0..params.small_set_reps.max(1) {
+            let mut lanes = Vec::new();
+            for i in 0..=num_gammas {
+                let gamma = (1u64 << i) as f64;
+                // Element sample target Θ̃(γ·k') (Lemma 2.5).
+                let l_target = (2.0 * gamma * k_sub as f64 * lmn).min(u as f64);
+                let p_elem = (l_target / u.max(1) as f64).min(1.0);
+                lanes.push(Lane {
+                    gamma,
+                    e_keep: (p_elem * MERSENNE_P as f64) as u64,
+                    p_elem,
+                    edges: Vec::new(),
+                    overflowed: false,
+                });
+            }
+            reps.push(Rep {
+                mhash: log_wise(m, u, seq.next_seed()),
+                ehash: log_wise(m, u, seq.next_seed()),
+                lanes,
+            });
+        }
+        SmallSet {
+            u,
+            m,
+            k_sub,
+            m_buckets,
+            edge_cap: params.small_set_edge_cap,
+            reps,
+        }
+    }
+
+    /// Observe one `(set, element)` edge: per repetition, one set-hash
+    /// evaluation gates membership in `M`, one element-hash evaluation
+    /// is threshold-compared per γ lane.
+    pub fn observe(&mut self, edge: Edge) {
+        for rep in &mut self.reps {
+            if !rep.mhash.selects(edge.set as u64, self.m_buckets) {
+                continue;
+            }
+            let eh = rep.ehash.hash(edge.elem as u64);
+            for lane in &mut rep.lanes {
+                if lane.overflowed || eh >= lane.e_keep {
+                    continue;
+                }
+                if lane.edges.len() >= self.edge_cap {
+                    // Fig 5: "if S(L,M) > Õ(m/α²) then terminate" — the
+                    // lane aborts and frees its storage.
+                    lane.overflowed = true;
+                    lane.edges = Vec::new();
+                } else {
+                    lane.edges.push(edge);
+                }
+            }
+        }
+    }
+
+    /// Finalize: greedy `Max k'-Cover` on each stored sub-instance,
+    /// rescaled by the element-sampling rate; the best accepted lane
+    /// wins. `None` when no lane qualifies.
+    pub fn finalize(&self) -> Option<(f64, Witness)> {
+        let mut best: Option<(f64, Vec<u32>)> = None;
+        for lane in self.reps.iter().flat_map(|r| r.lanes.iter()) {
+            if lane.overflowed || lane.edges.is_empty() {
+                continue;
+            }
+            let sub = SetSystem::from_edges(self.u, self.m, &lane.edges);
+            let g = kcov_baselines::greedy_max_cover(&sub, self.k_sub);
+            // Acceptance floor (the paper's `sol = Ω̃(k/α)`): reject
+            // lanes whose sampled coverage is statistical noise.
+            let floor = (self.k_sub as f64 / 2.0).max(6.0);
+            if (g.coverage as f64) < floor {
+                continue;
+            }
+            // Rescale to the full universe; halve against the upward
+            // selection bias of maximizing over the sample (Lemma 4.23's
+            // no-overestimate guarantee).
+            let est = (0.5 * g.coverage as f64 / lane.p_elem.max(1e-300))
+                .min(self.u as f64)
+                .max(0.0);
+            if best.as_ref().is_none_or(|(b, _)| est > *b) {
+                let chosen: Vec<u32> = g.chosen.iter().map(|&i| i as u32).collect();
+                best = Some((est, chosen));
+            }
+        }
+        best.map(|(est, sets)| (est, Witness::ExplicitSets(sets)))
+    }
+
+    /// The sub-cover budget `k'`.
+    pub fn k_sub(&self) -> usize {
+        self.k_sub
+    }
+
+    /// Number of (γ, repetition) lanes.
+    pub fn num_lanes(&self) -> usize {
+        self.reps.iter().map(|r| r.lanes.len()).sum()
+    }
+}
+
+impl SpaceUsage for SmallSet {
+    fn space_words(&self) -> usize {
+        self.reps
+            .iter()
+            .map(|r| {
+                r.mhash.space_words()
+                    + r.ehash.space_words()
+                    + r.lanes.iter().map(|l| l.edges.len() + 2).sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcov_stream::gen::{few_large, many_small};
+    use kcov_stream::{edge_stream, ArrivalOrder};
+
+    fn feed(ss_alg: &mut SmallSet, edges: &[Edge]) {
+        for &e in edges {
+            ss_alg.observe(e);
+        }
+    }
+
+    #[test]
+    fn fires_on_many_small_instances() {
+        // Regime III: OPT = 50 disjoint sets of 16 (coverage 800 of
+        // 2000 = n/2.5 ≥ n/η).
+        let ss = many_small(2000, 400, 50, 0.4, 1);
+        let params = Params::practical(400, 2000, 50, 8.0);
+        assert!(params.small_set_active());
+        let mut alg = SmallSet::new(2000, &params, 3);
+        feed(&mut alg, &edge_stream(&ss, ArrivalOrder::Shuffled(2)));
+        let out = alg.finalize();
+        assert!(out.is_some(), "SmallSet must fire on regime III");
+        let (est, _) = out.unwrap();
+        // Sound: est ≤ OPT = 800; useful: est ≥ OPT/Õ(α).
+        assert!(est <= 800.0 * 1.05, "estimate {est} above OPT 800");
+        assert!(est >= 800.0 / (8.0 * 16.0), "estimate {est} too small");
+    }
+
+    #[test]
+    fn witness_sets_are_real_sets() {
+        let ss = many_small(1000, 200, 25, 0.5, 7);
+        let params = Params::practical(200, 1000, 25, 4.0);
+        let mut alg = SmallSet::new(1000, &params, 9);
+        feed(&mut alg, &edge_stream(&ss, ArrivalOrder::RoundRobin));
+        if let Some((_, Witness::ExplicitSets(sets))) = alg.finalize() {
+            assert!(!sets.is_empty());
+            assert!(sets.len() <= alg.k_sub());
+            assert!(sets.iter().all(|&s| (s as usize) < 200));
+        } else {
+            panic!("expected explicit sets witness");
+        }
+    }
+
+    #[test]
+    fn estimate_sound_across_seeds() {
+        for seed in 0..6u64 {
+            let ss = many_small(1000, 200, 40, 0.6, seed);
+            let params = Params::practical(200, 1000, 40, 4.0);
+            let mut alg = SmallSet::new(1000, &params, 100 + seed);
+            feed(&mut alg, &edge_stream(&ss, ArrivalOrder::Shuffled(seed)));
+            if let Some((est, _)) = alg.finalize() {
+                assert!(est <= 600.0 * 1.1, "seed {seed}: {est} > OPT 600");
+            }
+        }
+    }
+
+    #[test]
+    fn k_sub_is_theta_k_over_alpha() {
+        // practical s_alpha = w = alpha (alpha < k), so
+        // k' = 4k/s_alpha = 4k/alpha.
+        let params = Params::practical(1000, 1000, 64, 8.0);
+        let alg = SmallSet::new(1000, &params, 1);
+        assert_eq!(alg.k_sub(), (4.0 * 64.0 / 8.0) as usize);
+    }
+
+    #[test]
+    fn lane_storage_respects_cap() {
+        let ss = few_large(500, 100, 2, 150, 1);
+        let mut params = Params::practical(100, 500, 20, 2.0);
+        params.small_set_edge_cap = 16; // force overflow
+        let mut alg = SmallSet::new(500, &params, 5);
+        feed(&mut alg, &edge_stream(&ss, ArrivalOrder::SetContiguous));
+        for lane in alg.reps.iter().flat_map(|r| r.lanes.iter()) {
+            assert!(lane.edges.len() <= 16);
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_infeasible() {
+        let params = Params::practical(100, 100, 5, 2.0);
+        let alg = SmallSet::new(100, &params, 1);
+        assert!(alg.finalize().is_none());
+    }
+
+    #[test]
+    fn space_counts_stored_edges() {
+        let ss = many_small(500, 100, 20, 0.5, 2);
+        let params = Params::practical(100, 500, 20, 2.0);
+        let mut alg = SmallSet::new(500, &params, 4);
+        let before = alg.space_words();
+        feed(&mut alg, &edge_stream(&ss, ArrivalOrder::Shuffled(1)));
+        assert!(alg.space_words() >= before, "stored edges must count");
+    }
+}

@@ -1,0 +1,112 @@
+//! Dietzfelbinger multiply-shift hashing: the fastest known 2-universal
+//! family (`h(x) = (a·x + b) >> (64 − d)` over `u64` arithmetic, with
+//! odd `a`). Used where only universality (not d-wise independence) is
+//! required and the hash sits on a throughput-critical path — e.g.
+//! bucket selection in user workloads; the paper's algorithms keep the
+//! polynomial families their analysis names.
+
+use crate::seeded::SplitMix64;
+
+/// A 2-universal multiply-shift hash onto `d`-bit outputs.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiplyShift {
+    a: u64,
+    b: u64,
+    shift: u32,
+}
+
+impl MultiplyShift {
+    /// Create a hash with `out_bits`-bit outputs (`1 ..= 63`).
+    pub fn new(out_bits: u32, seed: u64) -> Self {
+        assert!((1..=63).contains(&out_bits), "out_bits must be in 1..=63");
+        let mut rng = SplitMix64::new(seed);
+        MultiplyShift {
+            a: rng.next_u64() | 1, // multiplier must be odd
+            b: rng.next_u64(),
+            shift: 64 - out_bits,
+        }
+    }
+
+    /// Hash into `[0, 2^out_bits)`.
+    #[inline]
+    pub fn hash(&self, key: u64) -> u64 {
+        (self.a.wrapping_mul(key).wrapping_add(self.b)) >> self.shift
+    }
+
+    /// Output range size.
+    pub fn range(&self) -> u64 {
+        1u64 << (64 - self.shift)
+    }
+
+    /// Space in 64-bit words.
+    pub fn space_words(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_in_range() {
+        let h = MultiplyShift::new(10, 1);
+        assert_eq!(h.range(), 1024);
+        for k in 0..10_000u64 {
+            assert!(h.hash(k) < 1024);
+        }
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = MultiplyShift::new(8, 5);
+        let b = MultiplyShift::new(8, 5);
+        let c = MultiplyShift::new(8, 6);
+        let same_ab = (0..256u64).filter(|&k| a.hash(k) == b.hash(k)).count();
+        let same_ac = (0..256u64).filter(|&k| a.hash(k) == c.hash(k)).count();
+        assert_eq!(same_ab, 256);
+        assert!(same_ac < 40, "different seeds should disagree: {same_ac}");
+    }
+
+    #[test]
+    fn pairwise_collision_rate() {
+        // 2-universality: Pr[h(x) = h(y)] <= 2/2^d for multiply-shift.
+        let bits = 6u32; // 64 buckets
+        let keys: Vec<u64> = (0..150).collect();
+        let mut collisions = 0u64;
+        let mut pairs = 0u64;
+        for seed in 0..60u64 {
+            let h = MultiplyShift::new(bits, 500 + seed);
+            let vals: Vec<u64> = keys.iter().map(|&k| h.hash(k)).collect();
+            for i in 0..vals.len() {
+                for j in (i + 1)..vals.len() {
+                    pairs += 1;
+                    collisions += u64::from(vals[i] == vals[j]);
+                }
+            }
+        }
+        let rate = collisions as f64 / pairs as f64;
+        assert!(rate < 2.5 / 64.0, "collision rate {rate} above 2/m bound");
+    }
+
+    #[test]
+    fn uniformity_over_sequential_keys() {
+        let h = MultiplyShift::new(4, 77); // 16 buckets
+        let mut counts = [0u32; 16];
+        for k in 0..16_000u64 {
+            counts[h.hash(k) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (600..=1400).contains(&c),
+                "bucket {i} count {c} far from 1000"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out_bits must be in 1..=63")]
+    fn bad_bits_rejected() {
+        let _ = MultiplyShift::new(0, 1);
+    }
+}

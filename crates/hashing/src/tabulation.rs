@@ -1,0 +1,119 @@
+//! Simple tabulation hashing (Zobrist / Thorup–Zhang).
+//!
+//! Splits a 64-bit key into 8 bytes and XORs one random table entry per
+//! byte. Only 3-wise independent, but with Chernoff-style concentration
+//! for many applications (Thorup & Zhang, SICOMP 2012 — reference [39] of
+//! the paper, one of the cited `F2`-heavy-hitter building blocks). Used in
+//! this workspace where throughput matters and the analysis only needs
+//! constant-wise independence plus good empirical behaviour.
+
+use crate::seeded::SplitMix64;
+use crate::RangeHash;
+use crate::field::MERSENNE_P;
+
+const BYTES: usize = 8;
+const TABLE: usize = 256;
+
+/// A simple tabulation hash `u64 → u64`.
+#[derive(Debug, Clone)]
+pub struct TabulationHash {
+    tables: Box<[[u64; TABLE]; BYTES]>,
+}
+
+impl TabulationHash {
+    /// Create a tabulation hash with tables filled from `seed`.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut tables = Box::new([[0u64; TABLE]; BYTES]);
+        for t in tables.iter_mut() {
+            for e in t.iter_mut() {
+                *e = rng.next_u64();
+            }
+        }
+        TabulationHash { tables }
+    }
+
+    /// Raw 64-bit hash (full width, before any range reduction).
+    #[inline]
+    pub fn hash_u64(&self, key: u64) -> u64 {
+        let mut acc = 0u64;
+        let mut k = key;
+        for t in self.tables.iter() {
+            acc ^= t[(k & 0xff) as usize];
+            k >>= 8;
+        }
+        acc
+    }
+
+    /// Space in 64-bit words (8 tables × 256 entries).
+    pub fn space_words(&self) -> usize {
+        BYTES * TABLE
+    }
+}
+
+impl RangeHash for TabulationHash {
+    #[inline]
+    fn hash(&self, key: u64) -> u64 {
+        self.hash_u64(key) % MERSENNE_P
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = TabulationHash::new(10);
+        let b = TabulationHash::new(10);
+        for k in 0..500u64 {
+            assert_eq!(a.hash_u64(k), b.hash_u64(k));
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_functions() {
+        let a = TabulationHash::new(1);
+        let b = TabulationHash::new(2);
+        let same = (0..256u64).filter(|&k| a.hash_u64(k) == b.hash_u64(k)).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn avalanche_on_single_byte_change() {
+        let h = TabulationHash::new(3);
+        // Flipping one input byte flips many output bits on average.
+        let mut total_flips = 0u32;
+        for k in 0..256u64 {
+            total_flips += (h.hash_u64(k) ^ h.hash_u64(k ^ 0x01)).count_ones();
+        }
+        let mean = total_flips as f64 / 256.0;
+        assert!(mean > 20.0 && mean < 44.0, "avalanche mean {mean}");
+    }
+
+    #[test]
+    fn uniformity_into_buckets() {
+        let h = TabulationHash::new(4);
+        let buckets = 32usize;
+        let mut counts = vec![0u32; buckets];
+        let trials = 32_000u64;
+        for k in 0..trials {
+            counts[(h.hash_u64(k) % buckets as u64) as usize] += 1;
+        }
+        let expected = trials as f64 / buckets as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < 6.0 * expected.sqrt(),
+                "bucket {i} count {c} far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_hash_below_p() {
+        let h = TabulationHash::new(5);
+        for k in 0..1000u64 {
+            assert!(h.hash(k) < MERSENNE_P);
+        }
+    }
+}

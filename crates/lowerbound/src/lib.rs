@@ -1,0 +1,28 @@
+//! Lower-bound harness — paper §5 (Theorem 3.3).
+//!
+//! The paper proves that any single-pass algorithm α-approximating the
+//! optimal coverage size needs `Ω(m/α²)` space, by reducing the α-player
+//! Set Disjointness problem (unique-intersection promise; Chakrabarti,
+//! Khot & Sun's `Ω(m/r)` one-way communication bound, Theorem 5.1, hence
+//! `Ω(m/α²)` space per Corollary 5.2) to distinguishing `Max 1-Cover`
+//! instances with optimum `α` (No case) from optimum `1` (Yes case).
+//!
+//! A lower bound cannot be "run", but its two constructive halves can:
+//!
+//! * [`protocol`] — a one-way protocol simulator: the stream is split
+//!   among the players; the algorithm's *resident state* at each player
+//!   boundary is the message, measured in words via `SpaceUsage`. Any
+//!   streaming algorithm thereby *is* a one-way protocol, which is
+//!   exactly Corollary 5.2's argument.
+//! * [`distinguisher`] — the matching upper bound the paper sketches in
+//!   §1: the hard instances are distinguishable in `O(m/α²)` space by
+//!   α-approximating the `L∞` norm of the set-size vector with
+//!   `L2`/heavy-hitter sketches. Sweeping the sketch size shows the
+//!   success probability transitioning at `Θ(m/α²)` — the empirical
+//!   shape of the tight trade-off.
+
+pub mod distinguisher;
+pub mod protocol;
+
+pub use distinguisher::{DecisionStats, L2Distinguisher, OracleDistinguisher};
+pub use protocol::{run_one_way_protocol, ProtocolRun, StreamingEstimator};

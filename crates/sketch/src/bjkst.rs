@@ -1,0 +1,182 @@
+//! BJKST distinct-elements sketch — Bar-Yossef, Jayram, Kumar, Sivakumar
+//! & Trevisan (reference [11] of the paper), the second classical `L0`
+//! algorithm behind Theorem 2.12.
+//!
+//! Instead of keeping the k smallest hash values (KMV), BJKST keeps a
+//! *level-sampled* set: an item survives at level `ℓ` when its hash has
+//! at least `ℓ` trailing zero bits; the level rises whenever the buffer
+//! overflows, halving the expected survivors. The estimate is
+//! `|buffer| · 2^level`. Compared to [`crate::Kmv`] it has the same
+//! `O(1/ε²)`-space/`(1 ± ε)` trade-off but O(1) amortized updates with
+//! no ordered structure — the variant of choice when updates dominate.
+
+use std::collections::HashSet;
+
+use kcov_hash::{pairwise, KWise, RangeHash};
+
+use crate::space::SpaceUsage;
+
+/// A single BJKST summary.
+#[derive(Debug, Clone)]
+pub struct Bjkst {
+    hash: KWise,
+    /// Current sampling level: items kept iff `trailing_zeros(h) >= level`.
+    level: u32,
+    /// Surviving (distinct) hash values.
+    buffer: HashSet<u64>,
+    /// Overflow bound: relative error is `O(1/√capacity)`.
+    capacity: usize,
+}
+
+impl Bjkst {
+    /// Create a summary with the given buffer capacity (`≥ 8`).
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity >= 8, "BJKST needs capacity >= 8");
+        Bjkst {
+            hash: pairwise(seed),
+            level: 0,
+            buffer: HashSet::with_capacity(capacity + 1),
+            capacity,
+        }
+    }
+
+    /// Observe one item (duplicates are free).
+    pub fn insert(&mut self, item: u64) {
+        let h = self.hash.hash(item);
+        if (h.trailing_zeros()) >= self.level {
+            self.buffer.insert(h);
+            while self.buffer.len() > self.capacity {
+                self.level += 1;
+                let level = self.level;
+                self.buffer.retain(|&v| v.trailing_zeros() >= level);
+            }
+        }
+    }
+
+    /// Estimate of the number of distinct items seen.
+    pub fn estimate(&self) -> f64 {
+        self.buffer.len() as f64 * (1u64 << self.level.min(63)) as f64
+    }
+
+    /// Current sampling level.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Merge another summary built with the *same seed* (linearity over
+    /// set union): raise both to the higher level and unite buffers.
+    /// Panics if the seeds differ (detected via a probe value).
+    pub fn merge(&mut self, other: &Bjkst) {
+        assert_eq!(
+            self.hash.hash(0x5eed_c0de),
+            other.hash.hash(0x5eed_c0de),
+            "BJKST merge requires identical hash functions"
+        );
+        self.level = self.level.max(other.level);
+        let level = self.level;
+        self.buffer.retain(|&v| v.trailing_zeros() >= level);
+        for &v in &other.buffer {
+            if v.trailing_zeros() >= level {
+                self.buffer.insert(v);
+            }
+        }
+        while self.buffer.len() > self.capacity {
+            self.level += 1;
+            let level = self.level;
+            self.buffer.retain(|&v| v.trailing_zeros() >= level);
+        }
+    }
+}
+
+impl SpaceUsage for Bjkst {
+    fn space_words(&self) -> usize {
+        self.buffer.len() + self.hash.space_words() + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_for_small_streams() {
+        let mut b = Bjkst::new(64, 1);
+        for i in 0..40u64 {
+            b.insert(i);
+            b.insert(i);
+        }
+        assert_eq!(b.level(), 0);
+        assert_eq!(b.estimate(), 40.0);
+    }
+
+    #[test]
+    fn estimates_large_streams_within_tolerance() {
+        let mut worst = 0.0f64;
+        for seed in 0..10u64 {
+            let mut b = Bjkst::new(256, seed);
+            let truth = 30_000u64;
+            for i in 0..truth {
+                b.insert(i.wrapping_mul(0x9e3779b97f4a7c15));
+            }
+            let rel = (b.estimate() - truth as f64).abs() / truth as f64;
+            worst = worst.max(rel);
+        }
+        assert!(worst < 0.25, "worst relative error {worst}");
+    }
+
+    #[test]
+    fn level_rises_with_stream_size() {
+        let mut b = Bjkst::new(16, 3);
+        for i in 0..10_000u64 {
+            b.insert(i);
+        }
+        assert!(b.level() >= 6, "level {} too low for 10k/16", b.level());
+        assert!(b.buffer.len() <= 16);
+    }
+
+    #[test]
+    fn duplicates_do_not_move_the_estimate() {
+        let mut a = Bjkst::new(64, 5);
+        let mut b = Bjkst::new(64, 5);
+        for i in 0..5_000u64 {
+            a.insert(i);
+            b.insert(i);
+            b.insert(i % 100);
+        }
+        assert_eq!(a.estimate(), b.estimate());
+    }
+
+    #[test]
+    fn merge_equals_union_stream() {
+        let mut left = Bjkst::new(64, 9);
+        let mut right = Bjkst::new(64, 9);
+        let mut both = Bjkst::new(64, 9);
+        for i in 0..4_000u64 {
+            left.insert(i);
+            both.insert(i);
+        }
+        for i in 2_000..6_000u64 {
+            right.insert(i);
+            both.insert(i);
+        }
+        left.merge(&right);
+        assert_eq!(left.estimate(), both.estimate());
+    }
+
+    #[test]
+    #[should_panic(expected = "identical hash functions")]
+    fn merge_rejects_mismatched_seeds() {
+        let mut a = Bjkst::new(16, 1);
+        let b = Bjkst::new(16, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn space_bounded_by_capacity() {
+        let mut b = Bjkst::new(32, 7);
+        for i in 0..100_000u64 {
+            b.insert(i);
+        }
+        assert!(b.space_words() <= 32 + 2 + 2 + 1);
+    }
+}

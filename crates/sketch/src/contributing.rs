@@ -1,0 +1,311 @@
+//! `γ`-contributing class detection — Theorem 2.11, after Indyk & Woodruff
+//! (reference [29] of the paper).
+//!
+//! Partition the coordinates of `a⃗` into dyadic frequency classes
+//! `R_t = { j : 2^{t−1} < a⃗[j] ≤ 2^t }` (Definition 2.7). A class is
+//! `γ`-contributing when `|R_t| · 2^{2t} ≥ γ·F2(a⃗)`. The `F2-Contributing`
+//! routine (paper §2.2, pseudocode after Theorem 2.11) guesses the class
+//! size `n_t ∈ {2^i}` in parallel; for each guess it subsamples
+//! *coordinates* at a rate that keeps ~polylog members of a class of that
+//! size alive (Claim 2.8), and feeds the surviving substream to an
+//! `F2`-heavy-hitter structure: Lemma 2.9 shows a surviving member of a
+//! `γ`-contributing class is an `Ω̃(γ)`-heavy hitter of the sampled
+//! substream. The union of per-level reports therefore contains a member
+//! of every `γ`-contributing class, with `(1 ± 1/2)`-approximate
+//! frequencies, in `Õ(1/γ)` space.
+
+use kcov_hash::{log_wise, KWise, RangeHash, SeedSequence};
+
+use crate::heavy_hitter::{F2HeavyHitter, HeavyHitterConfig, HeavyItem};
+use crate::space::SpaceUsage;
+
+/// Configuration for [`F2Contributing`].
+#[derive(Debug, Clone)]
+pub struct ContributingConfig {
+    /// Contribution threshold `γ`.
+    pub gamma: f64,
+    /// `r`: only look for contributing classes of size ≤ `r` (the paper's
+    /// `F2-Contributing(γ, r)` second argument, crucial in Appendix B to
+    /// keep common-element noise out of the reported supersets).
+    pub max_class_size: u64,
+    /// Expected number of surviving members of a class whose size matches
+    /// the level's guess (the paper's `12·log m`; practical default 16).
+    pub survivors_per_class: u64,
+    /// The heavy-hitter threshold used inside each level is
+    /// `φ = γ · phi_factor`. The paper divides by `Θ(log n · log^{c+1} m)`
+    /// (Lemma 2.9); `phi_factor` is that reciprocal, exposed as a knob.
+    pub phi_factor: f64,
+    /// CountSketch width multiplier for the per-level heavy hitters
+    /// (`width = hh_width_factor / φ`). The default (32) gives tight
+    /// `(1 ± 1/2)` frequency estimates; callers whose thresholds carry
+    /// their own slack (e.g. `LargeSet`) can run leaner.
+    pub hh_width_factor: f64,
+    /// CountSketch rows for the per-level heavy hitters.
+    pub hh_rows: usize,
+    /// Candidate-list capacity multiplier (`capacity = factor / φ`).
+    /// The default (8) tracks the Theorem 2.10 interface; callers that
+    /// only need the top contributing classes can run much leaner —
+    /// the candidate lists otherwise dominate space when the universe
+    /// of coordinates is small relative to `1/φ`.
+    pub hh_capacity_factor: f64,
+}
+
+impl ContributingConfig {
+    /// Defaults for a threshold `γ` and class-size bound `r`.
+    pub fn new(gamma: f64, max_class_size: u64) -> Self {
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        assert!(max_class_size >= 1, "class size bound must be >= 1");
+        ContributingConfig {
+            gamma,
+            max_class_size,
+            survivors_per_class: 16,
+            phi_factor: 0.25,
+            hh_width_factor: 32.0,
+            hh_rows: 5,
+            hh_capacity_factor: 8.0,
+        }
+    }
+}
+
+/// One reported coordinate: which size-guess level found it, the
+/// coordinate, and its `(1 ± 1/2)`-approximate frequency *in the full
+/// stream* (coordinates are sampled whole, so the substream frequency of
+/// a surviving coordinate equals its true frequency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContributingReport {
+    /// Level index (class-size guess `2^level`).
+    pub level: u32,
+    /// The coordinate.
+    pub item: u64,
+    /// Approximate frequency.
+    pub est: i64,
+}
+
+/// Single-pass `γ`-contributing class finder (Theorem 2.11 interface).
+#[derive(Debug)]
+pub struct F2Contributing {
+    /// One shared `Θ(log mn)`-wise sampling hash; level `i` keeps a
+    /// coordinate iff `hash(j) mod 2^i < keep_i`. The levels are nested
+    /// (the classic dyadic structure), each individually as independent
+    /// as the hash — and the hash is evaluated once per update instead
+    /// of once per level.
+    hash: KWise,
+    levels: Vec<Level>,
+}
+
+#[derive(Debug)]
+struct Level {
+    /// Keep a coordinate iff `hash(j) mod 2^i < keep`, i.e. with
+    /// probability `keep / 2^i`.
+    modulus: u64,
+    keep: u64,
+    hh: F2HeavyHitter,
+}
+
+impl F2Contributing {
+    /// Create a finder for threshold `config.gamma`, guessing class sizes
+    /// `2^0, 2^1, …` up to `config.max_class_size`. `m` and `n` size the
+    /// `Θ(log(mn))`-wise sampling hashes (Claim 2.8).
+    pub fn new(config: ContributingConfig, m: usize, n: usize, seed: u64) -> Self {
+        let mut seq = SeedSequence::labeled(seed, "f2-contributing");
+        let max_level = config.max_class_size.max(1).next_power_of_two().trailing_zeros();
+        let phi = (config.gamma * config.phi_factor).clamp(1e-9, 1.0);
+        let hh_config = |phi: f64| {
+            let mut c = HeavyHitterConfig::for_phi(phi);
+            c.width_factor = config.hh_width_factor;
+            c.rows = config.hh_rows;
+            c.capacity_factor = config.hh_capacity_factor;
+            c
+        };
+        let hash = log_wise(m, n, seq.next_seed());
+        // Levels whose modulus does not exceed `survivors_per_class`
+        // sample with probability 1 and are therefore identical to the
+        // unsampled level — build one unsampled level plus the truly
+        // subsampled ones. (Classes of size ≤ survivors are caught by
+        // the unsampled heavy hitter directly, exactly as in the paper's
+        // small-i guesses.)
+        let mut levels = vec![Level {
+            modulus: 1,
+            keep: 1,
+            hh: F2HeavyHitter::new(hh_config(phi), seq.next_seed()),
+        }];
+        for i in 1..=max_level {
+            let modulus = 1u64 << i;
+            if modulus <= config.survivors_per_class {
+                continue;
+            }
+            levels.push(Level {
+                modulus,
+                keep: config.survivors_per_class,
+                hh: F2HeavyHitter::new(hh_config(phi), seq.next_seed()),
+            });
+        }
+        F2Contributing { hash, levels }
+    }
+
+    /// Observe one stream update to coordinate `item`.
+    pub fn insert(&mut self, item: u64) {
+        let h = self.hash.hash(item);
+        for level in &mut self.levels {
+            if h % level.modulus < level.keep {
+                level.hh.insert(item);
+            }
+        }
+    }
+
+    /// Report a representative of every contributing class: the union of
+    /// per-level heavy hitters, deduplicated by coordinate, sorted by
+    /// decreasing estimate. When a coordinate is reported by several
+    /// levels, the estimate from the *highest* level is kept: its
+    /// substream is the sparsest, so its CountSketch collision noise is
+    /// the smallest.
+    pub fn report(&self) -> Vec<ContributingReport> {
+        let mut out: Vec<ContributingReport> = Vec::new();
+        for level in &self.levels {
+            let level_idx = level.modulus.trailing_zeros();
+            for HeavyItem { item, est } in level.hh.heavy_hitters() {
+                out.push(ContributingReport {
+                    level: level_idx,
+                    item,
+                    est,
+                });
+            }
+        }
+        out.sort_by(|a, b| a.item.cmp(&b.item).then(b.level.cmp(&a.level)));
+        out.dedup_by_key(|r| r.item);
+        out.sort_by(|a, b| b.est.cmp(&a.est).then(a.item.cmp(&b.item)));
+        out
+    }
+
+    /// Number of size-guess levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+impl SpaceUsage for F2Contributing {
+    fn space_words(&self) -> usize {
+        self.hash.space_words()
+            + self.levels.iter().map(|l| l.hh.space_words() + 2).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Feed a frequency vector (item, freq) pairs in round-robin order.
+    fn feed(fc: &mut F2Contributing, freqs: &[(u64, u64)]) {
+        let max_f = freqs.iter().map(|&(_, f)| f).max().unwrap_or(0);
+        for round in 0..max_f {
+            for &(item, f) in freqs {
+                if round < f {
+                    fc.insert(item);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_heavy_coordinate_is_its_own_class() {
+        // One coordinate with freq 512 against 100 coords of freq 1:
+        // class {512-freq coord} contributes 512^2/(512^2+100) ≈ 1.
+        let mut fc = F2Contributing::new(ContributingConfig::new(0.5, 64), 1000, 1000, 7);
+        feed(&mut fc, &[(42, 512)]);
+        for i in 0..100u64 {
+            fc.insert(100 + i);
+        }
+        let rep = fc.report();
+        assert!(rep.iter().any(|r| r.item == 42), "missing the heavy class: {rep:?}");
+        let est = rep.iter().find(|r| r.item == 42).unwrap().est;
+        assert!((256..=768).contains(&est), "estimate {est}");
+    }
+
+    #[test]
+    fn large_class_of_medium_coordinates_detected() {
+        // 64 coordinates of frequency 32 each: the class R_5 contributes
+        // all of F2 (plus tiny noise); a singleton heavy hitter does NOT
+        // exist (32^2 = 1024 vs F2 = 64*1024 = 65536, ratio 1/64), so only
+        // the level-sampling mechanism can find it.
+        let mut fc = F2Contributing::new(ContributingConfig::new(0.5, 256), 10_000, 10_000, 11);
+        let freqs: Vec<(u64, u64)> = (0..64).map(|i| (i as u64, 32)).collect();
+        feed(&mut fc, &freqs);
+        let rep = fc.report();
+        assert!(
+            rep.iter().any(|r| r.item < 64),
+            "no member of the contributing class found: {rep:?}"
+        );
+        // The found member's estimate should be near 32 (within 1±1/2).
+        let member = rep.iter().find(|r| r.item < 64).unwrap();
+        assert!(
+            (16..=48).contains(&member.est),
+            "member estimate {} out of band",
+            member.est
+        );
+    }
+
+    #[test]
+    fn respects_class_size_bound() {
+        // With max_class_size = 1 only level 0 exists: the unsampled
+        // stream. A contributing class of ~64 medium coordinates is then
+        // findable only if each member alone is a phi-heavy hitter, which
+        // it is not; the report must NOT contain low-frequency noise
+        // either.
+        let fc = F2Contributing::new(ContributingConfig::new(0.5, 1), 100, 100, 3);
+        assert_eq!(fc.num_levels(), 1);
+    }
+
+    #[test]
+    fn report_deduplicates_items() {
+        let mut fc = F2Contributing::new(ContributingConfig::new(0.3, 128), 1000, 1000, 5);
+        feed(&mut fc, &[(9, 300)]);
+        let rep = fc.report();
+        let count = rep.iter().filter(|r| r.item == 9).count();
+        assert_eq!(count, 1, "item must appear once: {rep:?}");
+    }
+
+    #[test]
+    fn empty_stream_reports_nothing() {
+        let fc = F2Contributing::new(ContributingConfig::new(0.2, 64), 100, 100, 1);
+        assert!(fc.report().is_empty());
+    }
+
+    #[test]
+    fn space_scales_inversely_with_gamma() {
+        let coarse = F2Contributing::new(ContributingConfig::new(0.5, 64), 1000, 1000, 1);
+        let fine = F2Contributing::new(ContributingConfig::new(0.005, 64), 1000, 1000, 1);
+        assert!(fine.space_words() > coarse.space_words());
+    }
+
+    #[test]
+    fn levels_cover_size_bound() {
+        let fc = F2Contributing::new(ContributingConfig::new(0.1, 100), 1000, 1000, 1);
+        // One unsampled level + subsampled levels 32, 64, 128 (moduli
+        // above survivors_per_class = 16), covering sizes up to 128 ≥
+        // 100.
+        assert_eq!(fc.num_levels(), 4);
+    }
+
+    #[test]
+    fn two_contributing_classes_both_represented() {
+        // Class A: one coord of freq 256 (contribution 65536).
+        // Class B: 16 coords of freq 64 (contribution 16*4096 = 65536).
+        // Both classes are ~0.5-contributing.
+        let mut fc = F2Contributing::new(ContributingConfig::new(0.25, 64), 10_000, 10_000, 23);
+        let mut freqs: Vec<(u64, u64)> = vec![(0, 256)];
+        freqs.extend((1..=16).map(|i| (i as u64, 64)));
+        feed(&mut fc, &freqs);
+        let rep = fc.report();
+        assert!(rep.iter().any(|r| r.item == 0), "class A missing: {rep:?}");
+        assert!(
+            rep.iter().any(|r| (1..=16).contains(&r.item)),
+            "class B missing: {rep:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be in (0, 1]")]
+    fn invalid_gamma_rejected() {
+        let _ = ContributingConfig::new(-0.1, 10);
+    }
+}

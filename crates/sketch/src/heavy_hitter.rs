@@ -1,0 +1,324 @@
+//! `F2` heavy hitters with approximate frequencies — Theorem 2.10.
+//!
+//! The paper cites BPTree / CountSieve-class algorithms ([14, 15, 18, 39])
+//! for the guarantee: a single-pass, `Õ(1/φ)`-space algorithm that returns
+//! every coordinate with `a⃗[i]² ≥ φ·F2(a⃗)` together with a `(1 ± 1/2)`-
+//! approximation of its frequency.
+//!
+//! For insertion-only streams (the only kind this workspace feeds it) the
+//! standard practical realization is CountSketch plus a bounded candidate
+//! tracker: every arriving item is a candidate; we keep the `O(1/φ)`
+//! candidates with the largest sketch estimates, refreshing an item's
+//! estimate each time it arrives. A true `φ`-heavy hitter arrives at least
+//! `√(φ·F2) ≥ φ·F1/√(F1·φ)` times, keeps its estimate fresh and therefore
+//! survives every pruning round; at query time all candidates are
+//! re-estimated and thresholded against an AMS estimate of `F2`.
+
+use std::collections::HashMap;
+
+use crate::ams_f2::AmsF2;
+use crate::count_sketch::CountSketch;
+use crate::space::SpaceUsage;
+
+/// Configuration for [`F2HeavyHitter`].
+#[derive(Debug, Clone)]
+pub struct HeavyHitterConfig {
+    /// Heaviness threshold `φ`: report items with `a⃗[i]² ≥ φ·F2`.
+    pub phi: f64,
+    /// CountSketch rows (median repetitions).
+    pub rows: usize,
+    /// CountSketch width multiplier: width = `width_factor / φ`, so each
+    /// row's additive error is `O(√(φ·F2 / width_factor))`.
+    pub width_factor: f64,
+    /// Candidate-list capacity multiplier: keep `capacity_factor / φ`
+    /// candidates.
+    pub capacity_factor: f64,
+    /// Report slack: an item is reported when
+    /// `est² ≥ report_slack · φ · F̂2`. Values below 1 compensate for the
+    /// `(1 ± 1/2)` error of both estimates so no true heavy hitter is
+    /// missed (precision is recovered by the caller's own thresholds).
+    pub report_slack: f64,
+}
+
+impl HeavyHitterConfig {
+    /// A sound default for threshold `phi`.
+    pub fn for_phi(phi: f64) -> Self {
+        assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+        HeavyHitterConfig {
+            phi,
+            rows: 5,
+            width_factor: 32.0,
+            capacity_factor: 8.0,
+            report_slack: 0.125,
+        }
+    }
+}
+
+/// A reported heavy item with its approximate frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeavyItem {
+    /// The item (vector coordinate).
+    pub item: u64,
+    /// `(1 ± 1/2)`-approximate frequency `a⃗[item]`.
+    pub est: i64,
+}
+
+/// Single-pass `φ`-heavy-hitter tracker for insertion-only streams
+/// (Theorem 2.10 interface).
+#[derive(Debug, Clone)]
+pub struct F2HeavyHitter {
+    config: HeavyHitterConfig,
+    sketch: CountSketch,
+    f2: AmsF2,
+    /// item → (sketch estimate at tracking time, exact arrivals since).
+    /// The sum is a running lower-bound-quality estimate that is cheap
+    /// to maintain (no sketch query on the tracked-item fast path); the
+    /// final report re-queries the sketch for `(1 ± 1/2)` precision.
+    candidates: HashMap<u64, (i64, i64)>,
+    capacity: usize,
+    items_seen: u64,
+}
+
+impl F2HeavyHitter {
+    /// Create a tracker for threshold `config.phi`.
+    pub fn new(config: HeavyHitterConfig, seed: u64) -> Self {
+        let width = ((config.width_factor / config.phi).ceil() as usize).clamp(8, 1 << 22);
+        let capacity = ((config.capacity_factor / config.phi).ceil() as usize).clamp(8, 1 << 22);
+        F2HeavyHitter {
+            sketch: CountSketch::new(config.rows, width, seed ^ 0x5ca1ab1e),
+            // 3×8 keeps the per-update cost low on the hot path; the
+            // F2 estimate is only consulted for the final threshold, and
+            // ±35% there is absorbed by `report_slack`.
+            f2: AmsF2::new(3, 8, seed ^ 0x0ddba11),
+            candidates: HashMap::with_capacity(capacity + capacity / 2 + 1),
+            capacity,
+            config,
+            items_seen: 0,
+        }
+    }
+
+    /// Convenience constructor with defaults for `phi`.
+    pub fn for_phi(phi: f64, seed: u64) -> Self {
+        F2HeavyHitter::new(HeavyHitterConfig::for_phi(phi), seed)
+    }
+
+    /// Observe one occurrence of `item`.
+    pub fn insert(&mut self, item: u64) {
+        self.items_seen += 1;
+        self.sketch.insert(item);
+        self.f2.insert(item);
+        if let Some(entry) = self.candidates.get_mut(&item) {
+            entry.1 += 1; // fast path: tracked item, exact increment
+        } else {
+            let est = self.sketch.query(item);
+            self.candidates.insert(item, (est, 0));
+            if self.candidates.len() > self.capacity + self.capacity / 2 {
+                self.prune();
+            }
+        }
+    }
+
+    /// Drop the candidates with the smallest stored estimates, keeping
+    /// `capacity` of them.
+    fn prune(&mut self) {
+        let mut ests: Vec<i64> = self.candidates.values().map(|&(b, c)| b + c).collect();
+        // k-th largest value as the cut; ties may keep slightly more.
+        let keep = self.capacity;
+        let cut_idx = ests.len() - keep;
+        ests.select_nth_unstable(cut_idx);
+        let cut = ests[cut_idx];
+        self.candidates.retain(|_, &mut (b, c)| b + c >= cut);
+        // Defensive: ties at the cut could retain everything; drop
+        // arbitrary extras to enforce the bound.
+        if self.candidates.len() > keep + keep / 4 {
+            let mut excess = self.candidates.len() - keep;
+            self.candidates.retain(|_, &mut (b, c)| {
+                if b + c == cut && excess > 0 {
+                    excess -= 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+    }
+
+    /// Estimate of `F2` of the full stream.
+    pub fn f2_estimate(&self) -> f64 {
+        self.f2.estimate()
+    }
+
+    /// `(1 ± 1/2)`-approximate frequency of an arbitrary item.
+    pub fn frequency_estimate(&self, item: u64) -> i64 {
+        self.sketch.query(item)
+    }
+
+    /// All tracked items whose re-estimated frequency passes the
+    /// (slacked) `φ` threshold, with their approximate frequencies,
+    /// sorted by decreasing estimate.
+    pub fn heavy_hitters(&self) -> Vec<HeavyItem> {
+        let f2 = self.f2_estimate();
+        let thr = self.config.report_slack * self.config.phi * f2;
+        let mut out: Vec<HeavyItem> = self
+            .candidates
+            .keys()
+            .map(|&item| HeavyItem {
+                item,
+                est: self.sketch.query(item),
+            })
+            .filter(|h| (h.est as f64) * (h.est as f64) >= thr)
+            .collect();
+        out.sort_by(|a, b| b.est.cmp(&a.est).then(a.item.cmp(&b.item)));
+        out
+    }
+
+    /// Total stream length observed.
+    pub fn items_seen(&self) -> u64 {
+        self.items_seen
+    }
+
+    /// The configured threshold `φ`.
+    pub fn phi(&self) -> f64 {
+        self.config.phi
+    }
+}
+
+impl SpaceUsage for F2HeavyHitter {
+    fn space_words(&self) -> usize {
+        // Each candidate entry holds an item, a base estimate and a
+        // counter (3 words).
+        self.sketch.space_words() + self.f2.space_words() + 3 * self.candidates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_dominant_item_found() {
+        let mut hh = F2HeavyHitter::for_phi(0.1, 1);
+        for _ in 0..1000 {
+            hh.insert(7);
+        }
+        for i in 0..200u64 {
+            hh.insert(1000 + i);
+        }
+        let out = hh.heavy_hitters();
+        assert!(out.iter().any(|h| h.item == 7), "dominant item missing");
+        let est = out.iter().find(|h| h.item == 7).unwrap().est;
+        assert!((500..=1500).contains(&est), "estimate {est} outside (1±1/2)");
+    }
+
+    #[test]
+    fn all_phi_heavy_items_recovered() {
+        // Theorem 2.10 recall: every i with a[i]^2 >= phi*F2 is returned.
+        let mut hh = F2HeavyHitter::for_phi(0.05, 42);
+        // Three heavy items (freq 400) + 2000 noise items (freq 1).
+        // F2 = 3*160000 + 2000 = 482000; 400^2/482000 = 0.33 >= 0.05.
+        for item in [1u64, 2, 3] {
+            for _ in 0..400 {
+                hh.insert(item);
+            }
+        }
+        for i in 0..2000u64 {
+            hh.insert(100 + i);
+        }
+        let out = hh.heavy_hitters();
+        for item in [1u64, 2, 3] {
+            assert!(out.iter().any(|h| h.item == item), "missing heavy item {item}");
+        }
+    }
+
+    #[test]
+    fn interleaved_arrival_still_recovers() {
+        // Heavy items interleaved with noise (worst case for candidate
+        // eviction).
+        let mut hh = F2HeavyHitter::for_phi(0.08, 9);
+        for round in 0..500u64 {
+            hh.insert(1); // heavy
+            hh.insert(10_000 + round); // fresh noise each round
+        }
+        let out = hh.heavy_hitters();
+        assert!(out.iter().any(|h| h.item == 1));
+    }
+
+    #[test]
+    fn no_false_heavy_on_uniform_stream() {
+        // Uniform stream: no item has a[i]^2 >= 0.3*F2 (every frequency
+        // is 3, F2 = 2700, bar = 810 i.e. frequency >= 28.5). The report
+        // may contain low-slack extras (the theorem only promises
+        // recall), but nothing may pass the *strict* threshold.
+        let mut hh = F2HeavyHitter::for_phi(0.3, 5);
+        for i in 0..300u64 {
+            for _ in 0..3 {
+                hh.insert(i);
+            }
+        }
+        let f2 = hh.f2_estimate();
+        let strict: Vec<_> = hh
+            .heavy_hitters()
+            .into_iter()
+            .filter(|h| (h.est as f64) * (h.est as f64) >= 0.3 * f2)
+            .collect();
+        assert!(strict.is_empty(), "false strict heavy hitters: {strict:?}");
+    }
+
+    #[test]
+    fn candidate_list_stays_bounded() {
+        let mut hh = F2HeavyHitter::for_phi(0.1, 3);
+        for i in 0..50_000u64 {
+            hh.insert(i);
+        }
+        let cap = ((8.0f64 / 0.1).ceil() as usize).clamp(8, 1 << 22);
+        assert!(
+            hh.candidates.len() <= 2 * cap,
+            "candidates grew to {}",
+            hh.candidates.len()
+        );
+    }
+
+    #[test]
+    fn space_is_o_of_one_over_phi() {
+        let tight = F2HeavyHitter::for_phi(0.5, 1).space_words();
+        let loose = F2HeavyHitter::for_phi(0.01, 1).space_words();
+        assert!(loose > tight, "smaller phi needs more space");
+        // width = 8/phi dominates: phi=0.01 => 800 * rows counters.
+        assert!(loose < 50 * (8.0f64 / 0.01) as usize);
+    }
+
+    #[test]
+    fn items_seen_counts_stream_length() {
+        let mut hh = F2HeavyHitter::for_phi(0.2, 1);
+        for i in 0..123u64 {
+            hh.insert(i % 3);
+        }
+        assert_eq!(hh.items_seen(), 123);
+    }
+
+    #[test]
+    fn empty_tracker_reports_nothing() {
+        let hh = F2HeavyHitter::for_phi(0.1, 1);
+        assert!(hh.heavy_hitters().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "phi must be in (0, 1]")]
+    fn invalid_phi_rejected() {
+        let _ = HeavyHitterConfig::for_phi(0.0);
+    }
+
+    #[test]
+    fn results_sorted_by_estimate() {
+        let mut hh = F2HeavyHitter::for_phi(0.01, 8);
+        for (item, f) in [(1u64, 300), (2u64, 600), (3u64, 450)] {
+            for _ in 0..f {
+                hh.insert(item);
+            }
+        }
+        let out = hh.heavy_hitters();
+        for w in out.windows(2) {
+            assert!(w[0].est >= w[1].est);
+        }
+    }
+}

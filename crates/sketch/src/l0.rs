@@ -1,0 +1,321 @@
+//! Distinct-element (`L0`) estimation — Theorem 2.12.
+//!
+//! The paper needs a `(1 ± 1/2)`-approximate count of distinct elements in
+//! `Õ(1)` space (references [5, 11, 13, 30, 31]): `LargeCommon` measures
+//! the coverage of a sampled set collection with it (Fig 3), and
+//! `LargeSetComplete` estimates superset coverage with it (Fig 6).
+//!
+//! We implement the KMV / bottom-k summary: hash every item with a
+//! pairwise-independent function into `[0, p)` and keep the `k` smallest
+//! distinct hash values; with `v_k` the k-th smallest, `(k−1)·p / v_k` is
+//! an unbiased-to-first-order estimate of the distinct count with relative
+//! error `O(1/√k)`. [`L0Estimator`] takes the median of several
+//! independent KMV summaries to boost the success probability, exactly the
+//! repetition structure the paper assumes.
+
+use std::collections::BTreeSet;
+
+use kcov_hash::{pairwise, KWise, RangeHash, SeedSequence, MERSENNE_P};
+
+use crate::space::SpaceUsage;
+
+/// A single bottom-k (KMV) distinct-count summary.
+#[derive(Debug, Clone)]
+pub struct Kmv {
+    k: usize,
+    hash: KWise,
+    /// The k smallest distinct hash values seen so far.
+    smallest: BTreeSet<u64>,
+}
+
+impl Kmv {
+    /// Create a summary keeping the `k` smallest hash values. Relative
+    /// error is `O(1/√k)`; `k = 64` gives roughly ±12%.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 2, "KMV needs k >= 2");
+        Kmv {
+            k,
+            hash: pairwise(seed),
+            smallest: BTreeSet::new(),
+        }
+    }
+
+    /// Observe one item (duplicates are free).
+    #[inline]
+    pub fn insert(&mut self, item: u64) {
+        let h = self.hash.hash(item);
+        if self.smallest.len() < self.k {
+            self.smallest.insert(h);
+        } else {
+            // Only mutate when h beats the current k-th smallest.
+            let max = *self.smallest.iter().next_back().expect("non-empty");
+            if h < max && self.smallest.insert(h) {
+                self.smallest.remove(&max);
+            }
+        }
+    }
+
+    /// Estimate the number of distinct items observed.
+    pub fn estimate(&self) -> f64 {
+        if self.smallest.len() < self.k {
+            // Fewer than k distinct hashes: the summary is exact (up to
+            // the negligible chance of 61-bit hash collisions).
+            self.smallest.len() as f64
+        } else {
+            let vk = *self.smallest.iter().next_back().expect("non-empty") as f64;
+            (self.k as f64 - 1.0) * MERSENNE_P as f64 / vk
+        }
+    }
+
+    /// True iff the summary is still exact (saw fewer than k distinct
+    /// hash values).
+    pub fn is_exact(&self) -> bool {
+        self.smallest.len() < self.k
+    }
+
+    /// The configured k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The rank hash (wire serialization).
+    pub fn hash(&self) -> &KWise {
+        &self.hash
+    }
+
+    /// The kept hash values, ascending (wire serialization).
+    pub fn kept_values(&self) -> Vec<u64> {
+        self.smallest.iter().copied().collect()
+    }
+
+    /// Rebuild from parts (inverse of the accessors). Fails when the
+    /// value set exceeds `k` or `k < 2`.
+    pub fn from_parts(k: usize, hash: KWise, values: Vec<u64>) -> Result<Self, String> {
+        if k < 2 {
+            return Err("KMV needs k >= 2".into());
+        }
+        if values.len() > k {
+            return Err(format!("{} kept values exceed k = {k}", values.len()));
+        }
+        Ok(Kmv {
+            k,
+            hash,
+            smallest: values.into_iter().collect(),
+        })
+    }
+
+    /// Merge a summary built with the *same seed* (bottom-k summaries
+    /// are mergeable under set union — the property the BEM-style
+    /// baseline and distributed deployments rely on). Panics if the
+    /// hash functions differ.
+    pub fn merge(&mut self, other: &Kmv) {
+        assert_eq!(
+            self.hash.hash(0x5eed_c0de),
+            other.hash.hash(0x5eed_c0de),
+            "KMV merge requires identical hash functions"
+        );
+        for &h in &other.smallest {
+            self.smallest.insert(h);
+        }
+        while self.smallest.len() > self.k {
+            let max = *self.smallest.iter().next_back().expect("non-empty");
+            self.smallest.remove(&max);
+        }
+    }
+}
+
+impl SpaceUsage for Kmv {
+    fn space_words(&self) -> usize {
+        self.smallest.len() + self.hash.space_words()
+    }
+}
+
+/// Median-of-repetitions `L0` estimator with the Theorem 2.12 interface:
+/// single pass, `Õ(1)` space, `(1 ± ε)` multiplicative error with high
+/// probability for the configured `k` and repetition count.
+#[derive(Debug, Clone)]
+pub struct L0Estimator {
+    reps: Vec<Kmv>,
+}
+
+impl L0Estimator {
+    /// `reps` independent KMV summaries of size `k` each.
+    pub fn new(k: usize, reps: usize, seed: u64) -> Self {
+        assert!(reps >= 1, "need at least one repetition");
+        let mut seq = SeedSequence::labeled(seed, "l0-estimator");
+        L0Estimator {
+            reps: (0..reps).map(|_| Kmv::new(k, seq.next_seed())).collect(),
+        }
+    }
+
+    /// Default configuration giving comfortably better than the
+    /// `(1 ± 1/2)` guarantee of Theorem 2.12: k = 64, 5 repetitions.
+    pub fn with_default_accuracy(seed: u64) -> Self {
+        L0Estimator::new(64, 5, seed)
+    }
+
+    /// Observe one item.
+    #[inline]
+    pub fn insert(&mut self, item: u64) {
+        for r in &mut self.reps {
+            r.insert(item);
+        }
+    }
+
+    /// Median estimate across repetitions.
+    pub fn estimate(&self) -> f64 {
+        let mut ests: Vec<f64> = self.reps.iter().map(Kmv::estimate).collect();
+        ests.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        ests[ests.len() / 2]
+    }
+
+    /// Merge an estimator built with the same seed and shape (merges
+    /// repetition-wise). Panics on mismatched shapes or seeds.
+    pub fn merge(&mut self, other: &L0Estimator) {
+        assert_eq!(self.reps.len(), other.reps.len(), "repetition count mismatch");
+        for (a, b) in self.reps.iter_mut().zip(&other.reps) {
+            a.merge(b);
+        }
+    }
+}
+
+impl SpaceUsage for L0Estimator {
+    fn space_words(&self) -> usize {
+        self.reps.iter().map(SpaceUsage::space_words).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_k() {
+        let mut kmv = Kmv::new(32, 1);
+        for i in 0..20u64 {
+            kmv.insert(i);
+            kmv.insert(i); // duplicates are ignored
+        }
+        assert!(kmv.is_exact());
+        assert_eq!(kmv.estimate(), 20.0);
+    }
+
+    #[test]
+    fn duplicates_do_not_change_estimate() {
+        let mut a = Kmv::new(16, 3);
+        let mut b = Kmv::new(16, 3);
+        for i in 0..1000u64 {
+            a.insert(i);
+            b.insert(i);
+            b.insert(i);
+            b.insert(i % 7);
+        }
+        assert_eq!(a.estimate(), b.estimate());
+    }
+
+    #[test]
+    fn estimate_within_tolerance_large_stream() {
+        let mut est = L0Estimator::new(128, 7, 42);
+        let true_count = 50_000u64;
+        for i in 0..true_count {
+            est.insert(i.wrapping_mul(0x9e3779b9)); // arbitrary distinct keys
+        }
+        let e = est.estimate();
+        let rel = (e - true_count as f64).abs() / true_count as f64;
+        assert!(rel < 0.15, "relative error {rel} too large (est {e})");
+    }
+
+    #[test]
+    fn theorem_2_12_interface_half_approximation() {
+        // (1 ± 1/2)-approximation must hold across many seeds.
+        for seed in 0..20u64 {
+            let mut est = L0Estimator::with_default_accuracy(seed);
+            let n = 10_000u64;
+            for i in 0..n {
+                est.insert(i * 31 + 7);
+            }
+            let e = est.estimate();
+            assert!(
+                e >= n as f64 * 0.5 && e <= n as f64 * 1.5,
+                "seed {seed}: estimate {e} outside (1±1/2)·{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_stream_estimates_zero() {
+        let est = L0Estimator::new(16, 3, 0);
+        assert_eq!(est.estimate(), 0.0);
+    }
+
+    #[test]
+    fn space_is_bounded_by_k_and_reps() {
+        let mut est = L0Estimator::new(32, 4, 9);
+        for i in 0..100_000u64 {
+            est.insert(i);
+        }
+        // 4 reps × (≤32 kept values + pairwise hash of 2 words).
+        assert!(est.space_words() <= 4 * (32 + 2));
+    }
+
+    #[test]
+    fn monotone_in_distinct_count() {
+        // More distinct elements should (statistically) raise the median
+        // estimate; check a 10x gap is clearly resolved.
+        let mut small = L0Estimator::new(64, 5, 11);
+        let mut large = L0Estimator::new(64, 5, 11);
+        for i in 0..1_000u64 {
+            small.insert(i);
+        }
+        for i in 0..10_000u64 {
+            large.insert(i);
+        }
+        assert!(large.estimate() > 4.0 * small.estimate());
+    }
+
+    #[test]
+    #[should_panic(expected = "KMV needs k >= 2")]
+    fn tiny_k_rejected() {
+        let _ = Kmv::new(1, 0);
+    }
+
+    #[test]
+    fn kmv_merge_equals_union_stream() {
+        let mut left = Kmv::new(32, 9);
+        let mut right = Kmv::new(32, 9);
+        let mut both = Kmv::new(32, 9);
+        for i in 0..3_000u64 {
+            left.insert(i);
+            both.insert(i);
+        }
+        for i in 1_500..5_000u64 {
+            right.insert(i);
+            both.insert(i);
+        }
+        left.merge(&right);
+        assert_eq!(left.estimate(), both.estimate());
+    }
+
+    #[test]
+    #[should_panic(expected = "identical hash functions")]
+    fn kmv_merge_rejects_seed_mismatch() {
+        let mut a = Kmv::new(8, 1);
+        let b = Kmv::new(8, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn estimator_merge_matches_union() {
+        let mut left = L0Estimator::new(32, 3, 4);
+        let mut right = L0Estimator::new(32, 3, 4);
+        let mut both = L0Estimator::new(32, 3, 4);
+        for i in 0..2_000u64 {
+            left.insert(i * 2);
+            both.insert(i * 2);
+            right.insert(i * 2 + 1);
+            both.insert(i * 2 + 1);
+        }
+        left.merge(&right);
+        assert_eq!(left.estimate(), both.estimate());
+    }
+}

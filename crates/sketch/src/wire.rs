@@ -1,0 +1,346 @@
+//! Wire format: compact, dependency-free binary serialization of every
+//! sketch.
+//!
+//! Purpose: the lower-bound harness (`kcov-lowerbound`) simulates
+//! one-way communication protocols whose messages are algorithm states.
+//! `SpaceUsage` counts resident words; this module makes the message
+//! *literal* — a byte buffer another party can decode into an identical
+//! sketch and keep feeding. Also useful for checkpointing long streams
+//! and for shipping shard sketches in the distributed-merge pattern.
+//!
+//! Format: little-endian, length-prefixed vectors, a one-byte tag per
+//! sketch type, no versioning (an in-workspace format, not an archive
+//! format). Hash functions travel as their full coefficient vectors, so
+//! the decoded object is behaviorally identical, not just statistically
+//! equivalent.
+
+use kcov_hash::{KWise, SignHash};
+
+use crate::ams_f2::AmsF2;
+use crate::count_min::CountMin;
+use crate::count_sketch::CountSketch;
+use crate::l0::Kmv;
+
+/// Decode error with context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire decode error: {}", self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err(message: impl Into<String>) -> WireError {
+    WireError {
+        message: message.into(),
+    }
+}
+
+/// A type with a self-describing binary encoding.
+pub trait WireEncode: Sized {
+    /// Append the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decode from the front of `input`, advancing it past the value.
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError>;
+
+    /// Convenience: encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Convenience: decode a whole buffer, requiring full consumption.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut input = bytes;
+        let v = Self::decode(&mut input)?;
+        if !input.is_empty() {
+            return Err(err(format!("{} trailing bytes", input.len())));
+        }
+        Ok(v)
+    }
+}
+
+// ---- primitives -----------------------------------------------------
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn take_u64(input: &mut &[u8]) -> Result<u64, WireError> {
+    if input.len() < 8 {
+        return Err(err("truncated u64"));
+    }
+    let (head, rest) = input.split_at(8);
+    *input = rest;
+    Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
+}
+
+pub(crate) fn take_i64(input: &mut &[u8]) -> Result<i64, WireError> {
+    Ok(take_u64(input)? as i64)
+}
+
+pub(crate) fn put_u64s(out: &mut Vec<u8>, vs: &[u64]) {
+    put_u64(out, vs.len() as u64);
+    for &v in vs {
+        put_u64(out, v);
+    }
+}
+
+pub(crate) fn take_u64s(input: &mut &[u8]) -> Result<Vec<u64>, WireError> {
+    let n = take_u64(input)? as usize;
+    if input.len() < 8 * n {
+        return Err(err(format!("truncated vector of {n} u64s")));
+    }
+    (0..n).map(|_| take_u64(input)).collect()
+}
+
+fn put_kwise(out: &mut Vec<u8>, h: &KWise) {
+    put_u64s(out, &h.coefficients());
+}
+
+fn take_kwise(input: &mut &[u8]) -> Result<KWise, WireError> {
+    let coeffs = take_u64s(input)?;
+    if coeffs.is_empty() {
+        return Err(err("empty hash coefficient vector"));
+    }
+    Ok(KWise::from_coefficients(&coeffs))
+}
+
+fn put_sign(out: &mut Vec<u8>, h: &SignHash) {
+    put_u64s(out, &h.coefficients());
+}
+
+fn take_sign(input: &mut &[u8]) -> Result<SignHash, WireError> {
+    let coeffs = take_u64s(input)?;
+    if coeffs.is_empty() {
+        return Err(err("empty sign-hash coefficient vector"));
+    }
+    Ok(SignHash::from_coefficients(&coeffs))
+}
+
+// ---- sketches -------------------------------------------------------
+
+const TAG_KMV: u64 = 0x4b4d56; // "KMV"
+const TAG_AMS: u64 = 0x414d53; // "AMS"
+const TAG_CS: u64 = 0x4353; // "CS"
+const TAG_CM: u64 = 0x434d; // "CM"
+
+impl WireEncode for Kmv {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, TAG_KMV);
+        put_u64(out, self.k() as u64);
+        put_kwise(out, self.hash());
+        put_u64s(out, &self.kept_values());
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        if take_u64(input)? != TAG_KMV {
+            return Err(err("bad KMV tag"));
+        }
+        let k = take_u64(input)? as usize;
+        let hash = take_kwise(input)?;
+        let vals = take_u64s(input)?;
+        Kmv::from_parts(k, hash, vals).map_err(err)
+    }
+}
+
+impl WireEncode for AmsF2 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, TAG_AMS);
+        let (rows, cols) = self.shape();
+        put_u64(out, rows as u64);
+        put_u64(out, cols as u64);
+        for s in self.sign_hashes() {
+            put_sign(out, s);
+        }
+        put_u64(out, self.counters().len() as u64);
+        for &c in self.counters() {
+            put_i64(out, c);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        if take_u64(input)? != TAG_AMS {
+            return Err(err("bad AMS tag"));
+        }
+        let rows = take_u64(input)? as usize;
+        let cols = take_u64(input)? as usize;
+        let signs = (0..rows * cols)
+            .map(|_| take_sign(input))
+            .collect::<Result<Vec<_>, _>>()?;
+        let n = take_u64(input)? as usize;
+        if n != rows * cols {
+            return Err(err("AMS counter count mismatch"));
+        }
+        let counters = (0..n).map(|_| take_i64(input)).collect::<Result<Vec<_>, _>>()?;
+        AmsF2::from_parts(rows, cols, signs, counters).map_err(err)
+    }
+}
+
+impl WireEncode for CountSketch {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, TAG_CS);
+        put_u64(out, self.rows() as u64);
+        put_u64(out, self.width() as u64);
+        for b in self.bucket_hashes() {
+            put_kwise(out, b);
+        }
+        for s in self.sign_hashes() {
+            put_sign(out, s);
+        }
+        put_u64(out, self.table().len() as u64);
+        for &c in self.table() {
+            put_i64(out, c);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        if take_u64(input)? != TAG_CS {
+            return Err(err("bad CountSketch tag"));
+        }
+        let rows = take_u64(input)? as usize;
+        let width = take_u64(input)? as usize;
+        let buckets = (0..rows).map(|_| take_kwise(input)).collect::<Result<Vec<_>, _>>()?;
+        let signs = (0..rows).map(|_| take_sign(input)).collect::<Result<Vec<_>, _>>()?;
+        let n = take_u64(input)? as usize;
+        if n != rows * width {
+            return Err(err("CountSketch table size mismatch"));
+        }
+        let table = (0..n).map(|_| take_i64(input)).collect::<Result<Vec<_>, _>>()?;
+        CountSketch::from_parts(rows, width, buckets, signs, table).map_err(err)
+    }
+}
+
+impl WireEncode for CountMin {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, TAG_CM);
+        let (rows, width) = self.shape();
+        put_u64(out, rows as u64);
+        put_u64(out, width as u64);
+        for h in self.hashes() {
+            put_kwise(out, h);
+        }
+        put_u64s(out, self.table());
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        if take_u64(input)? != TAG_CM {
+            return Err(err("bad CountMin tag"));
+        }
+        let rows = take_u64(input)? as usize;
+        let width = take_u64(input)? as usize;
+        let hashes = (0..rows).map(|_| take_kwise(input)).collect::<Result<Vec<_>, _>>()?;
+        let table = take_u64s(input)?;
+        CountMin::from_parts(rows, width, hashes, table).map_err(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmv_roundtrip_preserves_behavior() {
+        let mut kmv = Kmv::new(16, 7);
+        for i in 0..5_000u64 {
+            kmv.insert(i * 3);
+        }
+        let bytes = kmv.to_bytes();
+        let mut back = Kmv::from_bytes(&bytes).unwrap();
+        assert_eq!(kmv.estimate(), back.estimate());
+        // Continued streaming matches.
+        let mut original = kmv.clone();
+        for i in 0..1_000u64 {
+            original.insert(999_000 + i);
+            back.insert(999_000 + i);
+        }
+        assert_eq!(original.estimate(), back.estimate());
+    }
+
+    #[test]
+    fn ams_roundtrip() {
+        let mut sk = AmsF2::new(3, 8, 5);
+        for i in 0..2_000u64 {
+            sk.insert(i % 97);
+        }
+        let back = AmsF2::from_bytes(&sk.to_bytes()).unwrap();
+        assert_eq!(sk.estimate(), back.estimate());
+    }
+
+    #[test]
+    fn count_sketch_roundtrip_and_continue() {
+        let mut cs = CountSketch::new(5, 64, 9);
+        for i in 0..3_000u64 {
+            cs.insert(i % 211);
+        }
+        let mut back = CountSketch::from_bytes(&cs.to_bytes()).unwrap();
+        for i in 0..211u64 {
+            assert_eq!(cs.query(i), back.query(i));
+        }
+        back.insert(3);
+        assert_eq!(back.query(3), cs.query(3) + 1);
+    }
+
+    #[test]
+    fn count_min_roundtrip() {
+        let mut cm = CountMin::new(4, 32, 3);
+        for i in 0..500u64 {
+            cm.insert(i % 50, 2);
+        }
+        let back = CountMin::from_bytes(&cm.to_bytes()).unwrap();
+        for i in 0..50u64 {
+            assert_eq!(cm.query(i), back.query(i));
+        }
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let mut kmv = Kmv::new(8, 1);
+        kmv.insert(5);
+        let bytes = kmv.to_bytes();
+        for cut in [0, 1, 7, bytes.len() - 1] {
+            assert!(Kmv::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn wrong_tag_rejected() {
+        let cm = CountMin::new(2, 8, 1);
+        let bytes = cm.to_bytes();
+        assert!(Kmv::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let kmv = Kmv::new(8, 1);
+        let mut bytes = kmv.to_bytes();
+        bytes.push(0);
+        let e = Kmv::from_bytes(&bytes).unwrap_err();
+        assert!(e.message.contains("trailing"));
+    }
+
+    #[test]
+    fn encoded_size_tracks_space_words() {
+        use crate::space::SpaceUsage;
+        let mut kmv = Kmv::new(64, 2);
+        for i in 0..10_000u64 {
+            kmv.insert(i);
+        }
+        let bytes = kmv.to_bytes().len();
+        let words = kmv.space_words();
+        // Encoding is words × 8 plus small framing overhead.
+        assert!(bytes >= words * 8, "bytes {bytes} vs words {words}");
+        assert!(bytes <= words * 8 + 64, "framing too heavy: {bytes} vs {words}");
+    }
+}

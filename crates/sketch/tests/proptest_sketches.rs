@@ -1,0 +1,126 @@
+//! Property-based tests of sketch invariants: linearity/merge laws,
+//! order-insensitivity, and accuracy contracts under random streams.
+
+use proptest::prelude::*;
+
+use kcov_sketch::{AmsF2, Bjkst, CountMin, CountSketch, Kmv, SpaceUsage};
+
+/// Random small stream: (item, multiplicity) pairs.
+fn stream_strategy() -> impl Strategy<Value = Vec<(u64, u8)>> {
+    prop::collection::vec((0u64..500, 1u8..5), 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// KMV is order-insensitive: any permutation yields the same state.
+    #[test]
+    fn kmv_order_insensitive(mut stream in stream_strategy(), seed in 0u64..1000) {
+        let mut forward = Kmv::new(16, seed);
+        for &(item, mult) in &stream {
+            for _ in 0..mult {
+                forward.insert(item);
+            }
+        }
+        stream.reverse();
+        let mut backward = Kmv::new(16, seed);
+        for &(item, mult) in &stream {
+            for _ in 0..mult {
+                backward.insert(item);
+            }
+        }
+        prop_assert_eq!(forward.estimate(), backward.estimate());
+    }
+
+    /// KMV merge law: merge(A, B) estimates the union stream.
+    #[test]
+    fn kmv_merge_law(a in stream_strategy(), b in stream_strategy(), seed in 0u64..1000) {
+        let mut left = Kmv::new(16, seed);
+        let mut right = Kmv::new(16, seed);
+        let mut union = Kmv::new(16, seed);
+        for &(item, _) in &a {
+            left.insert(item);
+            union.insert(item);
+        }
+        for &(item, _) in &b {
+            right.insert(item);
+            union.insert(item);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.estimate(), union.estimate());
+    }
+
+    /// BJKST merge law mirrors KMV's.
+    #[test]
+    fn bjkst_merge_law(a in stream_strategy(), b in stream_strategy(), seed in 0u64..1000) {
+        let mut left = Bjkst::new(16, seed);
+        let mut right = Bjkst::new(16, seed);
+        let mut union = Bjkst::new(16, seed);
+        for &(item, _) in &a {
+            left.insert(item);
+            union.insert(item);
+        }
+        for &(item, _) in &b {
+            right.insert(item);
+            union.insert(item);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.estimate(), union.estimate());
+    }
+
+    /// CountSketch linearity: sketch(A) + sketch(B) = sketch(A ++ B),
+    /// exactly, for point queries.
+    #[test]
+    fn count_sketch_linearity(a in stream_strategy(), b in stream_strategy(), seed in 0u64..1000) {
+        let mut sa = CountSketch::new(3, 32, seed);
+        let mut sb = CountSketch::new(3, 32, seed);
+        let mut sab = CountSketch::new(3, 32, seed);
+        for &(item, mult) in &a {
+            sa.update(item, mult as i64);
+            sab.update(item, mult as i64);
+        }
+        for &(item, mult) in &b {
+            sb.update(item, mult as i64);
+            sab.update(item, mult as i64);
+        }
+        sa.merge(&sb);
+        for probe in 0..50u64 {
+            prop_assert_eq!(sa.query(probe * 11), sab.query(probe * 11));
+        }
+    }
+
+    /// CountMin never underestimates, on arbitrary streams.
+    #[test]
+    fn count_min_upper_bound(stream in stream_strategy(), seed in 0u64..1000) {
+        let mut cm = CountMin::new(4, 64, seed);
+        let mut truth = std::collections::HashMap::new();
+        for &(item, mult) in &stream {
+            cm.insert(item, mult as u64);
+            *truth.entry(item).or_insert(0u64) += mult as u64;
+        }
+        for (&item, &freq) in &truth {
+            prop_assert!(cm.query(item) >= freq);
+        }
+    }
+
+    /// AMS F2 on a single-item stream is exact (f² with any sign).
+    #[test]
+    fn ams_single_item_exact(freq in 1i64..100, seed in 0u64..1000, item in 0u64..1000) {
+        let mut sk = AmsF2::new(3, 4, seed);
+        sk.update(item, freq);
+        prop_assert!((sk.estimate() - (freq * freq) as f64).abs() < 1e-9);
+    }
+
+    /// Space accounting is monotone under insertions for KMV.
+    #[test]
+    fn kmv_space_monotone(stream in stream_strategy(), seed in 0u64..1000) {
+        let mut kmv = Kmv::new(32, seed);
+        let mut last = kmv.space_words();
+        for &(item, _) in &stream {
+            kmv.insert(item);
+            let now = kmv.space_words();
+            prop_assert!(now >= last || now + 1 >= last);
+            last = now;
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Exact coverage and frequency utilities.
+//!
+//! Used for ground truth in tests and experiments, and to characterize
+//! instances against the paper's structural notions: element frequencies
+//! (how many sets contain each element) and `λ`-common elements
+//! (Definition 2.1: an element is λ-common when it appears in at least
+//! `≈ m/λ` sets; we expose the raw frequency threshold and let callers
+//! supply the paper's polylog factor).
+
+use crate::instance::SetSystem;
+
+/// Exact coverage `|C(Q)| = |⋃_{i ∈ chosen} S_i|` of a collection of sets.
+pub fn coverage_of(system: &SetSystem, chosen: &[usize]) -> usize {
+    let mut covered = vec![false; system.num_elements()];
+    let mut count = 0usize;
+    for &i in chosen {
+        for &e in system.set(i) {
+            if !covered[e as usize] {
+                covered[e as usize] = true;
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Frequency of each element: `freq[e]` = number of sets containing `e`
+/// (the vector `v` of the paper's lower-bound discussion).
+pub fn element_frequencies(system: &SetSystem) -> Vec<u32> {
+    let mut freq = vec![0u32; system.num_elements()];
+    for s in system.sets() {
+        for &e in s {
+            freq[e as usize] += 1;
+        }
+    }
+    freq
+}
+
+/// Elements whose frequency is at least `threshold` — the `λ`-common
+/// elements `U^cmn` of Definition 2.1 for `threshold ≈ c·m·polylog/λ`.
+pub fn common_elements(system: &SetSystem, threshold: u32) -> Vec<u32> {
+    element_frequencies(system)
+        .iter()
+        .enumerate()
+        .filter(|&(_, &f)| f >= threshold)
+        .map(|(e, _)| e as u32)
+        .collect()
+}
+
+/// Summary statistics of a set system, used by experiment logs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageStats {
+    /// Number of elements `n`.
+    pub n: usize,
+    /// Number of sets `m`.
+    pub m: usize,
+    /// Stream length `Σ|S|`.
+    pub total_edges: usize,
+    /// Largest set size.
+    pub max_set_size: usize,
+    /// Largest element frequency (`L∞` of the frequency vector).
+    pub max_frequency: u32,
+    /// Number of elements covered by at least one set.
+    pub covered_elements: usize,
+}
+
+impl CoverageStats {
+    /// Compute statistics for a system.
+    pub fn of(system: &SetSystem) -> Self {
+        let freq = element_frequencies(system);
+        CoverageStats {
+            n: system.num_elements(),
+            m: system.num_sets(),
+            total_edges: system.total_edges(),
+            max_set_size: system.max_set_size(),
+            max_frequency: freq.iter().copied().max().unwrap_or(0),
+            covered_elements: freq.iter().filter(|&&f| f > 0).count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SetSystem {
+        SetSystem::new(6, vec![vec![0, 1, 2], vec![2, 3], vec![3, 4], vec![]])
+    }
+
+    #[test]
+    fn coverage_of_union() {
+        let ss = sample();
+        assert_eq!(coverage_of(&ss, &[0]), 3);
+        assert_eq!(coverage_of(&ss, &[0, 1]), 4);
+        assert_eq!(coverage_of(&ss, &[0, 1, 2]), 5);
+        assert_eq!(coverage_of(&ss, &[3]), 0);
+        assert_eq!(coverage_of(&ss, &[]), 0);
+    }
+
+    #[test]
+    fn coverage_ignores_overlap_double_count() {
+        let ss = sample();
+        // Sets 1 and 2 overlap on element 3.
+        assert_eq!(coverage_of(&ss, &[1, 2]), 3);
+    }
+
+    #[test]
+    fn coverage_of_repeated_choice_is_idempotent() {
+        let ss = sample();
+        assert_eq!(coverage_of(&ss, &[0, 0, 0]), 3);
+    }
+
+    #[test]
+    fn frequencies() {
+        let ss = sample();
+        assert_eq!(element_frequencies(&ss), vec![1, 1, 2, 2, 1, 0]);
+    }
+
+    #[test]
+    fn common_elements_thresholds() {
+        let ss = sample();
+        assert_eq!(common_elements(&ss, 2), vec![2, 3]);
+        assert_eq!(common_elements(&ss, 1), vec![0, 1, 2, 3, 4]);
+        assert!(common_elements(&ss, 3).is_empty());
+    }
+
+    #[test]
+    fn stats() {
+        let ss = sample();
+        let st = CoverageStats::of(&ss);
+        assert_eq!(st.n, 6);
+        assert_eq!(st.m, 4);
+        assert_eq!(st.total_edges, 7);
+        assert_eq!(st.max_set_size, 3);
+        assert_eq!(st.max_frequency, 2);
+        assert_eq!(st.covered_elements, 5);
+    }
+
+    #[test]
+    fn stats_of_empty_system() {
+        let ss = SetSystem::new(0, vec![]);
+        let st = CoverageStats::of(&ss);
+        assert_eq!(st.max_frequency, 0);
+        assert_eq!(st.covered_elements, 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! The atomic stream token of the edge-arrival model.
+
+/// One `(set, element)` incidence pair. The paper writes these as
+/// `(S, e)`; ids are dense `u32` indices (`set < m`, `elem < n`), which
+/// comfortably covers every scale this workspace targets while keeping an
+/// edge at 8 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    /// Set index in `[0, m)`.
+    pub set: u32,
+    /// Element index in `[0, n)`.
+    pub elem: u32,
+}
+
+impl Edge {
+    /// Construct an edge.
+    #[inline]
+    pub fn new(set: u32, elem: u32) -> Self {
+        Edge { set, elem }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_equality() {
+        let e = Edge::new(3, 7);
+        assert_eq!(e.set, 3);
+        assert_eq!(e.elem, 7);
+        assert_eq!(e, Edge { set: 3, elem: 7 });
+        assert_ne!(e, Edge::new(7, 3));
+    }
+
+    #[test]
+    fn edge_is_eight_bytes() {
+        assert_eq!(std::mem::size_of::<Edge>(), 8);
+    }
+
+    #[test]
+    fn ordering_is_by_set_then_element() {
+        assert!(Edge::new(1, 9) < Edge::new(2, 0));
+        assert!(Edge::new(1, 1) < Edge::new(1, 2));
+    }
+}

@@ -1,0 +1,96 @@
+//! Overlapping-community workloads.
+//!
+//! Real coverage corpora (social graphs, topic models) are clustered:
+//! elements belong to communities and sets draw most members from one
+//! community plus background noise. Coverage then saturates quickly
+//! inside a community — a stress test for the estimator's never-
+//! overestimate side (many near-duplicate sets) and the regime where
+//! greedy's marginal gains collapse.
+
+use kcov_hash::SplitMix64;
+
+use crate::instance::SetSystem;
+
+/// `num_communities` equal element blocks; each set picks a home
+/// community, takes `within` uniform members from it and `noise`
+/// uniform members from the whole universe.
+pub fn community_sets(
+    n: usize,
+    m: usize,
+    num_communities: usize,
+    within: usize,
+    noise: usize,
+    seed: u64,
+) -> SetSystem {
+    assert!(num_communities >= 1, "need at least one community");
+    assert!(n >= num_communities, "n must be >= communities");
+    let block = n / num_communities;
+    assert!(within <= block, "within-degree exceeds community size");
+    let mut rng = SplitMix64::new(seed);
+    let mut sets = Vec::with_capacity(m);
+    for _ in 0..m {
+        let c = rng.next_below(num_communities as u64) as usize;
+        let lo = c * block;
+        let mut members = Vec::with_capacity(within + noise);
+        for _ in 0..within {
+            members.push(lo as u32 + rng.next_below(block as u64) as u32);
+        }
+        for _ in 0..noise {
+            members.push(rng.next_below(n as u64) as u32);
+        }
+        sets.push(members);
+    }
+    SetSystem::new(n, sets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::coverage_of;
+
+    #[test]
+    fn members_concentrate_in_home_community() {
+        let ss = community_sets(1000, 50, 10, 30, 2, 1);
+        for i in 0..50 {
+            let members = ss.set(i);
+            assert!(!members.is_empty());
+            // Find the densest block; most members must be inside it.
+            let mut counts = [0usize; 10];
+            for &e in members {
+                counts[(e / 100) as usize] += 1;
+            }
+            let best = counts.iter().max().unwrap();
+            assert!(
+                *best * 10 >= members.len() * 8,
+                "set {i} not concentrated: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_saturates_within_community() {
+        // Many sets crowded into two communities overlap heavily: the
+        // union is far below the sum of the sizes (~20 sets of 100 in a
+        // 500-element block can cover at most the block).
+        let ss = community_sets(1000, 40, 2, 100, 0, 3);
+        let chosen: Vec<usize> = (0..40).collect();
+        let total: usize = chosen.iter().map(|&i| ss.set(i).len()).sum();
+        let cov = coverage_of(&ss, &chosen);
+        assert!(cov * 2 < total, "no saturation: cov {cov} vs total {total}");
+        assert!(cov <= 1000);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            community_sets(200, 20, 4, 10, 1, 9),
+            community_sets(200, 20, 4, 10, 1, 9)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "within-degree exceeds community size")]
+    fn oversized_within_rejected() {
+        let _ = community_sets(100, 5, 10, 20, 0, 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! The tight `(1 − 1/e)` hard instances for greedy.
+//!
+//! The classic construction: the optimum is `k` disjoint "column" sets
+//! of size `w` each (coverage `k·w`); greedy is lured by "row" sets
+//! engineered so its i-th pick covers exactly a `1/k` fraction of what
+//! remains of every column. After `k` picks greedy covers
+//! `k·w·(1 − (1 − 1/k)^k) → (1 − 1/e)·OPT`. Used to verify the greedy
+//! baseline's bound is *tight* (not just valid) and as an adversarial
+//! workload for the streaming algorithms.
+
+use crate::instance::SetSystem;
+
+/// A greedy-trap instance with its parameters.
+#[derive(Debug, Clone)]
+pub struct GreedyTrap {
+    /// The instance; sets `0..k` are the optimal columns, sets
+    /// `k..2k` are the trap rows (in greedy's pick order).
+    pub system: SetSystem,
+    /// The optimal coverage (`k · w`).
+    pub optimal: usize,
+    /// Number of columns (= the cover budget the trap is tuned for).
+    pub k: usize,
+}
+
+/// Build the trap with `k` columns of `w` elements each. `w` should be
+/// a multiple of `k^k`-ish for exact fractions; we use rounding and the
+/// trap stays asymptotically tight. Universe size is `k·w`.
+pub fn greedy_trap(k: usize, w: usize) -> GreedyTrap {
+    assert!(k >= 2, "need k >= 2");
+    assert!(w >= k, "columns must have at least k elements");
+    // Universe: k columns of w elements, plus k private "tie-breaker"
+    // elements (one per row) that make each row *strictly* larger than
+    // any column at its step — a tie would let greedy legally pick a
+    // column and escape.
+    let n = k * w + k;
+    // Element (c, j) = column c, position j → id c·w + j.
+    let mut sets: Vec<Vec<u32>> = Vec::with_capacity(2 * k);
+    // Columns: the planted optimum.
+    for c in 0..k {
+        sets.push(((c * w) as u32..((c + 1) * w) as u32).collect());
+    }
+    // Rows: row i takes, from every column, the next `remaining/k`
+    // positions (gain (1/k)·remaining per column), plus its private
+    // tie-breaker.
+    let mut taken = vec![0usize; k]; // positions consumed per column
+    for i in 0..k {
+        let mut row = Vec::new();
+        for (c, t) in taken.iter_mut().enumerate() {
+            let remaining = w - *t;
+            let take = remaining.div_ceil(k);
+            for j in 0..take.min(remaining) {
+                row.push((c * w + *t + j) as u32);
+            }
+            *t += take.min(remaining);
+        }
+        row.push((k * w + i) as u32);
+        sets.push(row);
+    }
+    GreedyTrap {
+        system: SetSystem::new(n, sets),
+        optimal: k * w,
+        k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::coverage_of;
+
+    #[test]
+    fn columns_are_optimal() {
+        let trap = greedy_trap(4, 256);
+        let cols: Vec<usize> = (0..4).collect();
+        assert_eq!(coverage_of(&trap.system, &cols), trap.optimal);
+    }
+
+    #[test]
+    fn rows_tempt_greedy() {
+        // The first row must be at least as large as any column.
+        let trap = greedy_trap(4, 256);
+        let first_row = trap.system.set(4).len();
+        let col = trap.system.set(0).len();
+        assert!(first_row > col, "row {first_row} vs column {col}");
+    }
+
+    #[test]
+    fn rows_cover_strictly_less_than_optimal() {
+        let trap = greedy_trap(5, 625);
+        let rows: Vec<usize> = (5..10).collect();
+        let row_cov = coverage_of(&trap.system, &rows) as f64;
+        let bound = (1.0 - (1.0 - 1.0 / 5.0f64).powi(5)) * trap.optimal as f64;
+        // Rows cover ≈ (1 - (1-1/k)^k)·OPT (within rounding).
+        assert!(
+            (row_cov - bound).abs() / bound < 0.05,
+            "row coverage {row_cov} vs theoretical {bound}"
+        );
+    }
+
+    #[test]
+    fn greedy_trap_is_near_tight_for_large_k() {
+        // At k = 8 the ratio approaches 1 - 1/e ≈ 0.632 from above.
+        let trap = greedy_trap(8, 4096);
+        let rows: Vec<usize> = (8..16).collect();
+        let ratio = coverage_of(&trap.system, &rows) as f64 / trap.optimal as f64;
+        assert!(ratio < 0.70, "ratio {ratio} not trap-like");
+        assert!(ratio > 0.60, "ratio {ratio} below the greedy bound");
+    }
+
+    #[test]
+    #[should_panic(expected = "need k >= 2")]
+    fn tiny_k_rejected() {
+        let _ = greedy_trap(1, 10);
+    }
+}

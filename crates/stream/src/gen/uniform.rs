@@ -1,0 +1,161 @@
+//! Uniform random set systems.
+
+use kcov_hash::SplitMix64;
+
+use crate::instance::SetSystem;
+
+/// Each of the `m × n` incidences is present independently with
+/// probability `p`.
+pub fn uniform_incidence(n: usize, m: usize, p: f64, seed: u64) -> SetSystem {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = SplitMix64::new(seed);
+    let mut sets = Vec::with_capacity(m);
+    for _ in 0..m {
+        let mut s = Vec::new();
+        if p >= 0.2 {
+            // Dense: direct Bernoulli per element.
+            for e in 0..n {
+                if rng.next_f64() < p {
+                    s.push(e as u32);
+                }
+            }
+        } else if p > 0.0 {
+            // Sparse: geometric skipping.
+            let log1mp = (1.0 - p).ln();
+            let mut e = 0f64;
+            loop {
+                let u = rng.next_f64().max(f64::MIN_POSITIVE);
+                e += (u.ln() / log1mp).floor() + 1.0;
+                if e > n as f64 {
+                    break;
+                }
+                s.push(e as u32 - 1);
+            }
+        }
+        sets.push(s);
+    }
+    SetSystem::new(n, sets)
+}
+
+/// `m` sets, each a uniform random subset of exactly `size` elements.
+pub fn uniform_fixed_size(n: usize, m: usize, size: usize, seed: u64) -> SetSystem {
+    assert!(size <= n, "set size cannot exceed n");
+    let mut rng = SplitMix64::new(seed);
+    let mut sets = Vec::with_capacity(m);
+    for _ in 0..m {
+        sets.push(sample_without_replacement(n, size, &mut rng));
+    }
+    SetSystem::new(n, sets)
+}
+
+/// Floyd's algorithm: uniform `size`-subset of `[0, n)`.
+pub(crate) fn sample_without_replacement(n: usize, size: usize, rng: &mut SplitMix64) -> Vec<u32> {
+    debug_assert!(size <= n);
+    let mut chosen = std::collections::HashSet::with_capacity(size);
+    let mut out = Vec::with_capacity(size);
+    for j in (n - size)..n {
+        let t = rng.next_below(j as u64 + 1) as u32;
+        if chosen.insert(t) {
+            out.push(t);
+        } else {
+            chosen.insert(j as u32);
+            out.push(j as u32);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::element_frequencies;
+
+    #[test]
+    fn incidence_dimensions() {
+        let ss = uniform_incidence(100, 20, 0.1, 1);
+        assert_eq!(ss.num_elements(), 100);
+        assert_eq!(ss.num_sets(), 20);
+    }
+
+    #[test]
+    fn incidence_density_close_to_p() {
+        let (n, m, p) = (500usize, 100usize, 0.05f64);
+        let ss = uniform_incidence(n, m, p, 7);
+        let density = ss.total_edges() as f64 / (n * m) as f64;
+        assert!(
+            (density - p).abs() < 0.01,
+            "density {density} far from p {p}"
+        );
+    }
+
+    #[test]
+    fn sparse_and_dense_paths_agree_statistically() {
+        // p = 0.25 uses the dense path, p = 0.15 the sparse path; both
+        // should land near their nominal density.
+        let dense = uniform_incidence(400, 50, 0.25, 3);
+        let sparse = uniform_incidence(400, 50, 0.15, 3);
+        let d1 = dense.total_edges() as f64 / (400.0 * 50.0);
+        let d2 = sparse.total_edges() as f64 / (400.0 * 50.0);
+        assert!((d1 - 0.25).abs() < 0.02, "dense density {d1}");
+        assert!((d2 - 0.15).abs() < 0.02, "sparse density {d2}");
+    }
+
+    #[test]
+    fn zero_probability_gives_empty_sets() {
+        let ss = uniform_incidence(50, 10, 0.0, 1);
+        assert_eq!(ss.total_edges(), 0);
+    }
+
+    #[test]
+    fn full_probability_gives_complete_sets() {
+        let ss = uniform_incidence(20, 5, 1.0, 1);
+        assert_eq!(ss.total_edges(), 100);
+    }
+
+    #[test]
+    fn fixed_size_sets_have_exact_size() {
+        let ss = uniform_fixed_size(100, 30, 12, 9);
+        for i in 0..30 {
+            assert_eq!(ss.set(i).len(), 12, "set {i}");
+        }
+    }
+
+    #[test]
+    fn fixed_size_elements_roughly_uniform() {
+        let ss = uniform_fixed_size(50, 400, 10, 11);
+        let freq = element_frequencies(&ss);
+        // Expected frequency 400*10/50 = 80 per element.
+        for (e, &f) in freq.iter().enumerate() {
+            assert!(
+                (40..=130).contains(&(f as i32)),
+                "element {e} frequency {f} far from 80"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            uniform_incidence(30, 10, 0.3, 5),
+            uniform_incidence(30, 10, 0.3, 5)
+        );
+        assert_ne!(
+            uniform_incidence(30, 10, 0.3, 5),
+            uniform_incidence(30, 10, 0.3, 6)
+        );
+    }
+
+    #[test]
+    fn floyd_sampling_is_uniform_subset() {
+        let mut rng = SplitMix64::new(13);
+        for _ in 0..100 {
+            let s = sample_without_replacement(20, 7, &mut rng);
+            assert_eq!(s.len(), 7);
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 7, "duplicates in {s:?}");
+            assert!(sorted.iter().all(|&e| e < 20));
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Plain-text instance and stream I/O.
+//!
+//! Format (whitespace-separated, `#` comments):
+//!
+//! ```text
+//! # header: n m
+//! 5 3
+//! # one edge per line: set element
+//! 0 1
+//! 0 2
+//! 2 4
+//! ```
+//!
+//! The same format serves both materialized instances and raw edge
+//! streams; the loader validates ranges and reports line numbers on
+//! errors. Used by the `maxkcov` CLI and by anyone bringing real data.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::edge::Edge;
+use crate::instance::SetSystem;
+
+/// Parse error with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Read `(n, m, edges)` from the text format.
+pub fn read_edges<R: BufRead>(reader: R) -> Result<(usize, usize, Vec<Edge>), ParseError> {
+    let mut header: Option<(usize, usize)> = None;
+    let mut edges = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(|e| err(lineno, format!("io error: {e}")))?;
+        let content = line.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut parts = content.split_whitespace();
+        let a: u64 = parts
+            .next()
+            .ok_or_else(|| err(lineno, "missing first field"))?
+            .parse()
+            .map_err(|e| err(lineno, format!("bad number: {e}")))?;
+        let b: u64 = parts
+            .next()
+            .ok_or_else(|| err(lineno, "missing second field"))?
+            .parse()
+            .map_err(|e| err(lineno, format!("bad number: {e}")))?;
+        if parts.next().is_some() {
+            return Err(err(lineno, "trailing fields"));
+        }
+        match header {
+            None => {
+                if a == 0 || b == 0 {
+                    return Err(err(lineno, "header must have n >= 1 and m >= 1"));
+                }
+                header = Some((a as usize, b as usize));
+            }
+            Some((n, m)) => {
+                if a >= m as u64 {
+                    return Err(err(lineno, format!("set id {a} >= m = {m}")));
+                }
+                if b >= n as u64 {
+                    return Err(err(lineno, format!("element id {b} >= n = {n}")));
+                }
+                edges.push(Edge::new(a as u32, b as u32));
+            }
+        }
+    }
+    let (n, m) = header.ok_or_else(|| err(0, "empty input: missing 'n m' header"))?;
+    Ok((n, m, edges))
+}
+
+/// Read a materialized [`SetSystem`] from the text format.
+pub fn read_set_system<R: BufRead>(reader: R) -> Result<SetSystem, ParseError> {
+    let (n, m, edges) = read_edges(reader)?;
+    Ok(SetSystem::from_edges(n, m, &edges))
+}
+
+/// Write a set system (header + set-contiguous edges).
+pub fn write_set_system<W: Write>(system: &SetSystem, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "# maxkcov instance: n m, then 'set element' per line")?;
+    writeln!(w, "{} {}", system.num_elements(), system.num_sets())?;
+    for e in system.iter_edges() {
+        writeln!(w, "{} {}", e.set, e.elem)?;
+    }
+    Ok(())
+}
+
+/// Write a raw edge stream with an explicit shape header.
+pub fn write_edges<W: Write>(n: usize, m: usize, edges: &[Edge], mut w: W) -> std::io::Result<()> {
+    writeln!(w, "{n} {m}")?;
+    for e in edges {
+        writeln!(w, "{} {}", e.set, e.elem)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_set_system() {
+        let ss = SetSystem::new(6, vec![vec![0, 1], vec![2, 5], vec![]]);
+        let mut buf = Vec::new();
+        write_set_system(&ss, &mut buf).unwrap();
+        let back = read_set_system(&buf[..]).unwrap();
+        assert_eq!(ss, back);
+    }
+
+    #[test]
+    fn roundtrip_edges_preserves_order() {
+        let edges = vec![Edge::new(2, 0), Edge::new(0, 3), Edge::new(2, 0)];
+        let mut buf = Vec::new();
+        write_edges(5, 3, &edges, &mut buf).unwrap();
+        let (n, m, back) = read_edges(&buf[..]).unwrap();
+        assert_eq!((n, m), (5, 3));
+        assert_eq!(back, edges);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# hello\n\n4 2  # shape\n0 1\n# mid\n1 3\n";
+        let (n, m, edges) = read_edges(text.as_bytes()).unwrap();
+        assert_eq!((n, m), (4, 2));
+        assert_eq!(edges, vec![Edge::new(0, 1), Edge::new(1, 3)]);
+    }
+
+    #[test]
+    fn out_of_range_set_rejected_with_line() {
+        let text = "4 2\n2 0\n";
+        let e = read_edges(text.as_bytes()).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("set id 2"));
+    }
+
+    #[test]
+    fn out_of_range_element_rejected() {
+        let text = "4 2\n0 4\n";
+        let e = read_edges(text.as_bytes()).unwrap_err();
+        assert!(e.message.contains("element id 4"));
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(read_edges("4\n".as_bytes()).is_err());
+        assert!(read_edges("4 2\n1 2 3\n".as_bytes()).is_err());
+        assert!(read_edges("4 2\nx y\n".as_bytes()).is_err());
+        assert!(read_edges("".as_bytes()).is_err());
+        assert!(read_edges("0 5\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn display_includes_line() {
+        let e = read_edges("4 2\n9 9\n".as_bytes()).unwrap_err();
+        let msg = format!("{e}");
+        assert!(msg.starts_with("line 2:"), "{msg}");
+    }
+}

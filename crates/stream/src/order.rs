@@ -1,0 +1,144 @@
+//! Arrival orders for the edge stream.
+//!
+//! The whole point of the paper is that its algorithms survive *arbitrary*
+//! edge order (the general / edge-arrival model), where prior `Õ(n)`- and
+//! `Õ(k)`-space algorithms require sets to arrive contiguously (set
+//! arrival). These orders let tests assert order-invariance and let
+//! experiments stress the difference.
+
+use kcov_hash::SplitMix64;
+
+use crate::edge::Edge;
+use crate::instance::SetSystem;
+
+/// How the edges of a [`SetSystem`] are serialized into a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalOrder {
+    /// All of set 0's edges, then set 1's, … — the *set-arrival* model.
+    SetContiguous,
+    /// All edges of element 0, then element 1, … (e.g. in-neighborhood
+    /// listings of a graph, the paper's footnote-2 motivation).
+    ElementContiguous,
+    /// Round-robin over sets: first member of each set, then second of
+    /// each, … — maximally interleaved.
+    RoundRobin,
+    /// Uniformly random permutation with the given seed.
+    Shuffled(u64),
+}
+
+/// Serialize the edges of `system` in the requested order.
+pub fn edge_stream(system: &SetSystem, order: ArrivalOrder) -> Vec<Edge> {
+    match order {
+        ArrivalOrder::SetContiguous => system.edges(),
+        ArrivalOrder::ElementContiguous => {
+            let mut edges = system.edges();
+            edges.sort_by(|a, b| a.elem.cmp(&b.elem).then(a.set.cmp(&b.set)));
+            edges
+        }
+        ArrivalOrder::RoundRobin => {
+            let mut out = Vec::with_capacity(system.total_edges());
+            let max_size = system.max_set_size();
+            for round in 0..max_size {
+                for (s, members) in system.sets().iter().enumerate() {
+                    if let Some(&e) = members.get(round) {
+                        out.push(Edge::new(s as u32, e));
+                    }
+                }
+            }
+            out
+        }
+        ArrivalOrder::Shuffled(seed) => {
+            let mut edges = system.edges();
+            fisher_yates(&mut edges, seed);
+            edges
+        }
+    }
+}
+
+/// In-place Fisher–Yates shuffle driven by SplitMix64.
+fn fisher_yates(edges: &mut [Edge], seed: u64) {
+    let mut rng = SplitMix64::new(seed ^ 0xed9e_5eed_0c0f_fee5u64);
+    for i in (1..edges.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        edges.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_system() -> SetSystem {
+        SetSystem::new(5, vec![vec![0, 1, 2], vec![2, 3], vec![4]])
+    }
+
+    fn sorted(mut v: Vec<Edge>) -> Vec<Edge> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn all_orders_are_permutations_of_the_same_multiset() {
+        let ss = sample_system();
+        let reference = sorted(edge_stream(&ss, ArrivalOrder::SetContiguous));
+        for order in [
+            ArrivalOrder::ElementContiguous,
+            ArrivalOrder::RoundRobin,
+            ArrivalOrder::Shuffled(1),
+            ArrivalOrder::Shuffled(2),
+        ] {
+            assert_eq!(sorted(edge_stream(&ss, order)), reference, "{order:?}");
+        }
+    }
+
+    #[test]
+    fn set_contiguous_groups_sets() {
+        let ss = sample_system();
+        let stream = edge_stream(&ss, ArrivalOrder::SetContiguous);
+        let set_seq: Vec<u32> = stream.iter().map(|e| e.set).collect();
+        assert_eq!(set_seq, vec![0, 0, 0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn element_contiguous_groups_elements() {
+        let ss = sample_system();
+        let stream = edge_stream(&ss, ArrivalOrder::ElementContiguous);
+        let elem_seq: Vec<u32> = stream.iter().map(|e| e.elem).collect();
+        let mut expect = elem_seq.clone();
+        expect.sort_unstable();
+        assert_eq!(elem_seq, expect);
+    }
+
+    #[test]
+    fn round_robin_interleaves() {
+        let ss = sample_system();
+        let stream = edge_stream(&ss, ArrivalOrder::RoundRobin);
+        // First round: one edge from each non-empty set, in set order.
+        assert_eq!(stream[0].set, 0);
+        assert_eq!(stream[1].set, 1);
+        assert_eq!(stream[2].set, 2);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_per_seed() {
+        let ss = sample_system();
+        let a = edge_stream(&ss, ArrivalOrder::Shuffled(9));
+        let b = edge_stream(&ss, ArrivalOrder::Shuffled(9));
+        let c = edge_stream(&ss, ArrivalOrder::Shuffled(10));
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should (overwhelmingly) differ");
+    }
+
+    #[test]
+    fn empty_system_yields_empty_stream() {
+        let ss = SetSystem::new(0, vec![]);
+        for order in [
+            ArrivalOrder::SetContiguous,
+            ArrivalOrder::ElementContiguous,
+            ArrivalOrder::RoundRobin,
+            ArrivalOrder::Shuffled(0),
+        ] {
+            assert!(edge_stream(&ss, order).is_empty());
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests of the stream substrate: arrival orders are
+//! permutations, I/O round-trips, generators respect their contracts.
+
+use proptest::prelude::*;
+
+use kcov_stream::gen::{uniform_incidence, zipf_set_sizes};
+use kcov_stream::{
+    coverage_of, edge_stream, element_frequencies, read_edges, read_set_system, write_edges,
+    write_set_system, ArrivalOrder, Edge, SetSystem,
+};
+
+fn small_system() -> impl Strategy<Value = SetSystem> {
+    (1usize..40, 1usize..15, 0u64..10_000).prop_map(|(n, m, seed)| {
+        uniform_incidence(n, m, 0.3, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every arrival order emits the same edge multiset.
+    #[test]
+    fn orders_are_permutations(ss in small_system(), shuffle_seed in 0u64..100) {
+        let mut reference = edge_stream(&ss, ArrivalOrder::SetContiguous);
+        reference.sort();
+        for order in [
+            ArrivalOrder::ElementContiguous,
+            ArrivalOrder::RoundRobin,
+            ArrivalOrder::Shuffled(shuffle_seed),
+        ] {
+            let mut got = edge_stream(&ss, order);
+            got.sort();
+            prop_assert_eq!(&got, &reference);
+        }
+    }
+
+    /// SetSystem ↔ text round-trips exactly.
+    #[test]
+    fn io_roundtrip(ss in small_system()) {
+        let mut buf = Vec::new();
+        write_set_system(&ss, &mut buf).unwrap();
+        let back = read_set_system(&buf[..]).unwrap();
+        prop_assert_eq!(ss, back);
+    }
+
+    /// Raw edge streams round-trip preserving order and duplicates.
+    #[test]
+    fn edge_io_roundtrip(ss in small_system(), seed in 0u64..100) {
+        let edges = edge_stream(&ss, ArrivalOrder::Shuffled(seed));
+        let mut buf = Vec::new();
+        write_edges(ss.num_elements().max(1), ss.num_sets().max(1), &edges, &mut buf).unwrap();
+        let (_, _, back) = read_edges(&buf[..]).unwrap();
+        prop_assert_eq!(edges, back);
+    }
+
+    /// Coverage equals the number of elements with positive frequency
+    /// when all sets are chosen.
+    #[test]
+    fn full_coverage_matches_frequencies(ss in small_system()) {
+        let all: Vec<usize> = (0..ss.num_sets()).collect();
+        let cov = coverage_of(&ss, &all);
+        let covered = element_frequencies(&ss).iter().filter(|&&f| f > 0).count();
+        prop_assert_eq!(cov, covered);
+    }
+
+    /// Zipf generator: sizes are non-increasing and within bounds.
+    #[test]
+    fn zipf_sizes_monotone(seed in 0u64..1000) {
+        let ss = zipf_set_sizes(300, 30, 100, 1.0, seed);
+        for i in 1..30 {
+            prop_assert!(ss.set(i).len() <= ss.set(i - 1).len() + 1,
+                "sizes must be (weakly) decreasing");
+        }
+        for i in 0..30 {
+            prop_assert!(!ss.set(i).is_empty());
+            prop_assert!(ss.set(i).len() <= 100);
+        }
+    }
+
+    /// From-edges construction tolerates duplicate edges.
+    #[test]
+    fn from_edges_dedups(n in 2usize..20, seed in 0u64..1000) {
+        let e = Edge::new(0, (seed % n as u64) as u32);
+        let ss = SetSystem::from_edges(n, 2, &[e, e, e]);
+        prop_assert_eq!(ss.set(0).len(), 1);
+        prop_assert_eq!(ss.total_edges(), 1);
+    }
+}

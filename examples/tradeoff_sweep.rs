@@ -1,0 +1,41 @@
+//! A user-facing miniature of experiment E2: watch the estimator's
+//! space budget fall as `1/α²` while the approximation loosens — the
+//! paper's headline trade-off, live.
+//!
+//! ```text
+//! cargo run --release --example tradeoff_sweep
+//! ```
+
+use maxkcov::core::{EstimatorConfig, MaxCoverEstimator};
+use maxkcov::sketch::SpaceUsage;
+use maxkcov::stream::gen::planted_cover;
+use maxkcov::stream::{edge_stream, ArrivalOrder};
+
+fn main() {
+    let (n, m, k) = (20_000usize, 3_000usize, 50usize);
+    let inst = planted_cover(n, m, k, 0.8, 100, 17);
+    let edges = edge_stream(&inst.system, ArrivalOrder::Shuffled(3));
+    let opt = inst.planted_coverage as f64;
+    println!("instance: n={n} m={m} k={k}, planted OPT = {opt}, stream = {} edges", edges.len());
+    println!("\n{:>6} {:>14} {:>12} {:>12} {:>10}", "alpha", "space (words)", "m/alpha^2", "estimate", "est/OPT");
+
+    for alpha in [2.0f64, 4.0, 8.0, 16.0, 32.0] {
+        let mut config = EstimatorConfig::practical(23);
+        config.reps = Some(1);
+        let mut est = MaxCoverEstimator::new(n, m, k, alpha, &config);
+        for &e in &edges {
+            est.observe(e);
+        }
+        let out = est.finalize();
+        println!(
+            "{:>6} {:>14} {:>12.0} {:>12.0} {:>10.3}",
+            alpha,
+            est.space_words(),
+            m as f64 / (alpha * alpha),
+            out.estimate,
+            out.estimate / opt
+        );
+    }
+    println!("\nspace tracks m/alpha^2 (the paper's tight bound); the estimate");
+    println!("degrades gracefully as alpha grows and never exceeds OPT.");
+}

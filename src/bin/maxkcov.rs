@@ -1,0 +1,310 @@
+//! `maxkcov` — command-line front end.
+//!
+//! ```text
+//! maxkcov gen      --kind uniform|zipf|planted|common|few-large|many-small \
+//!                  --n N --m M [--k K] [--seed S] --out FILE
+//! maxkcov stats    --input FILE
+//! maxkcov greedy   --input FILE --k K
+//! maxkcov exact    --input FILE --k K
+//! maxkcov estimate --input FILE --k K --alpha A [--seed S] [--order ORDER]
+//! maxkcov report   --input FILE --k K --alpha A [--seed S] [--order ORDER]
+//! ```
+//!
+//! `ORDER` is one of `set`, `element`, `roundrobin`, `shuffle:SEED`
+//! (default `shuffle:0`). Instances use the plain-text format of
+//! `kcov_stream::io`.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use kcov_baselines::{greedy_max_cover, max_cover_exact};
+use kcov_core::{EstimatorConfig, MaxCoverEstimator, MaxCoverReporter, ParamMode};
+use kcov_sketch::SpaceUsage;
+use kcov_stream::gen;
+use kcov_stream::{
+    coverage_of, edge_stream, read_set_system, write_set_system, ArrivalOrder, CoverageStats,
+    SetSystem,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  maxkcov gen      --kind KIND --n N --m M [--k K] [--seed S] --out FILE
+  maxkcov stats    --input FILE
+  maxkcov greedy   --input FILE --k K
+  maxkcov exact    --input FILE --k K
+  maxkcov estimate --input FILE --k K --alpha A [--seed S] [--order ORDER] [--mode paper|practical]
+  maxkcov report   --input FILE --k K --alpha A [--seed S] [--order ORDER] [--mode paper|practical]
+  maxkcov twopass  --input FILE --k K --alpha A [--seed S] [--order ORDER]
+  maxkcov setcover --input FILE [--fraction F]
+  maxkcov budget   --input FILE --k K --words W [--seed S] [--order ORDER]
+KIND: uniform | zipf | planted | common | few-large | many-small
+ORDER: set | element | roundrobin | shuffle:SEED (default shuffle:0)";
+
+/// Parse `--key value` flags after the subcommand.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let key = a
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got '{a}'"))?;
+        let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), val.clone());
+    }
+    Ok(flags)
+}
+
+fn req<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad {what}: '{s}'"))
+}
+
+fn load(flags: &HashMap<String, String>) -> Result<SetSystem, String> {
+    let path = req(flags, "input")?;
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    read_set_system(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn parse_order(flags: &HashMap<String, String>) -> Result<ArrivalOrder, String> {
+    match flags.get("order").map(String::as_str) {
+        None => Ok(ArrivalOrder::Shuffled(0)),
+        Some("set") => Ok(ArrivalOrder::SetContiguous),
+        Some("element") => Ok(ArrivalOrder::ElementContiguous),
+        Some("roundrobin") => Ok(ArrivalOrder::RoundRobin),
+        Some(s) if s.starts_with("shuffle:") => {
+            Ok(ArrivalOrder::Shuffled(parse_num(&s[8..], "shuffle seed")?))
+        }
+        Some(s) => Err(format!("unknown order '{s}'")),
+    }
+}
+
+fn parse_config(flags: &HashMap<String, String>) -> Result<EstimatorConfig, String> {
+    let seed = match flags.get("seed") {
+        Some(s) => parse_num(s, "seed")?,
+        None => 0,
+    };
+    let mut config = EstimatorConfig::practical(seed);
+    match flags.get("mode").map(String::as_str) {
+        None | Some("practical") => {}
+        Some("paper") => config.mode = ParamMode::Paper,
+        Some(s) => return Err(format!("unknown mode '{s}'")),
+    }
+    Ok(config)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("no subcommand".into());
+    };
+    let flags = parse_flags(rest)?;
+    match cmd.as_str() {
+        "gen" => cmd_gen(&flags),
+        "stats" => cmd_stats(&flags),
+        "greedy" => cmd_greedy(&flags),
+        "exact" => cmd_exact(&flags),
+        "estimate" => cmd_estimate(&flags),
+        "report" => cmd_report(&flags),
+        "twopass" => cmd_twopass(&flags),
+        "setcover" => cmd_setcover(&flags),
+        "budget" => cmd_budget(&flags),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
+    let kind = req(flags, "kind")?;
+    let n: usize = parse_num(req(flags, "n")?, "n")?;
+    let m: usize = parse_num(req(flags, "m")?, "m")?;
+    let seed: u64 = match flags.get("seed") {
+        Some(s) => parse_num(s, "seed")?,
+        None => 0,
+    };
+    let k: usize = match flags.get("k") {
+        Some(s) => parse_num(s, "k")?,
+        None => (m / 20).max(1),
+    };
+    let system = match kind {
+        "uniform" => gen::uniform_fixed_size(n, m, (n / 50).max(2).min(n), seed),
+        "zipf" => gen::zipf_set_sizes(n, m, (n / 5).max(2).min(n), 1.05, seed),
+        "planted" => gen::planted_cover(n, m, k, 0.8, ((n / k) / 4).max(1), seed).system,
+        "common" => gen::common_heavy(n, m, seed),
+        "few-large" => gen::few_large(n, m, 3.min(m - 1).max(1), (n / 5).max(1), seed),
+        "many-small" => gen::many_small(n, m, k.min(m), 0.6, seed),
+        other => return Err(format!("unknown kind '{other}'")),
+    };
+    let path = req(flags, "out")?;
+    let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    write_set_system(&system, BufWriter::new(file)).map_err(|e| format!("write: {e}"))?;
+    println!(
+        "wrote {path}: n={} m={} edges={}",
+        system.num_elements(),
+        system.num_sets(),
+        system.total_edges()
+    );
+    Ok(())
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let system = load(flags)?;
+    let st = CoverageStats::of(&system);
+    println!("n              = {}", st.n);
+    println!("m              = {}", st.m);
+    println!("edges          = {}", st.total_edges);
+    println!("max set size   = {}", st.max_set_size);
+    println!("max frequency  = {}", st.max_frequency);
+    println!("covered elems  = {}", st.covered_elements);
+    Ok(())
+}
+
+fn cmd_greedy(flags: &HashMap<String, String>) -> Result<(), String> {
+    let system = load(flags)?;
+    let k: usize = parse_num(req(flags, "k")?, "k")?;
+    let r = greedy_max_cover(&system, k);
+    println!("greedy coverage = {}", r.coverage);
+    println!("sets = {:?}", r.chosen);
+    Ok(())
+}
+
+fn cmd_exact(flags: &HashMap<String, String>) -> Result<(), String> {
+    let system = load(flags)?;
+    let k: usize = parse_num(req(flags, "k")?, "k")?;
+    if system.num_sets() > 64 {
+        eprintln!(
+            "warning: exact search on m = {} sets may take very long",
+            system.num_sets()
+        );
+    }
+    let (chosen, cov) = max_cover_exact(&system, k);
+    println!("exact optimum = {cov}");
+    println!("sets = {chosen:?}");
+    Ok(())
+}
+
+fn cmd_estimate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let system = load(flags)?;
+    let k: usize = parse_num(req(flags, "k")?, "k")?;
+    let alpha: f64 = parse_num(req(flags, "alpha")?, "alpha")?;
+    let order = parse_order(flags)?;
+    let config = parse_config(flags)?;
+    let edges = edge_stream(&system, order);
+    let mut est = MaxCoverEstimator::new(system.num_elements(), system.num_sets(), k, alpha, &config);
+    for &e in &edges {
+        est.observe(e);
+    }
+    let out = est.finalize();
+    println!("estimate      = {:.1}", out.estimate);
+    println!("winning z     = {}", out.winning_z);
+    println!("winner        = {:?}", out.winner);
+    println!("trivial       = {}", out.trivial);
+    println!("space (words) = {}", est.space_words());
+    println!("stream edges  = {}", edges.len());
+    Ok(())
+}
+
+fn cmd_twopass(flags: &HashMap<String, String>) -> Result<(), String> {
+    let system = load(flags)?;
+    let k: usize = parse_num(req(flags, "k")?, "k")?;
+    let alpha: f64 = parse_num(req(flags, "alpha")?, "alpha")?;
+    let order = parse_order(flags)?;
+    let config = parse_config(flags)?;
+    let edges = edge_stream(&system, order);
+    let cover = kcov_core::run_two_pass(
+        system.num_elements(),
+        system.num_sets(),
+        k,
+        alpha,
+        &config,
+        &edges,
+    );
+    let chosen: Vec<usize> = cover.sets.iter().map(|&s| s as usize).collect();
+    println!("reported sets  = {:?}", cover.sets);
+    println!("real coverage  = {}", coverage_of(&system, &chosen));
+    println!("estimate       = {:.1}", cover.estimate);
+    println!("winner         = {:?}", cover.winner);
+    println!("space (words)  = {} (pass 2)", cover.space_words);
+    Ok(())
+}
+
+fn cmd_budget(flags: &HashMap<String, String>) -> Result<(), String> {
+    let system = load(flags)?;
+    let k: usize = parse_num(req(flags, "k")?, "k")?;
+    let words: usize = parse_num(req(flags, "words")?, "words (space budget)")?;
+    let order = parse_order(flags)?;
+    let config = parse_config(flags)?;
+    let (n, m) = (system.num_elements(), system.num_sets());
+    let Some(mut fit) = kcov_core::fit_alpha_to_budget(n, m, k, words, &config) else {
+        return Err(format!(
+            "no alpha in [1, sqrt(m)] fits {words} words; smallest possible is {}",
+            kcov_core::predict_space_words(n, m, k, (m as f64).sqrt().max(1.0), &config)
+        ));
+    };
+    println!("budget         = {words} words");
+    println!("fitted alpha   = {:.2}", fit.alpha);
+    println!("predicted max  = {} words", fit.predicted_words);
+    for e in edge_stream(&system, order) {
+        fit.estimator.observe(e);
+    }
+    let out = fit.estimator.finalize();
+    println!("estimate       = {:.1}", out.estimate);
+    println!("actual space   = {} words", fit.estimator.space_words());
+    Ok(())
+}
+
+fn cmd_setcover(flags: &HashMap<String, String>) -> Result<(), String> {
+    let system = load(flags)?;
+    let fraction: f64 = match flags.get("fraction") {
+        Some(s) => parse_num(s, "fraction")?,
+        None => 1.0,
+    };
+    if !(0.0..=1.0).contains(&fraction) {
+        return Err("fraction must be in [0, 1]".into());
+    }
+    let r = kcov_baselines::partial_set_cover(&system, fraction);
+    println!("target fraction = {fraction}");
+    println!("sets used       = {}", r.chosen.len());
+    println!("covered         = {}", r.covered);
+    println!("complete        = {}", r.complete);
+    println!("sets            = {:?}", r.chosen);
+    Ok(())
+}
+
+fn cmd_report(flags: &HashMap<String, String>) -> Result<(), String> {
+    let system = load(flags)?;
+    let k: usize = parse_num(req(flags, "k")?, "k")?;
+    let alpha: f64 = parse_num(req(flags, "alpha")?, "alpha")?;
+    let order = parse_order(flags)?;
+    let config = parse_config(flags)?;
+    let edges = edge_stream(&system, order);
+    let mut rep = MaxCoverReporter::new(system.num_elements(), system.num_sets(), k, alpha, &config);
+    for &e in &edges {
+        rep.observe(e);
+    }
+    let cover = rep.finalize();
+    let chosen: Vec<usize> = cover.sets.iter().map(|&s| s as usize).collect();
+    println!("reported sets  = {:?}", cover.sets);
+    println!("real coverage  = {}", coverage_of(&system, &chosen));
+    println!("estimate       = {:.1}", cover.estimate);
+    println!("winner         = {:?}", cover.winner);
+    println!("space (words)  = {}", cover.space_words);
+    Ok(())
+}

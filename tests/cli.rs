@@ -1,0 +1,160 @@
+//! End-to-end tests of the `maxkcov` CLI binary (gen → stats →
+//! greedy/exact → estimate → report over the text format).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_maxkcov")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("binary should execute")
+}
+
+fn tmp_file(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("maxkcov-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn gen_stats_greedy_estimate_report_pipeline() {
+    let path = tmp_file("planted.txt");
+    let path_s = path.to_str().unwrap();
+
+    // gen
+    let out = run(&[
+        "gen", "--kind", "planted", "--n", "800", "--m", "120", "--k", "8", "--seed", "5",
+        "--out", path_s,
+    ]);
+    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // stats
+    let out = run(&["stats", "--input", path_s]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("n              = 800"), "{text}");
+    assert!(text.contains("m              = 120"), "{text}");
+
+    // greedy
+    let out = run(&["greedy", "--input", path_s, "--k", "8"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let cov: f64 = text
+        .lines()
+        .find(|l| l.starts_with("greedy coverage"))
+        .and_then(|l| l.split('=').nth(1))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("greedy coverage line");
+    assert!(cov >= 600.0, "planted 0.8 coverage expected, got {cov}");
+
+    // estimate
+    let out = run(&[
+        "estimate", "--input", path_s, "--k", "8", "--alpha", "4", "--seed", "3",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("estimate"), "{text}");
+    assert!(text.contains("space (words)"), "{text}");
+
+    // report
+    let out = run(&[
+        "report", "--input", path_s, "--k", "8", "--alpha", "4", "--order", "roundrobin",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("reported sets"), "{text}");
+    assert!(text.contains("real coverage"), "{text}");
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn twopass_and_setcover_subcommands() {
+    let path = tmp_file("tp.txt");
+    let out = run(&[
+        "gen", "--kind", "planted", "--n", "600", "--m", "90", "--k", "6", "--seed", "2",
+        "--out", path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    let out = run(&[
+        "twopass", "--input", path.to_str().unwrap(), "--k", "6", "--alpha", "4",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("real coverage"), "{text}");
+
+    let out = run(&[
+        "setcover", "--input", path.to_str().unwrap(), "--fraction", "0.9",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("sets used"), "{text}");
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn budget_subcommand_fits_alpha() {
+    let path = tmp_file("budget.txt");
+    let out = run(&[
+        "gen", "--kind", "uniform", "--n", "2000", "--m", "300", "--seed", "4",
+        "--out", path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let out = run(&[
+        "budget", "--input", path.to_str().unwrap(), "--k", "10", "--words", "2000000",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fitted alpha"), "{text}");
+    // An absurdly small budget must fail with a helpful message.
+    let out = run(&[
+        "budget", "--input", path.to_str().unwrap(), "--k", "10", "--words", "5",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no alpha"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn exact_runs_on_tiny_instances() {
+    let path = tmp_file("tiny.txt");
+    std::fs::write(&path, "6 3\n0 0\n0 1\n1 2\n1 3\n2 4\n2 5\n").unwrap();
+    let out = run(&["exact", "--input", path.to_str().unwrap(), "--k", "2"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("exact optimum = 4"), "{text}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bad_usage_fails_with_usage_message() {
+    for args in [
+        &["frobnicate"][..],
+        &["estimate", "--input"][..],
+        &["estimate", "--k", "3"][..],
+        &[][..],
+    ] {
+        let out = run(args);
+        assert!(!out.status.success(), "args {args:?} should fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("usage:"), "missing usage for {args:?}: {err}");
+    }
+}
+
+#[test]
+fn malformed_input_reports_line() {
+    let path = tmp_file("bad.txt");
+    std::fs::write(&path, "4 2\n9 9\n").unwrap();
+    let out = run(&["stats", "--input", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 2"), "{err}");
+    std::fs::remove_file(&path).ok();
+}

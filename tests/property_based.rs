@@ -1,0 +1,92 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use proptest::prelude::*;
+
+use maxkcov::baselines::{greedy_max_cover, max_cover_exact, SieveStreaming};
+use maxkcov::core::{EstimatorConfig, MaxCoverEstimator};
+use maxkcov::sketch::{L0Estimator, SpaceUsage};
+use maxkcov::stream::gen::uniform_incidence;
+use maxkcov::stream::{coverage_of, edge_stream, ArrivalOrder, SetSystem};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Greedy is always within (1 - 1/e) of the exact optimum.
+    #[test]
+    fn greedy_factor_holds(seed in 0u64..5000, m in 4usize..14, k in 1usize..5) {
+        let ss = uniform_incidence(30, m, 0.15, seed);
+        let (_, opt) = max_cover_exact(&ss, k);
+        let g = greedy_max_cover(&ss, k);
+        prop_assert!(g.coverage as f64 >= (1.0 - 1.0/std::f64::consts::E) * opt as f64 - 1e-9);
+        prop_assert!(g.coverage <= opt);
+    }
+
+    /// Coverage is monotone and subadditive in the chosen collection.
+    #[test]
+    fn coverage_monotone_subadditive(seed in 0u64..5000) {
+        let ss = uniform_incidence(50, 12, 0.2, seed);
+        let a: Vec<usize> = vec![0, 1, 2];
+        let b: Vec<usize> = vec![3, 4];
+        let ab: Vec<usize> = a.iter().chain(b.iter()).copied().collect();
+        let ca = coverage_of(&ss, &a);
+        let cb = coverage_of(&ss, &b);
+        let cab = coverage_of(&ss, &ab);
+        prop_assert!(cab >= ca && cab >= cb);
+        prop_assert!(cab <= ca + cb);
+    }
+
+    /// The L0 estimator is within (1 ± 1/2) across random stream sizes
+    /// and seeds (Theorem 2.12 interface).
+    #[test]
+    fn l0_within_half(seed in 0u64..5000, distinct in 50u64..5000) {
+        let mut est = L0Estimator::with_default_accuracy(seed);
+        for i in 0..distinct {
+            est.insert(i.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(seed));
+        }
+        let e = est.estimate();
+        prop_assert!(e >= distinct as f64 * 0.5, "est {e} vs {distinct}");
+        prop_assert!(e <= distinct as f64 * 1.5, "est {e} vs {distinct}");
+    }
+
+    /// The estimator never meaningfully exceeds the exact optimum
+    /// (soundness half of the (α, δ, η)-oracle contract), and its space
+    /// is below the stream size.
+    #[test]
+    fn estimator_sound_on_random_instances(seed in 0u64..300) {
+        let ss = uniform_incidence(300, 40, 0.05, seed);
+        let k = 4;
+        let (_, opt) = max_cover_exact(&ss, k);
+        let edges = edge_stream(&ss, ArrivalOrder::Shuffled(seed));
+        let mut config = EstimatorConfig::practical(seed ^ 0xfeed);
+        config.z_guesses = Some(vec![32, 128, 512]);
+        config.reps = Some(1);
+        let mut est = MaxCoverEstimator::new(300, 40, k, 3.0, &config);
+        for &e in &edges {
+            est.observe(e);
+        }
+        let out = est.finalize();
+        prop_assert!(out.estimate <= opt as f64 * 1.25,
+            "estimate {} vs exact OPT {}", out.estimate, opt);
+        prop_assert!(est.space_words() > 0);
+    }
+
+    /// Sieve streaming returns a valid solution: at most k sets whose
+    /// reported coverage is exact.
+    #[test]
+    fn sieve_solutions_valid(seed in 0u64..5000, k in 1usize..8) {
+        let ss = uniform_incidence(100, 30, 0.1, seed);
+        let r = SieveStreaming::run(&ss, k, 0.2);
+        prop_assert!(r.chosen.len() <= k);
+        let dedup: std::collections::HashSet<_> = r.chosen.iter().collect();
+        prop_assert_eq!(dedup.len(), r.chosen.len(), "duplicate sets chosen");
+        prop_assert_eq!(coverage_of(&ss, &r.chosen) as f64, r.estimated_coverage);
+    }
+
+    /// SetSystem edge round-trip: from_edges(edges(s)) == s.
+    #[test]
+    fn set_system_roundtrip(seed in 0u64..5000) {
+        let ss = uniform_incidence(40, 10, 0.25, seed);
+        let rebuilt = SetSystem::from_edges(40, 10, &ss.edges());
+        prop_assert_eq!(ss, rebuilt);
+    }
+}
