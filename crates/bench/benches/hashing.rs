@@ -1,59 +1,83 @@
-//! Criterion micro-benchmarks of the hash families — every sketch
-//! update bottoms out in these evaluations.
+//! Micro-benchmarks of the hash families — every sketch update bottoms
+//! out in these evaluations. Std-only timing harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use kcov_bench::{fmt, median_ns_per_op, print_table};
 use kcov_hash::{four_wise, log_wise, pairwise, MultiplyShift, RangeHash, SignHash, TabulationHash};
 
-fn bench_poly(c: &mut Criterion) {
-    let mut group = c.benchmark_group("poly_hash");
-    group.throughput(Throughput::Elements(1));
+const RUNS: usize = 5;
+const MIN_MS: u64 = 10;
+
+fn main() {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut row = |name: &str, ns: f64| {
+        rows.push(vec![name.to_string(), fmt(ns), fmt(1e9 / ns / 1e6)]);
+    };
+
     for (name, h) in [
         ("pairwise", pairwise(1)),
         ("four_wise", four_wise(1)),
         ("log_wise_1e6", log_wise(1_000_000, 1_000_000, 1)),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &h, |b, h| {
-            let mut i = 0u64;
-            b.iter(|| {
-                i = i.wrapping_add(0x9e3779b97f4a7c15);
-                black_box(h.hash(black_box(i)));
-            });
-        });
+        let mut i = 0u64;
+        row(
+            name,
+            median_ns_per_op(
+                || {
+                    i = i.wrapping_add(0x9e3779b97f4a7c15);
+                    black_box(h.hash(black_box(i)));
+                },
+                RUNS,
+                MIN_MS,
+            ),
+        );
     }
-    group.finish();
-}
-
-fn bench_others(c: &mut Criterion) {
-    let mut group = c.benchmark_group("other_hashes");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("tabulation", |b| {
+    {
         let h = TabulationHash::new(1);
         let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(0x9e3779b97f4a7c15);
-            black_box(h.hash_u64(black_box(i)));
-        });
-    });
-    group.bench_function("multiply_shift", |b| {
+        row(
+            "tabulation",
+            median_ns_per_op(
+                || {
+                    i = i.wrapping_add(0x9e3779b97f4a7c15);
+                    black_box(h.hash_u64(black_box(i)));
+                },
+                RUNS,
+                MIN_MS,
+            ),
+        );
+    }
+    {
         let h = MultiplyShift::new(20, 1);
         let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(0x9e3779b97f4a7c15);
-            black_box(h.hash(black_box(i)));
-        });
-    });
-    group.bench_function("sign_hash", |b| {
+        row(
+            "multiply_shift",
+            median_ns_per_op(
+                || {
+                    i = i.wrapping_add(0x9e3779b97f4a7c15);
+                    black_box(h.hash(black_box(i)));
+                },
+                RUNS,
+                MIN_MS,
+            ),
+        );
+    }
+    {
         let h = SignHash::new(1);
         let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(0x9e3779b97f4a7c15);
-            black_box(h.sign(black_box(i)));
-        });
-    });
-    group.finish();
-}
+        row(
+            "sign_hash",
+            median_ns_per_op(
+                || {
+                    i = i.wrapping_add(0x9e3779b97f4a7c15);
+                    black_box(h.sign(black_box(i)));
+                },
+                RUNS,
+                MIN_MS,
+            ),
+        );
+    }
 
-criterion_group!(benches, bench_poly, bench_others);
-criterion_main!(benches);
+    print_table("hash micro-benchmarks", &["hash", "ns/eval", "Mevals/s"], &rows);
+}

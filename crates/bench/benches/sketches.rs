@@ -1,119 +1,153 @@
-//! Criterion micro-benchmarks of the sketch substrate (E7 companion):
-//! per-update throughput of every sketch on the estimator's hot path.
+//! Micro-benchmarks of the sketch substrate (E7 companion): per-update
+//! throughput of every sketch on the estimator's hot path, plus the
+//! batched entry points. Run with `cargo bench -p kcov-bench --bench
+//! sketches` — std-only timing harness, no external dependency.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use kcov_bench::{fmt, median_ns_per_op, print_table};
 use kcov_sketch::{
     AmsF2, ContributingConfig, CountSketch, F2Contributing, F2HeavyHitter, Kmv, L0Estimator,
 };
 
-fn bench_l0(c: &mut Criterion) {
-    let mut group = c.benchmark_group("l0");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("kmv64_insert", |b| {
+const RUNS: usize = 5;
+const MIN_MS: u64 = 10;
+
+fn main() {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut row = |name: &str, ns: f64| {
+        rows.push(vec![name.to_string(), fmt(ns), fmt(1e9 / ns / 1e6)]);
+    };
+
+    {
         let mut kmv = Kmv::new(64, 1);
         let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(0x9e3779b97f4a7c15);
-            kmv.insert(black_box(i));
-        });
-    });
-    group.bench_function("estimator64x5_insert", |b| {
-        let mut est = L0Estimator::new(64, 5, 1);
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(0x9e3779b97f4a7c15);
-            est.insert(black_box(i));
-        });
-    });
-    group.finish();
-}
-
-fn bench_f2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("f2");
-    group.throughput(Throughput::Elements(1));
-    for cols in [8usize, 32] {
-        group.bench_with_input(BenchmarkId::new("ams_insert", cols), &cols, |b, &cols| {
-            let mut sk = AmsF2::new(3, cols, 1);
-            let mut i = 0u64;
-            b.iter(|| {
-                i = i.wrapping_add(1);
-                sk.insert(black_box(i % 1000));
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_count_sketch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("count_sketch");
-    group.throughput(Throughput::Elements(1));
-    for width in [64usize, 4096] {
-        group.bench_with_input(BenchmarkId::new("insert", width), &width, |b, &w| {
-            let mut cs = CountSketch::new(5, w, 1);
-            let mut i = 0u64;
-            b.iter(|| {
-                i = i.wrapping_add(1);
-                cs.insert(black_box(i % 10_000));
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("query", width), &width, |b, &w| {
-            let mut cs = CountSketch::new(5, w, 1);
-            for i in 0..10_000u64 {
-                cs.insert(i);
-            }
-            let mut i = 0u64;
-            b.iter(|| {
-                i = i.wrapping_add(1);
-                black_box(cs.query(black_box(i % 10_000)));
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_heavy_hitter(c: &mut Criterion) {
-    let mut group = c.benchmark_group("heavy_hitter");
-    group.throughput(Throughput::Elements(1));
-    for phi in [0.1f64, 0.01] {
-        group.bench_with_input(
-            BenchmarkId::new("insert", format!("phi={phi}")),
-            &phi,
-            |b, &phi| {
-                let mut hh = F2HeavyHitter::for_phi(phi, 1);
-                let mut i = 0u64;
-                b.iter(|| {
-                    i = i.wrapping_add(1);
-                    hh.insert(black_box(i % 3_000));
-                });
-            },
+        row(
+            "kmv64_insert",
+            median_ns_per_op(
+                || {
+                    i = i.wrapping_add(0x9e3779b97f4a7c15);
+                    kmv.insert(black_box(i));
+                },
+                RUNS,
+                MIN_MS,
+            ),
         );
     }
-    group.finish();
-}
-
-fn bench_contributing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("contributing");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("insert_gamma0.05_r1024", |b| {
-        let mut fc =
-            F2Contributing::new(ContributingConfig::new(0.05, 1024), 100_000, 100_000, 1);
+    {
+        // Batched KMV: amortizes the cut-off lookup over the chunk.
+        let mut kmv = Kmv::new(64, 1);
         let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            fc.insert(black_box(i % 20_000));
-        });
-    });
-    group.finish();
-}
+        let chunk: Vec<u64> = (0..1024u64)
+            .map(|j| j.wrapping_mul(0x9e3779b97f4a7c15))
+            .collect();
+        let ns_chunk = median_ns_per_op(
+            || {
+                i = i.wrapping_add(1);
+                kmv.insert_batch(black_box(&chunk));
+            },
+            RUNS,
+            MIN_MS,
+        );
+        row("kmv64_insert_batch1024(per-item)", ns_chunk / 1024.0);
+    }
+    {
+        let mut est = L0Estimator::new(64, 5, 1);
+        let mut i = 0u64;
+        row(
+            "l0_64x5_insert",
+            median_ns_per_op(
+                || {
+                    i = i.wrapping_add(0x9e3779b97f4a7c15);
+                    est.insert(black_box(i));
+                },
+                RUNS,
+                MIN_MS,
+            ),
+        );
+    }
+    for cols in [8usize, 32] {
+        let mut sk = AmsF2::new(3, cols, 1);
+        let mut i = 0u64;
+        row(
+            &format!("ams_3x{cols}_insert"),
+            median_ns_per_op(
+                || {
+                    i = i.wrapping_add(1);
+                    sk.insert(black_box(i % 1000));
+                },
+                RUNS,
+                MIN_MS,
+            ),
+        );
+    }
+    for width in [64usize, 4096] {
+        let mut cs = CountSketch::new(5, width, 1);
+        let mut i = 0u64;
+        row(
+            &format!("count_sketch_w{width}_insert"),
+            median_ns_per_op(
+                || {
+                    i = i.wrapping_add(1);
+                    cs.insert(black_box(i % 10_000));
+                },
+                RUNS,
+                MIN_MS,
+            ),
+        );
+        for j in 0..10_000u64 {
+            cs.insert(j);
+        }
+        let mut i = 0u64;
+        row(
+            &format!("count_sketch_w{width}_query"),
+            median_ns_per_op(
+                || {
+                    i = i.wrapping_add(1);
+                    black_box(cs.query(black_box(i % 10_000)));
+                },
+                RUNS,
+                MIN_MS,
+            ),
+        );
+    }
+    for phi in [0.1f64, 0.01] {
+        let mut hh = F2HeavyHitter::for_phi(phi, 1);
+        let mut i = 0u64;
+        row(
+            &format!("heavy_hitter_phi{phi}_insert"),
+            median_ns_per_op(
+                || {
+                    i = i.wrapping_add(1);
+                    hh.insert(black_box(i % 3_000));
+                },
+                RUNS,
+                MIN_MS,
+            ),
+        );
+    }
+    {
+        let mut fc = F2Contributing::new(ContributingConfig::new(0.05, 1024), 100_000, 100_000, 1);
+        let mut i = 0u64;
+        row(
+            "contributing_g0.05_r1024_insert",
+            median_ns_per_op(
+                || {
+                    i = i.wrapping_add(1);
+                    fc.insert(black_box(i % 20_000));
+                },
+                RUNS,
+                MIN_MS,
+            ),
+        );
+    }
+    {
+        // Batched contributing: one sampling-hash evaluation per item.
+        let mut fc = F2Contributing::new(ContributingConfig::new(0.05, 1024), 100_000, 100_000, 1);
+        let chunk: Vec<u64> = (0..1024u64).map(|j| j % 20_000).collect();
+        let ns_chunk = median_ns_per_op(|| fc.insert_batch(black_box(&chunk)), RUNS, MIN_MS);
+        row("contributing_insert_batch1024(per-item)", ns_chunk / 1024.0);
+    }
 
-criterion_group!(
-    benches,
-    bench_l0,
-    bench_f2,
-    bench_count_sketch,
-    bench_heavy_hitter,
-    bench_contributing
-);
-criterion_main!(benches);
+    print_table("sketch micro-benchmarks", &["op", "ns/op", "Mops/s"], &rows);
+}

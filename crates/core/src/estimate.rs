@@ -33,6 +33,13 @@ pub struct EstimatorConfig {
     pub z_guesses: Option<Vec<u64>>,
     /// Maintain reporting witnesses (Theorem 3.2 machinery).
     pub reporting: bool,
+    /// Worker threads for the batched ingestion path
+    /// ([`MaxCoverEstimator::observe_batch`]): lanes are sharded across
+    /// this many scoped threads per batch. Lanes are mutually
+    /// independent and each lane consumes every batch in arrival order,
+    /// so any value — including `1`, the serial default — produces
+    /// bit-identical results; `0` is treated as `1`.
+    pub threads: usize,
 }
 
 impl EstimatorConfig {
@@ -44,7 +51,14 @@ impl EstimatorConfig {
             reps: None,
             z_guesses: None,
             reporting: false,
+            threads: 1,
         }
+    }
+
+    /// Builder-style thread count for the batched ingestion path.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -54,6 +68,16 @@ struct Lane {
     z: u64,
     reducer: UniverseReducer,
     oracle: Oracle,
+}
+
+impl Lane {
+    /// Feed one chunk through this lane: reduce every edge with the
+    /// lane's universe hash (into the caller's scratch buffer), then
+    /// hand the reduced chunk to the oracle's batched path.
+    fn ingest(&mut self, edges: &[Edge], scratch: &mut Vec<Edge>) {
+        self.reducer.map_batch(edges, scratch);
+        self.oracle.observe_batch(scratch);
+    }
 }
 
 /// State of the trivial regime (`k·α ≥ m`, Fig 1 line 1).
@@ -88,6 +112,12 @@ impl TrivialState {
         self.total.insert(edge.elem as u64);
         let g = (edge.set as usize / self.k.max(1)).min(self.groups.len() - 1);
         self.groups[g].insert(edge.elem as u64);
+    }
+
+    fn observe_batch(&mut self, edges: &[Edge]) {
+        for &edge in edges {
+            self.observe(edge);
+        }
     }
 
     /// Sound estimate: max of (best group's coverage, total/⌈m/k⌉),
@@ -148,6 +178,7 @@ pub struct MaxCoverEstimator {
     m: usize,
     k: usize,
     alpha: f64,
+    threads: usize,
     trivial: Option<TrivialState>,
     lanes: Vec<Lane>,
 }
@@ -165,6 +196,7 @@ impl MaxCoverEstimator {
                 m,
                 k,
                 alpha,
+                threads: config.threads.max(1),
                 trivial: Some(TrivialState::new(m, k, config.seed ^ 0x7121a1)),
                 lanes: Vec::new(),
             };
@@ -199,6 +231,7 @@ impl MaxCoverEstimator {
             m,
             k,
             alpha,
+            threads: config.threads.max(1),
             trivial: None,
             lanes,
         }
@@ -214,6 +247,44 @@ impl MaxCoverEstimator {
             let reduced = Edge::new(edge.set, lane.reducer.map(edge.elem as u64) as u32);
             lane.oracle.observe(reduced);
         }
+    }
+
+    /// Observe a chunk of edges through the batched ingestion engine.
+    ///
+    /// Determinism guarantee: lanes are mutually independent (each owns
+    /// its seeded reducer hash and oracle state) and every lane consumes
+    /// every chunk in arrival order, so the final state — and therefore
+    /// [`MaxCoverEstimator::finalize`] — is bit-identical to feeding the
+    /// same edges through [`MaxCoverEstimator::observe`] one at a time,
+    /// for *any* chunking and *any* thread count. With `threads > 1` the
+    /// lanes are sharded across `std::thread::scope` workers per chunk.
+    pub fn observe_batch(&mut self, edges: &[Edge]) {
+        if edges.is_empty() {
+            return;
+        }
+        if let Some(t) = &mut self.trivial {
+            t.observe_batch(edges);
+            return;
+        }
+        let threads = self.threads.clamp(1, self.lanes.len().max(1));
+        if threads <= 1 {
+            let mut scratch = Vec::with_capacity(edges.len());
+            for lane in &mut self.lanes {
+                lane.ingest(edges, &mut scratch);
+            }
+            return;
+        }
+        let shard = self.lanes.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            for chunk in self.lanes.chunks_mut(shard) {
+                s.spawn(move || {
+                    let mut scratch = Vec::with_capacity(edges.len());
+                    for lane in chunk {
+                        lane.ingest(edges, &mut scratch);
+                    }
+                });
+            }
+        });
     }
 
     /// Finalize after the pass (Theorem 3.6 acceptance).
@@ -282,6 +353,26 @@ impl MaxCoverEstimator {
         let mut est = MaxCoverEstimator::new(n, m, k, alpha, config);
         for &e in edges {
             est.observe(e);
+        }
+        est.finalize()
+    }
+
+    /// Convenience: run over a finite edge stream through the batched
+    /// ingestion engine in chunks of `batch_size`. Returns the same
+    /// outcome as [`MaxCoverEstimator::run`] bit-for-bit (see
+    /// [`MaxCoverEstimator::observe_batch`]).
+    pub fn run_batched(
+        n: usize,
+        m: usize,
+        k: usize,
+        alpha: f64,
+        config: &EstimatorConfig,
+        edges: &[Edge],
+        batch_size: usize,
+    ) -> EstimateOutcome {
+        let mut est = MaxCoverEstimator::new(n, m, k, alpha, config);
+        for chunk in edges.chunks(batch_size.max(1)) {
+            est.observe_batch(chunk);
         }
         est.finalize()
     }

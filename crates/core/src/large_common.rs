@@ -116,6 +116,26 @@ impl LargeCommon {
         }
     }
 
+    /// Observe a chunk of edges. The shared layer hash is evaluated once
+    /// per edge for the whole chunk; each layer then consumes its
+    /// surviving edges in arrival order, so every layer's sketches see
+    /// the exact sequence the per-edge path feeds them (state-identical
+    /// to repeated [`LargeCommon::observe`]).
+    pub fn observe_batch(&mut self, edges: &[Edge]) {
+        let hashes: Vec<u64> = edges.iter().map(|e| self.set_hash.hash(e.set as u64)).collect();
+        for lane in &mut self.lanes {
+            for (edge, &h) in edges.iter().zip(&hashes) {
+                if h.is_multiple_of(lane.buckets) {
+                    lane.de.insert(edge.elem as u64);
+                    if let Some(g) = &mut lane.groups {
+                        let gi = g.hash.hash_to_range(edge.set as u64, g.counters.len() as u64);
+                        g.counters[gi as usize].insert(edge.elem as u64);
+                    }
+                }
+            }
+        }
+    }
+
     /// Exact number of sets a lane samples (computable at finalize time
     /// from the hash function alone, `O(m)` time, no stream state — see
     /// DESIGN.md on sound group counts).

@@ -149,21 +149,40 @@ impl LargeSet {
         }
     }
 
+    /// One repetition's view of one edge (shared by the per-edge and
+    /// batched paths so they stay state-identical by construction).
+    #[inline]
+    fn rep_observe(rep: &mut Rep, edge: Edge) {
+        if rep.ehash.hash(edge.elem as u64) >= rep.keep_below {
+            return; // element not in this repetition's L
+        }
+        let sid = rep.shash.hash_to_range(edge.set as u64, rep.num_supersets);
+        rep.cntr_small.insert(sid);
+        rep.cntr_large.insert(sid);
+        if rep.ssel_hash.selects(sid, rep.ssel_buckets) {
+            let seed = rep.sample_seed ^ sid.wrapping_mul(0x9e3779b97f4a7c15);
+            rep.sampled
+                .entry(sid)
+                .or_insert_with(|| L0Estimator::new(16, 2, seed))
+                .insert(edge.elem as u64);
+        }
+    }
+
     /// Observe one `(set, element)` edge.
     pub fn observe(&mut self, edge: Edge) {
         for rep in &mut self.reps {
-            if rep.ehash.hash(edge.elem as u64) >= rep.keep_below {
-                continue; // element not in this repetition's L
-            }
-            let sid = rep.shash.hash_to_range(edge.set as u64, rep.num_supersets);
-            rep.cntr_small.insert(sid);
-            rep.cntr_large.insert(sid);
-            if rep.ssel_hash.selects(sid, rep.ssel_buckets) {
-                let seed = rep.sample_seed ^ sid.wrapping_mul(0x9e3779b97f4a7c15);
-                rep.sampled
-                    .entry(sid)
-                    .or_insert_with(|| L0Estimator::new(16, 2, seed))
-                    .insert(edge.elem as u64);
+            Self::rep_observe(rep, edge);
+        }
+    }
+
+    /// Observe a chunk of edges, repetition-outer: each repetition's
+    /// hashes and sketches stay hot across the chunk, and each
+    /// repetition sees the edges in arrival order, so the final state is
+    /// identical to repeated [`LargeSet::observe`].
+    pub fn observe_batch(&mut self, edges: &[Edge]) {
+        for rep in &mut self.reps {
+            for &edge in edges {
+                Self::rep_observe(rep, edge);
             }
         }
     }
@@ -223,8 +242,12 @@ impl LargeSet {
             }
         }
         // Case 2 fallback: directly sampled supersets, distinct coverage.
-        for (&sid, de) in &rep.sampled {
-            let v = de.estimate();
+        // Scan in superset-id order so the returned hit is a pure
+        // function of the stream, not of the map's iteration order.
+        let mut sids: Vec<u64> = rep.sampled.keys().copied().collect();
+        sids.sort_unstable();
+        for sid in sids {
+            let v = rep.sampled[&sid].estimate();
             if v >= t2 {
                 return Some(RepHit {
                     superset: sid,
@@ -393,7 +416,7 @@ mod tests {
         let params = Params::practical(50, 500, 5, 4.0);
         let ls = LargeSet::new(500, &params, 3);
         let b = ls.reps[0].num_supersets;
-        let mut seen = vec![false; 50];
+        let mut seen = [false; 50];
         for sid in 0..b {
             for s in ls.superset_members(0, sid) {
                 assert!(!seen[s as usize], "set {s} in two supersets");

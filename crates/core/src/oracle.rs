@@ -80,6 +80,19 @@ impl Oracle {
         }
     }
 
+    /// Observe a chunk of edges (elements already reduced): each
+    /// subroutine consumes the whole chunk in turn via its own
+    /// `observe_batch`, preserving arrival order within every
+    /// subroutine, so the final state is identical to repeated
+    /// [`Oracle::observe`].
+    pub fn observe_batch(&mut self, edges: &[Edge]) {
+        self.large_common.observe_batch(edges);
+        self.large_set.observe_batch(edges);
+        if let Some(ss) = &mut self.small_set {
+            ss.observe_batch(edges);
+        }
+    }
+
     /// Finalize after the pass: the max of the subroutine estimates,
     /// clamped to the universe size.
     pub fn finalize(&self) -> OracleOutput {

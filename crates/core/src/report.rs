@@ -61,6 +61,13 @@ impl MaxCoverReporter {
         self.inner.observe(edge);
     }
 
+    /// Observe a chunk of edges through the batched ingestion engine
+    /// (see [`MaxCoverEstimator::observe_batch`] for the determinism
+    /// guarantee).
+    pub fn observe_batch(&mut self, edges: &[Edge]) {
+        self.inner.observe_batch(edges);
+    }
+
     /// Finalize: expand the winning witness into at most `k` sets.
     pub fn finalize(&self) -> ReportedCover {
         let outcome: EstimateOutcome = self.inner.finalize();
@@ -97,6 +104,25 @@ impl MaxCoverReporter {
         let mut rep = MaxCoverReporter::new(n, m, k, alpha, config);
         for &e in edges {
             rep.observe(e);
+        }
+        rep.finalize()
+    }
+
+    /// Convenience: run over a finite edge stream in chunks of
+    /// `batch_size` through the batched ingestion engine. Bit-identical
+    /// to [`MaxCoverReporter::run`].
+    pub fn run_batched(
+        n: usize,
+        m: usize,
+        k: usize,
+        alpha: f64,
+        config: &EstimatorConfig,
+        edges: &[Edge],
+        batch_size: usize,
+    ) -> ReportedCover {
+        let mut rep = MaxCoverReporter::new(n, m, k, alpha, config);
+        for chunk in edges.chunks(batch_size.max(1)) {
+            rep.observe_batch(chunk);
         }
         rep.finalize()
     }

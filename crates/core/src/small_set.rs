@@ -115,27 +115,47 @@ impl SmallSet {
         }
     }
 
+    /// One repetition's view of one edge (shared by the per-edge and
+    /// batched paths so they stay state-identical by construction).
+    #[inline]
+    fn rep_observe(rep: &mut Rep, m_buckets: u64, edge_cap: usize, edge: Edge) {
+        if !rep.mhash.selects(edge.set as u64, m_buckets) {
+            return;
+        }
+        let eh = rep.ehash.hash(edge.elem as u64);
+        for lane in &mut rep.lanes {
+            if lane.overflowed || eh >= lane.e_keep {
+                continue;
+            }
+            if lane.edges.len() >= edge_cap {
+                // Fig 5: "if S(L,M) > Õ(m/α²) then terminate" — the
+                // lane aborts and frees its storage.
+                lane.overflowed = true;
+                lane.edges = Vec::new();
+            } else {
+                lane.edges.push(edge);
+            }
+        }
+    }
+
     /// Observe one `(set, element)` edge: per repetition, one set-hash
     /// evaluation gates membership in `M`, one element-hash evaluation
     /// is threshold-compared per γ lane.
     pub fn observe(&mut self, edge: Edge) {
         for rep in &mut self.reps {
-            if !rep.mhash.selects(edge.set as u64, self.m_buckets) {
-                continue;
-            }
-            let eh = rep.ehash.hash(edge.elem as u64);
-            for lane in &mut rep.lanes {
-                if lane.overflowed || eh >= lane.e_keep {
-                    continue;
-                }
-                if lane.edges.len() >= self.edge_cap {
-                    // Fig 5: "if S(L,M) > Õ(m/α²) then terminate" — the
-                    // lane aborts and frees its storage.
-                    lane.overflowed = true;
-                    lane.edges = Vec::new();
-                } else {
-                    lane.edges.push(edge);
-                }
+            Self::rep_observe(rep, self.m_buckets, self.edge_cap, edge);
+        }
+    }
+
+    /// Observe a chunk of edges, repetition-outer. Each repetition (and
+    /// therefore each γ lane, including its overflow cut-off) sees the
+    /// edges in arrival order, so the final state — stored edges and
+    /// overflow flags alike — is identical to repeated
+    /// [`SmallSet::observe`].
+    pub fn observe_batch(&mut self, edges: &[Edge]) {
+        for rep in &mut self.reps {
+            for &edge in edges {
+                Self::rep_observe(rep, self.m_buckets, self.edge_cap, edge);
             }
         }
     }

@@ -66,6 +66,12 @@ impl TwoPassFirst {
         self.estimator.observe(edge);
     }
 
+    /// Observe a chunk of pass-1 edges through the batched ingestion
+    /// engine (bit-identical to repeated [`TwoPassFirst::observe`]).
+    pub fn observe_batch(&mut self, edges: &[Edge]) {
+        self.estimator.observe_batch(edges);
+    }
+
     /// Finish pass 1 and build pass 2 around the guess.
     pub fn into_second_pass(self) -> TwoPassSecond {
         let out = self.estimator.finalize();
@@ -124,6 +130,17 @@ impl TwoPassSecond {
     pub fn observe(&mut self, edge: Edge) {
         for (reducer, oracle) in &mut self.lanes {
             oracle.observe(Edge::new(edge.set, reducer.map(edge.elem as u64) as u32));
+        }
+    }
+
+    /// Observe a chunk of pass-2 edges: each repetition lane reduces and
+    /// consumes the chunk in arrival order (bit-identical to repeated
+    /// [`TwoPassSecond::observe`]).
+    pub fn observe_batch(&mut self, edges: &[Edge]) {
+        let mut scratch = Vec::with_capacity(edges.len());
+        for (reducer, oracle) in &mut self.lanes {
+            reducer.map_batch(edges, &mut scratch);
+            oracle.observe_batch(&scratch);
         }
     }
 

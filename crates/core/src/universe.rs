@@ -9,6 +9,7 @@
 
 use kcov_hash::{four_wise, KWise, RangeHash};
 use kcov_sketch::SpaceUsage;
+use kcov_stream::Edge;
 
 /// A 4-wise independent map `U → [z]` of the ground set onto
 /// pseudo-elements.
@@ -32,6 +33,19 @@ impl UniverseReducer {
     #[inline]
     pub fn map(&self, elem: u64) -> u64 {
         self.hash.hash_to_range(elem, self.z)
+    }
+
+    /// Reduce a chunk of edges into `out` (cleared first): each edge's
+    /// element is replaced by its pseudo-element, sets pass through.
+    /// Reusing the caller's buffer keeps the batched ingestion path
+    /// allocation-free after warm-up.
+    pub fn map_batch(&self, edges: &[Edge], out: &mut Vec<Edge>) {
+        out.clear();
+        out.extend(
+            edges
+                .iter()
+                .map(|e| Edge::new(e.set, self.map(e.elem as u64) as u32)),
+        );
     }
 
     /// The pseudo-universe size `z`.

@@ -58,6 +58,20 @@ impl AmsF2 {
         }
     }
 
+    /// Observe one occurrence of each item in a chunk. Counters are
+    /// linear in the updates, so the final state is identical to
+    /// per-item insertion; iterating estimator-outer keeps each sign
+    /// hash hot across the chunk and accumulates into a register.
+    pub fn insert_batch(&mut self, items: &[u64]) {
+        for (z, s) in self.counters.iter_mut().zip(self.signs.iter()) {
+            let mut acc = 0i64;
+            for &item in items {
+                acc += s.sign(item);
+            }
+            *z += acc;
+        }
+    }
+
     /// Estimate `F2(a⃗)`.
     pub fn estimate(&self) -> f64 {
         let mut avgs: Vec<f64> = (0..self.rows)

@@ -153,6 +153,26 @@ impl F2Contributing {
         }
     }
 
+    /// Observe a chunk of updates. The shared sampling hash is evaluated
+    /// once per item for the whole chunk; each level then consumes its
+    /// surviving sub-chunk in arrival order, so every per-level heavy
+    /// hitter sees the exact item sequence the per-item path feeds it.
+    pub fn insert_batch(&mut self, items: &[u64]) {
+        let hashes: Vec<u64> = items.iter().map(|&item| self.hash.hash(item)).collect();
+        let mut survivors: Vec<u64> = Vec::with_capacity(items.len());
+        for level in &mut self.levels {
+            survivors.clear();
+            survivors.extend(
+                items
+                    .iter()
+                    .zip(&hashes)
+                    .filter(|&(_, &h)| h % level.modulus < level.keep)
+                    .map(|(&item, _)| item),
+            );
+            level.hh.insert_batch(&survivors);
+        }
+    }
+
     /// Report a representative of every contributing class: the union of
     /// per-level heavy hitters, deduplicated by coordinate, sorted by
     /// decreasing estimate. When a coordinate is reported by several

@@ -65,6 +65,36 @@ impl CountSketch {
         }
     }
 
+    /// Observe one occurrence of each item in a chunk. The table is a
+    /// linear sketch, so updates commute and the final state is
+    /// identical to per-item insertion; iterating row-outer keeps each
+    /// row's bucket/sign hash and table stripe hot across the chunk.
+    pub fn insert_batch(&mut self, items: &[u64]) {
+        let w = self.width as u64;
+        for row in 0..self.rows {
+            let bucket = &self.buckets[row];
+            let sign = &self.signs[row];
+            let stripe = &mut self.table[row * self.width..(row + 1) * self.width];
+            for &item in items {
+                stripe[bucket.hash_to_range(item, w) as usize] += sign.sign(item);
+            }
+        }
+    }
+
+    /// Batched signed updates (`a⃗[item] += delta` for each pair), same
+    /// row-outer amortization as [`CountSketch::insert_batch`].
+    pub fn update_batch(&mut self, updates: &[(u64, i64)]) {
+        let w = self.width as u64;
+        for row in 0..self.rows {
+            let bucket = &self.buckets[row];
+            let sign = &self.signs[row];
+            let stripe = &mut self.table[row * self.width..(row + 1) * self.width];
+            for &(item, delta) in updates {
+                stripe[bucket.hash_to_range(item, w) as usize] += sign.sign(item) * delta;
+            }
+        }
+    }
+
     /// Point query: median-of-rows estimate of `a⃗[item]`.
     pub fn query(&self, item: u64) -> i64 {
         // Stack buffer: rows are small and this is on the hot path.

@@ -118,29 +118,40 @@ impl F2HeavyHitter {
         }
     }
 
+    /// Observe a chunk of items. The candidate tracker is
+    /// order-sensitive (a new candidate's base estimate is the sketch
+    /// query *at arrival time*, and pruning fires on capacity), so this
+    /// must remain a sequential per-item loop to stay state-identical to
+    /// [`F2HeavyHitter::insert`]; only call dispatch is amortized.
+    pub fn insert_batch(&mut self, items: &[u64]) {
+        for &item in items {
+            self.insert(item);
+        }
+    }
+
     /// Drop the candidates with the smallest stored estimates, keeping
-    /// `capacity` of them.
+    /// `capacity` of them. Ties at the cut are broken by item id, never
+    /// by map iteration order: the surviving set must be a pure function
+    /// of the insertion sequence or the batched ingestion engine's
+    /// bit-identical-state guarantee breaks.
     fn prune(&mut self) {
-        let mut ests: Vec<i64> = self.candidates.values().map(|&(b, c)| b + c).collect();
-        // k-th largest value as the cut; ties may keep slightly more.
         let keep = self.capacity;
+        let mut ests: Vec<i64> = self.candidates.values().map(|&(b, c)| b + c).collect();
+        // k-th largest value as the cut (a value, so order-independent).
         let cut_idx = ests.len() - keep;
         ests.select_nth_unstable(cut_idx);
         let cut = ests[cut_idx];
-        self.candidates.retain(|_, &mut (b, c)| b + c >= cut);
-        // Defensive: ties at the cut could retain everything; drop
-        // arbitrary extras to enforce the bound.
-        if self.candidates.len() > keep + keep / 4 {
-            let mut excess = self.candidates.len() - keep;
-            self.candidates.retain(|_, &mut (b, c)| {
-                if b + c == cut && excess > 0 {
-                    excess -= 1;
-                    false
-                } else {
-                    true
-                }
-            });
-        }
+        let above = self.candidates.values().filter(|&&(b, c)| b + c > cut).count();
+        let mut tied: Vec<u64> = self
+            .candidates
+            .iter()
+            .filter(|&(_, &(b, c))| b + c == cut)
+            .map(|(&item, _)| item)
+            .collect();
+        tied.sort_unstable();
+        tied.truncate(keep.saturating_sub(above));
+        self.candidates
+            .retain(|item, &mut (b, c)| b + c > cut || tied.binary_search(item).is_ok());
     }
 
     /// Estimate of `F2` of the full stream.

@@ -55,6 +55,32 @@ impl Kmv {
         }
     }
 
+    /// Observe a chunk of items. State-identical to inserting the items
+    /// one by one in order; amortizes the k-th-smallest lookup by caching
+    /// the current cut-off across the chunk, so saturated summaries
+    /// reject non-improving items with one hash evaluation and one
+    /// compare.
+    pub fn insert_batch(&mut self, items: &[u64]) {
+        let mut rest = items;
+        // Fill phase: until the summary saturates, every distinct hash
+        // is kept and the cut-off moves with each insert.
+        while self.smallest.len() < self.k {
+            let Some((&item, tail)) = rest.split_first() else {
+                return;
+            };
+            self.insert(item);
+            rest = tail;
+        }
+        let mut max = *self.smallest.iter().next_back().expect("non-empty");
+        for &item in rest {
+            let h = self.hash.hash(item);
+            if h < max && self.smallest.insert(h) {
+                self.smallest.remove(&max);
+                max = *self.smallest.iter().next_back().expect("non-empty");
+            }
+        }
+    }
+
     /// Estimate the number of distinct items observed.
     pub fn estimate(&self) -> f64 {
         if self.smallest.len() < self.k {
@@ -159,6 +185,16 @@ impl L0Estimator {
     pub fn insert(&mut self, item: u64) {
         for r in &mut self.reps {
             r.insert(item);
+        }
+    }
+
+    /// Observe a chunk of items: each repetition consumes the whole
+    /// chunk in turn. Repetitions are independent, so the final state is
+    /// identical to per-item insertion while the per-item dispatch cost
+    /// is paid once per repetition per chunk.
+    pub fn insert_batch(&mut self, items: &[u64]) {
+        for r in &mut self.reps {
+            r.insert_batch(items);
         }
     }
 

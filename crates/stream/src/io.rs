@@ -45,6 +45,41 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
     }
 }
 
+/// Parse a data line into its two numeric fields (comments and blanks
+/// yield `None`).
+fn parse_pair(line: &str, lineno: usize) -> Result<Option<(u64, u64)>, ParseError> {
+    let content = line.split('#').next().unwrap_or("").trim();
+    if content.is_empty() {
+        return Ok(None);
+    }
+    let mut parts = content.split_whitespace();
+    let a: u64 = parts
+        .next()
+        .ok_or_else(|| err(lineno, "missing first field"))?
+        .parse()
+        .map_err(|e| err(lineno, format!("bad number: {e}")))?;
+    let b: u64 = parts
+        .next()
+        .ok_or_else(|| err(lineno, "missing second field"))?
+        .parse()
+        .map_err(|e| err(lineno, format!("bad number: {e}")))?;
+    if parts.next().is_some() {
+        return Err(err(lineno, "trailing fields"));
+    }
+    Ok(Some((a, b)))
+}
+
+/// Validate an edge line against the header shape.
+fn check_edge(a: u64, b: u64, n: usize, m: usize, lineno: usize) -> Result<Edge, ParseError> {
+    if a >= m as u64 {
+        return Err(err(lineno, format!("set id {a} >= m = {m}")));
+    }
+    if b >= n as u64 {
+        return Err(err(lineno, format!("element id {b} >= n = {n}")));
+    }
+    Ok(Edge::new(a as u32, b as u32))
+}
+
 /// Read `(n, m, edges)` from the text format.
 pub fn read_edges<R: BufRead>(reader: R) -> Result<(usize, usize, Vec<Edge>), ParseError> {
     let mut header: Option<(usize, usize)> = None;
@@ -52,24 +87,9 @@ pub fn read_edges<R: BufRead>(reader: R) -> Result<(usize, usize, Vec<Edge>), Pa
     for (idx, line) in reader.lines().enumerate() {
         let lineno = idx + 1;
         let line = line.map_err(|e| err(lineno, format!("io error: {e}")))?;
-        let content = line.split('#').next().unwrap_or("").trim();
-        if content.is_empty() {
+        let Some((a, b)) = parse_pair(&line, lineno)? else {
             continue;
-        }
-        let mut parts = content.split_whitespace();
-        let a: u64 = parts
-            .next()
-            .ok_or_else(|| err(lineno, "missing first field"))?
-            .parse()
-            .map_err(|e| err(lineno, format!("bad number: {e}")))?;
-        let b: u64 = parts
-            .next()
-            .ok_or_else(|| err(lineno, "missing second field"))?
-            .parse()
-            .map_err(|e| err(lineno, format!("bad number: {e}")))?;
-        if parts.next().is_some() {
-            return Err(err(lineno, "trailing fields"));
-        }
+        };
         match header {
             None => {
                 if a == 0 || b == 0 {
@@ -77,19 +97,84 @@ pub fn read_edges<R: BufRead>(reader: R) -> Result<(usize, usize, Vec<Edge>), Pa
                 }
                 header = Some((a as usize, b as usize));
             }
-            Some((n, m)) => {
-                if a >= m as u64 {
-                    return Err(err(lineno, format!("set id {a} >= m = {m}")));
-                }
-                if b >= n as u64 {
-                    return Err(err(lineno, format!("element id {b} >= n = {n}")));
-                }
-                edges.push(Edge::new(a as u32, b as u32));
-            }
+            Some((n, m)) => edges.push(check_edge(a, b, n, m, lineno)?),
         }
     }
     let (n, m) = header.ok_or_else(|| err(0, "empty input: missing 'n m' header"))?;
     Ok((n, m, edges))
+}
+
+/// Streaming reader handing out edges in chunks — the file-backed
+/// counterpart of [`crate::ChunkedStream`], feeding the batched
+/// ingestion path without ever materializing the full stream. Holds at
+/// most `chunk_size` edges in memory.
+#[derive(Debug)]
+pub struct EdgeChunkReader<R: BufRead> {
+    lines: std::iter::Enumerate<std::io::Lines<R>>,
+    n: usize,
+    m: usize,
+    chunk_size: usize,
+    buf: Vec<Edge>,
+}
+
+impl<R: BufRead> EdgeChunkReader<R> {
+    /// Open a reader: consumes lines up to and including the `n m`
+    /// header, so the shape is available before the first chunk.
+    pub fn new(reader: R, chunk_size: usize) -> Result<Self, ParseError> {
+        assert!(chunk_size >= 1, "chunk size must be >= 1");
+        let mut lines = reader.lines().enumerate();
+        let header = loop {
+            let Some((idx, line)) = lines.next() else {
+                return Err(err(0, "empty input: missing 'n m' header"));
+            };
+            let lineno = idx + 1;
+            let line = line.map_err(|e| err(lineno, format!("io error: {e}")))?;
+            if let Some((a, b)) = parse_pair(&line, lineno)? {
+                if a == 0 || b == 0 {
+                    return Err(err(lineno, "header must have n >= 1 and m >= 1"));
+                }
+                break (a as usize, b as usize);
+            }
+        };
+        Ok(EdgeChunkReader {
+            lines,
+            n: header.0,
+            m: header.1,
+            chunk_size,
+            buf: Vec::with_capacity(chunk_size),
+        })
+    }
+
+    /// Universe size from the header.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Set count from the header.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The next chunk of up to `chunk_size` edges, in file order;
+    /// `Ok(None)` at end of input.
+    pub fn next_chunk(&mut self) -> Result<Option<&[Edge]>, ParseError> {
+        self.buf.clear();
+        while self.buf.len() < self.chunk_size {
+            let Some((idx, line)) = self.lines.next() else {
+                break;
+            };
+            let lineno = idx + 1;
+            let line = line.map_err(|e| err(lineno, format!("io error: {e}")))?;
+            if let Some((a, b)) = parse_pair(&line, lineno)? {
+                self.buf.push(check_edge(a, b, self.n, self.m, lineno)?);
+            }
+        }
+        if self.buf.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(&self.buf))
+        }
+    }
 }
 
 /// Read a materialized [`SetSystem`] from the text format.

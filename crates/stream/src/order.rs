@@ -55,6 +55,65 @@ pub fn edge_stream(system: &SetSystem, order: ArrivalOrder) -> Vec<Edge> {
     }
 }
 
+/// An owned edge stream handed out in fixed-size chunks — the feeding
+/// pattern of the batched ingestion engine (`observe_batch`). The last
+/// chunk may be shorter; the concatenation of all chunks is exactly the
+/// underlying stream, in order.
+#[derive(Debug, Clone)]
+pub struct ChunkedStream {
+    edges: Vec<Edge>,
+    chunk_size: usize,
+    pos: usize,
+}
+
+impl ChunkedStream {
+    /// Wrap an edge stream for chunked consumption.
+    pub fn new(edges: Vec<Edge>, chunk_size: usize) -> Self {
+        assert!(chunk_size >= 1, "chunk size must be >= 1");
+        ChunkedStream {
+            edges,
+            chunk_size,
+            pos: 0,
+        }
+    }
+
+    /// The next chunk, or `None` when the stream is exhausted.
+    pub fn next_chunk(&mut self) -> Option<&[Edge]> {
+        if self.pos >= self.edges.len() {
+            return None;
+        }
+        let end = (self.pos + self.chunk_size).min(self.edges.len());
+        let chunk = &self.edges[self.pos..end];
+        self.pos = end;
+        Some(chunk)
+    }
+
+    /// Total number of edges in the underlying stream.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the underlying stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The configured chunk size.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+}
+
+/// Serialize the edges of `system` in the requested order, for chunked
+/// consumption by the batched ingestion path.
+pub fn edge_stream_chunked(
+    system: &SetSystem,
+    order: ArrivalOrder,
+    chunk_size: usize,
+) -> ChunkedStream {
+    ChunkedStream::new(edge_stream(system, order), chunk_size)
+}
+
 /// In-place Fisher–Yates shuffle driven by SplitMix64.
 fn fisher_yates(edges: &mut [Edge], seed: u64) {
     let mut rng = SplitMix64::new(seed ^ 0xed9e_5eed_0c0f_fee5u64);

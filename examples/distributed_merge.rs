@@ -66,7 +66,7 @@ fn main() {
     );
     println!("\nmerged result == single-pass result (exactly): OK");
 
-    let chosen: Vec<usize> = distributed.chosen.iter().copied().collect();
+    let chosen: Vec<usize> = distributed.chosen.to_vec();
     let real = coverage_of(&system, &chosen);
     let greedy = greedy_max_cover(&system, k);
     println!(

@@ -20,11 +20,13 @@ fn main() {
     println!("\n{:>6} {:>14} {:>12} {:>12} {:>10}", "alpha", "space (words)", "m/alpha^2", "estimate", "est/OPT");
 
     for alpha in [2.0f64, 4.0, 8.0, 16.0, 32.0] {
-        let mut config = EstimatorConfig::practical(23);
+        let mut config = EstimatorConfig::practical(23).with_threads(2);
         config.reps = Some(1);
         let mut est = MaxCoverEstimator::new(n, m, k, alpha, &config);
-        for &e in &edges {
-            est.observe(e);
+        // Batched ingestion: bit-identical to per-edge `observe`,
+        // cheaper per edge, and lane-parallel across threads.
+        for chunk in edges.chunks(8192) {
+            est.observe_batch(chunk);
         }
         let out = est.finalize();
         println!(

@@ -6,13 +6,18 @@
 //! maxkcov stats    --input FILE
 //! maxkcov greedy   --input FILE --k K
 //! maxkcov exact    --input FILE --k K
-//! maxkcov estimate --input FILE --k K --alpha A [--seed S] [--order ORDER]
-//! maxkcov report   --input FILE --k K --alpha A [--seed S] [--order ORDER]
+//! maxkcov estimate --input FILE --k K --alpha A [--seed S] [--order ORDER] \
+//!                  [--threads T] [--batch B]
+//! maxkcov report   --input FILE --k K --alpha A [--seed S] [--order ORDER] \
+//!                  [--threads T] [--batch B]
 //! ```
 //!
 //! `ORDER` is one of `set`, `element`, `roundrobin`, `shuffle:SEED`
 //! (default `shuffle:0`). Instances use the plain-text format of
-//! `kcov_stream::io`.
+//! `kcov_stream::io`. `--batch B` routes ingestion through the batched
+//! engine in chunks of `B` edges and `--threads T` shards the guess ×
+//! repetition lanes across `T` OS threads; both are bit-identical to
+//! the default per-edge serial pass.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -47,12 +52,16 @@ const USAGE: &str = "usage:
   maxkcov greedy   --input FILE --k K
   maxkcov exact    --input FILE --k K
   maxkcov estimate --input FILE --k K --alpha A [--seed S] [--order ORDER] [--mode paper|practical]
+                   [--threads T] [--batch B]
   maxkcov report   --input FILE --k K --alpha A [--seed S] [--order ORDER] [--mode paper|practical]
-  maxkcov twopass  --input FILE --k K --alpha A [--seed S] [--order ORDER]
+                   [--threads T] [--batch B]
+  maxkcov twopass  --input FILE --k K --alpha A [--seed S] [--order ORDER] [--threads T] [--batch B]
   maxkcov setcover --input FILE [--fraction F]
-  maxkcov budget   --input FILE --k K --words W [--seed S] [--order ORDER]
+  maxkcov budget   --input FILE --k K --words W [--seed S] [--order ORDER] [--threads T] [--batch B]
 KIND: uniform | zipf | planted | common | few-large | many-small
-ORDER: set | element | roundrobin | shuffle:SEED (default shuffle:0)";
+ORDER: set | element | roundrobin | shuffle:SEED (default shuffle:0)
+--batch B ingests B edges per observe_batch call (default: per-edge observe);
+--threads T shards lanes across T threads. Results are bit-identical either way.";
 
 /// Parse `--key value` flags after the subcommand.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -109,8 +118,26 @@ fn parse_config(flags: &HashMap<String, String>) -> Result<EstimatorConfig, Stri
         Some("paper") => config.mode = ParamMode::Paper,
         Some(s) => return Err(format!("unknown mode '{s}'")),
     }
+    if let Some(t) = flags.get("threads") {
+        config.threads = parse_num(t, "threads")?;
+    }
     Ok(config)
 }
+
+/// `--batch B` chunk size; `None` keeps the per-edge `observe` path.
+fn parse_batch(flags: &HashMap<String, String>) -> Result<Option<usize>, String> {
+    match flags.get("batch") {
+        None => Ok(None),
+        Some(s) => {
+            let b: usize = parse_num(s, "batch")?;
+            if b == 0 {
+                return Err("--batch must be >= 1".into());
+            }
+            Ok(Some(b))
+        }
+    }
+}
+
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some((cmd, rest)) = args.split_first() else {
@@ -206,10 +233,20 @@ fn cmd_estimate(flags: &HashMap<String, String>) -> Result<(), String> {
     let alpha: f64 = parse_num(req(flags, "alpha")?, "alpha")?;
     let order = parse_order(flags)?;
     let config = parse_config(flags)?;
+    let batch = parse_batch(flags)?;
     let edges = edge_stream(&system, order);
     let mut est = MaxCoverEstimator::new(system.num_elements(), system.num_sets(), k, alpha, &config);
-    for &e in &edges {
-        est.observe(e);
+    match batch {
+        None => {
+            for &e in &edges {
+                est.observe(e);
+            }
+        }
+        Some(b) => {
+            for chunk in edges.chunks(b) {
+                est.observe_batch(chunk);
+            }
+        }
     }
     let out = est.finalize();
     println!("estimate      = {:.1}", out.estimate);
@@ -227,15 +264,23 @@ fn cmd_twopass(flags: &HashMap<String, String>) -> Result<(), String> {
     let alpha: f64 = parse_num(req(flags, "alpha")?, "alpha")?;
     let order = parse_order(flags)?;
     let config = parse_config(flags)?;
+    let batch = parse_batch(flags)?;
     let edges = edge_stream(&system, order);
-    let cover = kcov_core::run_two_pass(
-        system.num_elements(),
-        system.num_sets(),
-        k,
-        alpha,
-        &config,
-        &edges,
-    );
+    let (n, m) = (system.num_elements(), system.num_sets());
+    let cover = match batch {
+        None => kcov_core::run_two_pass(n, m, k, alpha, &config, &edges),
+        Some(b) => {
+            let mut first = kcov_core::TwoPassFirst::new(n, m, k, alpha, &config);
+            for chunk in edges.chunks(b) {
+                first.observe_batch(chunk);
+            }
+            let mut second = first.into_second_pass();
+            for chunk in edges.chunks(b) {
+                second.observe_batch(chunk);
+            }
+            second.finalize()
+        }
+    };
     let chosen: Vec<usize> = cover.sets.iter().map(|&s| s as usize).collect();
     println!("reported sets  = {:?}", cover.sets);
     println!("real coverage  = {}", coverage_of(&system, &chosen));
@@ -261,8 +306,19 @@ fn cmd_budget(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("budget         = {words} words");
     println!("fitted alpha   = {:.2}", fit.alpha);
     println!("predicted max  = {} words", fit.predicted_words);
-    for e in edge_stream(&system, order) {
-        fit.estimator.observe(e);
+    let batch = parse_batch(flags)?;
+    let edges = edge_stream(&system, order);
+    match batch {
+        None => {
+            for &e in &edges {
+                fit.estimator.observe(e);
+            }
+        }
+        Some(b) => {
+            for chunk in edges.chunks(b) {
+                fit.estimator.observe_batch(chunk);
+            }
+        }
     }
     let out = fit.estimator.finalize();
     println!("estimate       = {:.1}", out.estimate);
@@ -294,10 +350,20 @@ fn cmd_report(flags: &HashMap<String, String>) -> Result<(), String> {
     let alpha: f64 = parse_num(req(flags, "alpha")?, "alpha")?;
     let order = parse_order(flags)?;
     let config = parse_config(flags)?;
+    let batch = parse_batch(flags)?;
     let edges = edge_stream(&system, order);
     let mut rep = MaxCoverReporter::new(system.num_elements(), system.num_sets(), k, alpha, &config);
-    for &e in &edges {
-        rep.observe(e);
+    match batch {
+        None => {
+            for &e in &edges {
+                rep.observe(e);
+            }
+        }
+        Some(b) => {
+            for chunk in edges.chunks(b) {
+                rep.observe_batch(chunk);
+            }
+        }
     }
     let cover = rep.finalize();
     let chosen: Vec<usize> = cover.sets.iter().map(|&s| s as usize).collect();

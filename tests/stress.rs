@@ -44,7 +44,7 @@ fn estimator_invariants_across_shape_zoo() {
         for (idx, system) in shape_zoo(seed).into_iter().enumerate() {
             let n = system.num_elements();
             let m = system.num_sets();
-            let k = 1 + (rng.next_below(8) as usize).min(m.saturating_sub(1)).max(0);
+            let k = 1 + (rng.next_below(8) as usize).min(m.saturating_sub(1));
             let alpha = [2.0, 4.0, 7.0][(rng.next_below(3)) as usize];
             let config = fast_config(seed * 31 + idx as u64, n);
             let mut rep = MaxCoverReporter::new(n, m, k, alpha, &config);
@@ -74,11 +74,83 @@ fn estimator_invariants_across_shape_zoo() {
     }
 }
 
+/// A large RMAT instance through the batched ingestion path: the final
+/// state (estimate, winner, space) must be bit-identical to serial
+/// per-edge ingestion, and the batch engine must not inflate space.
+#[test]
+fn batched_rmat_matches_serial_and_space_no_regression() {
+    let system = rmat_incidence(4096, 512, 60_000, RmatParams::default(), 0xA11);
+    let n = system.num_elements();
+    let m = system.num_sets();
+    let k = 8;
+    let alpha = 3.0;
+    let config = fast_config(0xA11, n);
+    let edges = edge_stream(&system, ArrivalOrder::Shuffled(7));
+
+    // Serial per-edge reference.
+    let mut serial = maxkcov::core::MaxCoverEstimator::new(n, m, k, alpha, &config);
+    for &e in &edges {
+        serial.observe(e);
+    }
+    let serial_space = serial.space_words();
+    let serial_out = serial.finalize();
+
+    for threads in [1usize, 2, 4] {
+        for batch in [1usize, 64, 4096] {
+            let config = config.clone().with_threads(threads);
+            let mut est = maxkcov::core::MaxCoverEstimator::new(n, m, k, alpha, &config);
+            for chunk in edges.chunks(batch) {
+                est.observe_batch(chunk);
+            }
+            assert_eq!(
+                est.space_words(),
+                serial_space,
+                "threads={threads} batch={batch}: batched path changed space"
+            );
+            let out = est.finalize();
+            assert_eq!(
+                serial_out.estimate.to_bits(),
+                out.estimate.to_bits(),
+                "threads={threads} batch={batch}: estimate diverged"
+            );
+            assert_eq!(serial_out.winning_z, out.winning_z, "threads={threads} batch={batch}");
+            assert_eq!(serial_out.winner, out.winner, "threads={threads} batch={batch}");
+        }
+    }
+}
+
+/// Smoke test at the machine's maximum parallelism: oversubscribing
+/// threads beyond the lane count must clamp gracefully and still agree
+/// with the serial result.
+#[test]
+fn batched_smoke_at_max_threads() {
+    let max_threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let system = rmat_incidence(1024, 128, 12_000, RmatParams::default(), 0x5A0);
+    let n = system.num_elements();
+    let m = system.num_sets();
+    let edges = edge_stream(&system, ArrivalOrder::RoundRobin);
+    let config = fast_config(9, n);
+
+    let serial = maxkcov::core::MaxCoverEstimator::run(n, m, 4, 2.5, &config, &edges);
+    let wide = maxkcov::core::MaxCoverEstimator::run_batched(
+        n,
+        m,
+        4,
+        2.5,
+        &config.clone().with_threads(max_threads * 2),
+        &edges,
+        1024,
+    );
+    assert_eq!(serial.estimate.to_bits(), wide.estimate.to_bits());
+    assert_eq!(serial.winning_z, wide.winning_z);
+    assert_eq!(serial.space_words, wide.space_words);
+}
+
 #[test]
 fn empty_and_singleton_streams() {
     for (n, m, k) in [(1usize, 1usize, 1usize), (2, 1, 1), (10, 3, 2)] {
         let config = fast_config(1, n);
-        let mut rep = MaxCoverReporter::new(n, m, k, 1.5, &config);
+        let rep = MaxCoverReporter::new(n, m, k, 1.5, &config);
         // No edges at all.
         let cover = rep.finalize();
         assert!(cover.estimate >= 0.0);
