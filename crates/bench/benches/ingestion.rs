@@ -73,4 +73,40 @@ fn main() {
         &rows,
     );
     println!("all configurations produced bit-identical estimates");
+
+    // shard_merge group: the stream split across S merged estimator
+    // replicas (DESIGN.md §8). Timing includes replica cloning and the
+    // finalize-time merge fold.
+    let mut shard_rows: Vec<Vec<String>> = Vec::new();
+    for &shards in &[1usize, 2, 4] {
+        let config = config.clone().with_shards(shards);
+        let out = MaxCoverEstimator::run_sharded(n, m, k, alpha, &config, &edges, 4096);
+        assert_eq!(
+            reference.estimate.to_bits(),
+            out.estimate.to_bits(),
+            "sharded path diverged at shards={shards}"
+        );
+        let secs = median_secs(
+            || {
+                black_box(MaxCoverEstimator::run_sharded(
+                    n, m, k, alpha, &config, &edges, 4096,
+                ));
+            },
+            3,
+        );
+        shard_rows.push(vec![
+            "run_sharded".into(),
+            "4096".into(),
+            shards.to_string(),
+            fmt(secs * 1e3),
+            fmt(total / secs / 1e6),
+            format!("{:.2}", serial_secs / secs),
+        ]);
+    }
+    print_table(
+        "shard_merge: stream sharded across merged replicas",
+        &["path", "batch", "shards", "ms", "Medges/s", "speedup"],
+        &shard_rows,
+    );
+    println!("all shard counts produced estimates identical to the serial pass");
 }

@@ -40,6 +40,13 @@ pub struct EstimatorConfig {
     /// so any value — including `1`, the serial default — produces
     /// bit-identical results; `0` is treated as `1`.
     pub threads: usize,
+    /// Stream shards for the sharded ingestion path
+    /// ([`MaxCoverEstimator::ingest_sharded`]): the edge stream is
+    /// partitioned into this many contiguous shards, each fed to its own
+    /// full estimator replica (a clone sharing every seed), and the
+    /// replicas are folded back with [`MaxCoverEstimator::merge`] at
+    /// finalize. `0` is treated as `1` (plain serial ingestion).
+    pub shards: usize,
 }
 
 impl EstimatorConfig {
@@ -52,6 +59,7 @@ impl EstimatorConfig {
             z_guesses: None,
             reporting: false,
             threads: 1,
+            shards: 1,
         }
     }
 
@@ -60,10 +68,16 @@ impl EstimatorConfig {
         self.threads = threads;
         self
     }
+
+    /// Builder-style shard count for the sharded ingestion path.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
 }
 
 /// One `(z, repetition)` lane.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Lane {
     z: u64,
     reducer: UniverseReducer,
@@ -78,6 +92,16 @@ impl Lane {
         self.reducer.map_batch(edges, scratch);
         self.oracle.observe_batch(scratch);
     }
+
+    /// Merge a sibling lane built from the same config and seed.
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.z, other.z, "Lane merge requires identical configuration (z guess)");
+        assert!(
+            self.reducer.same_function(&other.reducer),
+            "Lane merge requires identical hash functions"
+        );
+        self.oracle.merge(&other.oracle);
+    }
 }
 
 /// State of the trivial regime (`k·α ≥ m`, Fig 1 line 1).
@@ -88,7 +112,7 @@ impl Lane {
 /// groups of `k` consecutive sets) and return the best group's sound
 /// `(2/3)`-discounted estimate — at most `n/α`-ish but never above the
 /// true optimum.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TrivialState {
     k: usize,
     groups: Vec<kcov_sketch::L0Estimator>,
@@ -118,6 +142,20 @@ impl TrivialState {
         for &edge in edges {
             self.observe(edge);
         }
+    }
+
+    /// Merge a sibling trivial state (bit-exact: every group and the
+    /// total are union-merged `L0` sketches).
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            (self.k, self.groups.len()),
+            (other.k, other.groups.len()),
+            "TrivialState merge requires identical configuration (k, groups)"
+        );
+        for (g, og) in self.groups.iter_mut().zip(&other.groups) {
+            g.merge(og);
+        }
+        self.total.merge(&other.total);
     }
 
     /// Sound estimate: max of (best group's coverage, total/⌈m/k⌉),
@@ -172,7 +210,7 @@ pub struct EstimateOutcome {
 
 /// Single-pass streaming `Õ(α)`-approximate estimator of the optimal
 /// coverage size of `Max k-Cover` in `Õ(m/α²)` space (Theorem 3.1).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MaxCoverEstimator {
     n: usize,
     m: usize,
@@ -287,6 +325,88 @@ impl MaxCoverEstimator {
         });
     }
 
+    /// Merge another estimator built from the same instance shape,
+    /// configuration and seed, as if this estimator had also observed
+    /// every edge `other` observed.
+    ///
+    /// This is the top of the merge monoid lifted through the whole
+    /// stack (sketches → subroutines → oracle → lanes): merging two
+    /// replicas that ingested disjoint shards of a stream yields a state
+    /// equivalent to single-stream ingestion of the concatenation (see
+    /// DESIGN.md §8 for which layers are bit-exact and which satisfy a
+    /// canonical-equivalence contract). Merge is commutative and
+    /// associative; a freshly constructed replica is the identity.
+    ///
+    /// Panics when the two estimators were built from different shapes,
+    /// configurations, or seeds.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            (self.n, self.m, self.k, self.alpha.to_bits()),
+            (other.n, other.m, other.k, other.alpha.to_bits()),
+            "MaxCoverEstimator merge requires identical configuration (instance shape)"
+        );
+        match (&mut self.trivial, &other.trivial) {
+            (Some(a), Some(b)) => {
+                a.merge(b);
+                return;
+            }
+            (None, None) => {}
+            _ => panic!("MaxCoverEstimator merge requires identical configuration (regime)"),
+        }
+        assert_eq!(
+            self.lanes.len(),
+            other.lanes.len(),
+            "MaxCoverEstimator merge requires identical configuration (lane count)"
+        );
+        for (lane, other_lane) in self.lanes.iter_mut().zip(&other.lanes) {
+            lane.merge(other_lane);
+        }
+    }
+
+    /// Ingest `edges` through `shards` full estimator replicas on scoped
+    /// threads, then fold the replicas back into `self` with
+    /// [`MaxCoverEstimator::merge`].
+    ///
+    /// The stream is split into `shards` contiguous chunks; replica `i`
+    /// (a clone of `self`, sharing every seed) consumes chunk `i`
+    /// through the batched engine in sub-chunks of `batch`. `self`
+    /// consumes the first chunk inline. Must be called on a freshly
+    /// constructed estimator (a fresh replica is the merge identity, so
+    /// cloning pre-fed state would double-count its edges).
+    pub fn ingest_sharded(&mut self, edges: &[Edge], shards: usize, batch: usize) {
+        let shards = shards.max(1);
+        if shards == 1 || edges.is_empty() {
+            for chunk in edges.chunks(batch.max(1)) {
+                self.observe_batch(chunk);
+            }
+            return;
+        }
+        let chunk_len = edges.len().div_ceil(shards);
+        let mut parts = edges.chunks(chunk_len);
+        let own = parts.next().unwrap_or(&[]);
+        let mut replicas: Vec<MaxCoverEstimator> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .map(|part| {
+                    let mut replica = self.clone();
+                    s.spawn(move || {
+                        for chunk in part.chunks(batch.max(1)) {
+                            replica.observe_batch(chunk);
+                        }
+                        replica
+                    })
+                })
+                .collect();
+            for chunk in own.chunks(batch.max(1)) {
+                self.observe_batch(chunk);
+            }
+            replicas.extend(handles.into_iter().map(|h| h.join().expect("shard worker panicked")));
+        });
+        for replica in &replicas {
+            self.merge(replica);
+        }
+    }
+
     /// Finalize after the pass (Theorem 3.6 acceptance).
     pub fn finalize(&self) -> EstimateOutcome {
         if let Some(t) = &self.trivial {
@@ -374,6 +494,26 @@ impl MaxCoverEstimator {
         for chunk in edges.chunks(batch_size.max(1)) {
             est.observe_batch(chunk);
         }
+        est.finalize()
+    }
+
+    /// Convenience: run over a finite edge stream through
+    /// [`MaxCoverEstimator::ingest_sharded`] with `config.shards`
+    /// replicas. Produces the same outcome as
+    /// [`MaxCoverEstimator::run`] up to the merge-equivalence contract
+    /// (bit-identical estimates; resident space may differ in the
+    /// heavy-hitter candidate lists — DESIGN.md §8).
+    pub fn run_sharded(
+        n: usize,
+        m: usize,
+        k: usize,
+        alpha: f64,
+        config: &EstimatorConfig,
+        edges: &[Edge],
+        batch_size: usize,
+    ) -> EstimateOutcome {
+        let mut est = MaxCoverEstimator::new(n, m, k, alpha, config);
+        est.ingest_sharded(edges, config.shards.max(1), batch_size);
         est.finalize()
     }
 
@@ -564,5 +704,115 @@ mod tests {
     #[should_panic(expected = "alpha must be >= 1")]
     fn alpha_below_one_rejected() {
         let _ = MaxCoverEstimator::new(10, 10, 2, 0.9, &EstimatorConfig::practical(1));
+    }
+
+    #[test]
+    fn merge_matches_serial_ingestion() {
+        let inst = planted_cover(800, 120, 8, 0.7, 30, 21);
+        let n = inst.system.num_elements();
+        let m = inst.system.num_sets();
+        let config = fast_config(13, n);
+        let edges = edge_stream(&inst.system, ArrivalOrder::Shuffled(2));
+        let mid = edges.len() / 3;
+
+        let mut serial = MaxCoverEstimator::new(n, m, 8, 3.0, &config);
+        for &e in &edges {
+            serial.observe(e);
+        }
+        let mut a = MaxCoverEstimator::new(n, m, 8, 3.0, &config);
+        let mut b = a.clone();
+        for &e in &edges[..mid] {
+            a.observe(e);
+        }
+        for &e in &edges[mid..] {
+            b.observe(e);
+        }
+        a.merge(&b);
+
+        let s = serial.finalize();
+        let g = a.finalize();
+        assert_eq!(s.estimate.to_bits(), g.estimate.to_bits());
+        assert_eq!(s.winning_z, g.winning_z);
+        assert_eq!(s.winner, g.winner);
+    }
+
+    #[test]
+    fn merge_matches_serial_in_trivial_regime() {
+        let config = EstimatorConfig::practical(1);
+        let mut serial = MaxCoverEstimator::new(100, 20, 10, 4.0, &config);
+        let mut a = MaxCoverEstimator::new(100, 20, 10, 4.0, &config);
+        let mut b = a.clone();
+        for s in 0..10u32 {
+            serial.observe(Edge::new(s, 2 * s));
+            serial.observe(Edge::new(s, 2 * s + 1));
+            if s < 5 {
+                a.observe(Edge::new(s, 2 * s));
+                a.observe(Edge::new(s, 2 * s + 1));
+            } else {
+                b.observe(Edge::new(s, 2 * s));
+                b.observe(Edge::new(s, 2 * s + 1));
+            }
+        }
+        a.merge(&b);
+        let s = serial.finalize();
+        let g = a.finalize();
+        assert!(s.trivial && g.trivial);
+        assert_eq!(s.estimate.to_bits(), g.estimate.to_bits());
+        assert_eq!(s.space_words, g.space_words);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical configuration (instance shape)")]
+    fn merge_rejects_shape_mismatch() {
+        let config = fast_config(3, 800);
+        let mut a = MaxCoverEstimator::new(800, 120, 8, 3.0, &config);
+        let b = MaxCoverEstimator::new(800, 120, 9, 3.0, &config);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical configuration (lane count)")]
+    fn merge_rejects_lane_count_mismatch() {
+        let mut c1 = fast_config(3, 800);
+        let mut c2 = c1.clone();
+        c1.reps = Some(2);
+        c2.reps = Some(3);
+        let mut a = MaxCoverEstimator::new(800, 120, 8, 3.0, &c1);
+        let b = MaxCoverEstimator::new(800, 120, 8, 3.0, &c2);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn ingest_sharded_matches_serial_run() {
+        let inst = planted_cover(600, 100, 6, 0.7, 20, 31);
+        let n = inst.system.num_elements();
+        let m = inst.system.num_sets();
+        let config = fast_config(17, n);
+        let edges = edge_stream(&inst.system, ArrivalOrder::Shuffled(5));
+        let serial = MaxCoverEstimator::run(n, m, 6, 3.0, &config, &edges);
+        for shards in [1usize, 3, 4] {
+            let sharded_config = config.clone().with_shards(shards);
+            let out =
+                MaxCoverEstimator::run_sharded(n, m, 6, 3.0, &sharded_config, &edges, 128);
+            assert_eq!(
+                serial.estimate.to_bits(),
+                out.estimate.to_bits(),
+                "shards={shards}"
+            );
+            assert_eq!(serial.winning_z, out.winning_z, "shards={shards}");
+            assert_eq!(serial.winner, out.winner, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_ingestion_with_more_shards_than_edges() {
+        // chunks() yields fewer parts than shards, so some replicas are
+        // never created; the outcome must still match serial ingestion.
+        let config = fast_config(19, 800);
+        let edges = vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3)];
+        let serial = MaxCoverEstimator::run(800, 120, 8, 3.0, &config, &edges);
+        let sharded_config = config.clone().with_shards(7);
+        let out = MaxCoverEstimator::run_sharded(800, 120, 8, 3.0, &sharded_config, &edges, 64);
+        assert_eq!(serial.estimate.to_bits(), out.estimate.to_bits());
     }
 }

@@ -20,7 +20,7 @@ use crate::params::Params;
 use crate::Witness;
 
 /// One sampling layer (`β_g` guess).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct BetaLane {
     beta: f64,
     /// Set kept iff `set_hash(set) mod buckets == 0` for the shared
@@ -37,14 +37,14 @@ struct BetaLane {
     groups: Option<GroupTracker>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct GroupTracker {
     hash: KWise,
     counters: Vec<L0Estimator>,
 }
 
 /// Single-pass multi-layered set sampling (case I of the oracle).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LargeCommon {
     u: usize,
     m: usize,
@@ -213,6 +213,51 @@ impl LargeCommon {
         self.lanes.len()
     }
 
+    /// Merge a subroutine built with the same parameters and seed over a
+    /// disjoint stream shard. Every piece of per-stream state is an
+    /// `L0Estimator` (lane coverage counters and optional group
+    /// counters), so the merged state is *bit-identical* to single-stream
+    /// ingestion. Panics on configuration or seed mismatch.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            (self.u, self.m, self.k, self.lanes.len()),
+            (other.u, other.m, other.k, other.lanes.len()),
+            "LargeCommon merge requires identical configuration"
+        );
+        assert_eq!(
+            self.set_hash.hash(0x5eed_c0de),
+            other.set_hash.hash(0x5eed_c0de),
+            "LargeCommon merge requires identical hash functions"
+        );
+        for (a, b) in self.lanes.iter_mut().zip(&other.lanes) {
+            assert_eq!(
+                a.buckets, b.buckets,
+                "LargeCommon merge requires identical configuration (lane buckets)"
+            );
+            assert_eq!(
+                a.groups.is_some(),
+                b.groups.is_some(),
+                "LargeCommon merge requires identical configuration (reporting mode)"
+            );
+            a.de.merge(&b.de);
+            if let (Some(ga), Some(gb)) = (&mut a.groups, &b.groups) {
+                assert_eq!(
+                    ga.counters.len(),
+                    gb.counters.len(),
+                    "LargeCommon merge requires identical configuration (group counts)"
+                );
+                assert_eq!(
+                    ga.hash.hash(0x5eed_c0de),
+                    gb.hash.hash(0x5eed_c0de),
+                    "LargeCommon merge requires identical hash functions"
+                );
+                for (ca, cb) in ga.counters.iter_mut().zip(&gb.counters) {
+                    ca.merge(cb);
+                }
+            }
+        }
+    }
+
     /// Per-layer diagnostics: `(β, L0 value, firing threshold)` for each
     /// layer — the raw material of the multi-layer ablation experiment.
     pub fn lane_values(&self) -> Vec<(f64, f64, f64)> {
@@ -363,5 +408,44 @@ mod tests {
         let params = Params::practical(100, 100, 5, 4.0);
         let lc = LargeCommon::new(100, &params, false, 1);
         assert!(lc.finalize().is_none());
+    }
+
+    #[test]
+    fn merge_matches_serial_including_groups() {
+        let ss = common_heavy(800, 400, 4);
+        let params = Params::practical(400, 800, 10, 4.0);
+        let edges = edge_stream(&ss, ArrivalOrder::Shuffled(11));
+        let proto = LargeCommon::new(800, &params, true, 77);
+        let mut serial = proto.clone();
+        feed(&mut serial, &edges);
+        let (head, tail) = edges.split_at(edges.len() / 3);
+        let mut left = proto.clone();
+        let mut right = proto;
+        feed(&mut left, head);
+        feed(&mut right, tail);
+        left.merge(&right);
+        let a = serial.finalize().expect("fires on regime I");
+        let b = left.finalize().expect("merged must fire too");
+        assert_eq!(a.0.to_bits(), b.0.to_bits(), "estimate must be bit-identical");
+        assert_eq!(a.1, b.1, "witness must match");
+        assert_eq!(serial.space_words(), left.space_words());
+    }
+
+    #[test]
+    #[should_panic(expected = "identical hash functions")]
+    fn merge_rejects_seed_mismatch() {
+        let params = Params::practical(100, 100, 5, 4.0);
+        let mut a = LargeCommon::new(100, &params, false, 1);
+        let b = LargeCommon::new(100, &params, false, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical configuration")]
+    fn merge_rejects_reporting_mode_mismatch() {
+        let params = Params::practical(100, 100, 5, 4.0);
+        let mut a = LargeCommon::new(100, &params, false, 1);
+        let b = LargeCommon::new(100, &params, true, 1);
+        a.merge(&b);
     }
 }

@@ -36,7 +36,7 @@ use crate::params::Params;
 use crate::Witness;
 
 /// One repetition of the element-sampled pipeline.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Rep {
     /// Element `e ∈ L` iff `ehash(e) < keep_below` (probability ρ).
     ehash: KWise,
@@ -64,7 +64,7 @@ struct RepHit {
 }
 
 /// Single-pass case-II subroutine (Figs 4, 6, 7).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LargeSet {
     u: usize,
     m: usize,
@@ -297,6 +297,56 @@ impl LargeSet {
     pub fn num_reps(&self) -> usize {
         self.reps.len()
     }
+
+    /// Merge a subroutine built with the same parameters and seed over a
+    /// disjoint stream shard. The contributing-class finders merge under
+    /// their own (heavy-hitter equivalence) contract; the directly
+    /// sampled superset map merges exactly — each sampled id's `L0`
+    /// sketch is seeded by `sample_seed ^ f(sid)`, a pure function of
+    /// the id, so the same id observed on two shards carries compatible
+    /// sketches and their union is the serial sketch. Panics on
+    /// configuration or seed mismatch.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            (self.u, self.m, self.k, self.reps.len()),
+            (other.u, other.m, other.k, other.reps.len()),
+            "LargeSet merge requires identical configuration"
+        );
+        for (a, b) in self.reps.iter_mut().zip(&other.reps) {
+            assert_eq!(
+                (a.keep_below, a.num_supersets, a.ssel_buckets),
+                (b.keep_below, b.num_supersets, b.ssel_buckets),
+                "LargeSet merge requires identical configuration (repetition shape)"
+            );
+            // `sample_seed` derives the per-superset-id sketch hashes,
+            // so it counts as part of the hash-function identity.
+            assert_eq!(
+                (
+                    a.ehash.hash(0x5eed_c0de),
+                    a.shash.hash(0x5eed_c0de),
+                    a.ssel_hash.hash(0x5eed_c0de),
+                    a.sample_seed
+                ),
+                (
+                    b.ehash.hash(0x5eed_c0de),
+                    b.shash.hash(0x5eed_c0de),
+                    b.ssel_hash.hash(0x5eed_c0de),
+                    b.sample_seed
+                ),
+                "LargeSet merge requires identical hash functions"
+            );
+            a.cntr_small.merge(&b.cntr_small);
+            a.cntr_large.merge(&b.cntr_large);
+            for (&sid, l0) in &b.sampled {
+                match a.sampled.get_mut(&sid) {
+                    Some(mine) => mine.merge(l0),
+                    None => {
+                        a.sampled.insert(sid, l0.clone());
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl SpaceUsage for LargeSet {
@@ -409,6 +459,46 @@ mod tests {
         let params = Params::practical(100, 1000, 5, 4.0);
         let ls = LargeSet::new(1000, &params, 1);
         assert!(ls.finalize().is_none());
+    }
+
+    #[test]
+    fn merge_matches_serial_on_firing_instance() {
+        let ss = few_large(2000, 300, 3, 500, 6);
+        let params = Params::practical(300, 2000, 10, 6.0);
+        let edges = edge_stream(&ss, ArrivalOrder::Shuffled(21));
+        let proto = LargeSet::new(2000, &params, 31);
+        let mut serial = proto.clone();
+        feed(&mut serial, &edges);
+        let (head, tail) = edges.split_at(edges.len() / 2);
+        let mut left = proto.clone();
+        let mut right = proto;
+        feed(&mut left, head);
+        feed(&mut right, tail);
+        left.merge(&right);
+        let a = serial.finalize().expect("fires on regime II");
+        let b = left.finalize().expect("merged must fire too");
+        assert_eq!(a.0.to_bits(), b.0.to_bits(), "estimate must match");
+        assert_eq!(a.1, b.1, "witness must match");
+    }
+
+    #[test]
+    #[should_panic(expected = "identical configuration")]
+    fn merge_rejects_rep_count_mismatch() {
+        let mut p1 = Params::practical(100, 1000, 5, 4.0);
+        let p2 = p1.clone();
+        p1.large_set_reps = p2.large_set_reps + 1;
+        let mut a = LargeSet::new(1000, &p1, 1);
+        let b = LargeSet::new(1000, &p2, 1);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical hash functions")]
+    fn merge_rejects_seed_mismatch() {
+        let params = Params::practical(100, 1000, 5, 4.0);
+        let mut a = LargeSet::new(1000, &params, 1);
+        let b = LargeSet::new(1000, &params, 2);
+        a.merge(&b);
     }
 
     #[test]

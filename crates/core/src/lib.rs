@@ -77,7 +77,7 @@ pub use oracle::{Oracle, OracleOutput, SubroutineKind};
 pub use params::{ParamMode, Params};
 pub use report::{MaxCoverReporter, ReportedCover};
 pub use small_set::SmallSet;
-pub use two_pass::{run_two_pass, TwoPassFirst, TwoPassSecond};
+pub use two_pass::{run_two_pass, run_two_pass_sharded, TwoPassFirst, TwoPassSecond};
 pub use universe::UniverseReducer;
 
 /// A reporting witness: how to reconstruct the winning (approximate)

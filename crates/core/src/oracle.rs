@@ -47,7 +47,7 @@ pub struct OracleOutput {
 }
 
 /// Single-pass `(α, δ, η)`-oracle of `Max k-Cover` (Fig 2).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Oracle {
     u: usize,
     large_common: LargeCommon,
@@ -151,6 +151,24 @@ impl Oracle {
                 .and_then(SmallSet::finalize)
                 .map(|(v, _)| v),
         )
+    }
+
+    /// Merge an oracle built with the same parameters and seed over a
+    /// disjoint stream shard: delegates to each subroutine's merge.
+    /// Panics on configuration or seed mismatch (including one side
+    /// having the `SmallSet` branch active and the other not).
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.u, other.u, "Oracle merge requires identical configuration (universe)");
+        assert_eq!(
+            self.small_set.is_some(),
+            other.small_set.is_some(),
+            "Oracle merge requires identical configuration (SmallSet activation)"
+        );
+        self.large_common.merge(&other.large_common);
+        self.large_set.merge(&other.large_set);
+        if let (Some(a), Some(b)) = (&mut self.small_set, &other.small_set) {
+            a.merge(b);
+        }
     }
 
     /// Expand a witness into concrete set indices (at most `k` after the
@@ -275,6 +293,50 @@ mod tests {
             .min(800.0);
         let out = oracle.finalize();
         assert!((out.estimate - best).abs() < 1e-9, "max of diagnostics must match");
+    }
+
+    #[test]
+    fn merge_matches_serial_across_regimes() {
+        let regimes: [(&str, kcov_stream::SetSystem, usize); 3] = [
+            ("common-heavy", common_heavy(2000, 400, 9), 10),
+            ("few-large", few_large(2000, 300, 3, 500, 9), 10),
+            ("many-small", many_small(2000, 400, 50, 0.5, 9), 50),
+        ];
+        for (name, system, k) in regimes {
+            let params = Params::practical(system.num_sets(), system.num_elements(), k, 6.0);
+            let edges = edge_stream(&system, ArrivalOrder::Shuffled(13));
+            let proto = Oracle::new(system.num_elements(), &params, true, 19);
+            let mut serial = proto.clone();
+            for &e in &edges {
+                serial.observe(e);
+            }
+            let (head, tail) = edges.split_at(edges.len() / 3);
+            let mut left = proto.clone();
+            let mut right = proto;
+            for &e in head {
+                left.observe(e);
+            }
+            for &e in tail {
+                right.observe(e);
+            }
+            left.merge(&right);
+            let a = serial.finalize();
+            let b = left.finalize();
+            assert_eq!(a.estimate.to_bits(), b.estimate.to_bits(), "{name}: estimate");
+            assert_eq!(a.winner, b.winner, "{name}: winner");
+            assert_eq!(a.witness, b.witness, "{name}: witness");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "identical configuration")]
+    fn merge_rejects_small_set_activation_mismatch() {
+        // k = 1, alpha = 8 disables SmallSet; k = 5 keeps it on.
+        let p_off = Params::practical(500, 500, 1, 8.0);
+        let p_on = Params::practical(500, 500, 5, 2.0);
+        let mut a = Oracle::new(500, &p_off, false, 1);
+        let b = Oracle::new(500, &p_on, false, 1);
+        a.merge(&b);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub struct ReportedCover {
 
 /// Single-pass streaming reporter: an α-approximate k-cover in
 /// `Õ(m/α² + k)` space (Theorem 3.2).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MaxCoverReporter {
     inner: MaxCoverEstimator,
     k: usize,
@@ -66,6 +66,23 @@ impl MaxCoverReporter {
     /// guarantee).
     pub fn observe_batch(&mut self, edges: &[Edge]) {
         self.inner.observe_batch(edges);
+    }
+
+    /// Merge another reporter built from the same instance shape,
+    /// configuration and seed (see [`MaxCoverEstimator::merge`]).
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.k, other.k,
+            "MaxCoverReporter merge requires identical configuration (k)"
+        );
+        self.inner.merge(&other.inner);
+    }
+
+    /// Ingest `edges` through sharded estimator replicas and fold them
+    /// back into `self` (see [`MaxCoverEstimator::ingest_sharded`]).
+    /// Must be called on a freshly constructed reporter.
+    pub fn ingest_sharded(&mut self, edges: &[Edge], shards: usize, batch: usize) {
+        self.inner.ingest_sharded(edges, shards, batch);
     }
 
     /// Finalize: expand the winning witness into at most `k` sets.
@@ -124,6 +141,22 @@ impl MaxCoverReporter {
         for chunk in edges.chunks(batch_size.max(1)) {
             rep.observe_batch(chunk);
         }
+        rep.finalize()
+    }
+
+    /// Convenience: run over a finite edge stream with `config.shards`
+    /// sharded replicas (see [`MaxCoverEstimator::run_sharded`]).
+    pub fn run_sharded(
+        n: usize,
+        m: usize,
+        k: usize,
+        alpha: f64,
+        config: &EstimatorConfig,
+        edges: &[Edge],
+        batch_size: usize,
+    ) -> ReportedCover {
+        let mut rep = MaxCoverReporter::new(n, m, k, alpha, config);
+        rep.ingest_sharded(edges, config.shards.max(1), batch_size);
         rep.finalize()
     }
 }
@@ -223,6 +256,27 @@ mod tests {
         let inst = planted_cover(800, 100, 6, 0.6, 20, 9);
         let r = report(&inst.system, 6, 3.0, 21);
         assert!(r.sets.iter().all(|&s| (s as usize) < 100));
+    }
+
+    #[test]
+    fn sharded_run_reports_same_cover_as_serial() {
+        let inst = planted_cover(800, 120, 8, 0.7, 30, 6);
+        let n = inst.system.num_elements();
+        let m = inst.system.num_sets();
+        let config = fast_config(23, n);
+        let edges = edge_stream(&inst.system, ArrivalOrder::Shuffled(8));
+        let serial = MaxCoverReporter::run(n, m, 8, 3.0, &config, &edges);
+        for shards in [2usize, 5] {
+            let sharded_config = config.clone().with_shards(shards);
+            let out = MaxCoverReporter::run_sharded(n, m, 8, 3.0, &sharded_config, &edges, 96);
+            assert_eq!(serial.sets, out.sets, "shards={shards}");
+            assert_eq!(
+                serial.estimate.to_bits(),
+                out.estimate.to_bits(),
+                "shards={shards}"
+            );
+            assert_eq!(serial.winner, out.winner, "shards={shards}");
+        }
     }
 
     #[test]

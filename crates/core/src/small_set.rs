@@ -31,7 +31,7 @@ use crate::Witness;
 /// Sharing across guesses is sound — each lane's guarantee (Lemma 2.5
 /// for its γ) is individual and the union bound needs no independence
 /// between lanes.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Lane {
     /// Coverage-ratio guess (kept for experiment logging).
     #[allow(dead_code)]
@@ -44,7 +44,7 @@ struct Lane {
 }
 
 /// One repetition: its sampling hashes and its γ lanes.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Rep {
     /// Set `S ∈ M` iff `mhash(S) mod m_buckets == 0` (probability
     /// `≈ c/(sα)`, Lemma 4.16's `18/(sα)`).
@@ -54,7 +54,7 @@ struct Rep {
 }
 
 /// Single-pass case-III subroutine (Fig 5).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SmallSet {
     u: usize,
     m: usize,
@@ -200,6 +200,49 @@ impl SmallSet {
     pub fn num_lanes(&self) -> usize {
         self.reps.iter().map(|r| r.lanes.len()).sum()
     }
+
+    /// Merge a subroutine built with the same parameters and seed over a
+    /// disjoint stream shard. A lane's serial state overflows exactly
+    /// when its surviving-edge count exceeds `edge_cap` (the cap fires
+    /// on the arrival *after* the cap-th stored edge), so on disjoint
+    /// shards `overflowed = a.overflowed ∨ b.overflowed ∨
+    /// (len_a + len_b > edge_cap)` and concatenation of the stored edges
+    /// reproduce serial ingestion exactly up to stored-edge order —
+    /// which `finalize` is insensitive to, because
+    /// `SetSystem::from_edges` sorts and deduplicates member lists.
+    /// Panics on configuration or seed mismatch.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            (self.u, self.m, self.k_sub, self.m_buckets, self.edge_cap, self.reps.len()),
+            (other.u, other.m, other.k_sub, other.m_buckets, other.edge_cap, other.reps.len()),
+            "SmallSet merge requires identical configuration"
+        );
+        let edge_cap = self.edge_cap;
+        for (a, b) in self.reps.iter_mut().zip(&other.reps) {
+            assert_eq!(
+                a.lanes.len(),
+                b.lanes.len(),
+                "SmallSet merge requires identical configuration (lane count)"
+            );
+            assert_eq!(
+                (a.mhash.hash(0x5eed_c0de), a.ehash.hash(0x5eed_c0de)),
+                (b.mhash.hash(0x5eed_c0de), b.ehash.hash(0x5eed_c0de)),
+                "SmallSet merge requires identical hash functions"
+            );
+            for (la, lb) in a.lanes.iter_mut().zip(&b.lanes) {
+                assert_eq!(
+                    la.e_keep, lb.e_keep,
+                    "SmallSet merge requires identical configuration (lane thresholds)"
+                );
+                if la.overflowed || lb.overflowed || la.edges.len() + lb.edges.len() > edge_cap {
+                    la.overflowed = true;
+                    la.edges = Vec::new();
+                } else {
+                    la.edges.extend_from_slice(&lb.edges);
+                }
+            }
+        }
+    }
 }
 
 impl SpaceUsage for SmallSet {
@@ -298,6 +341,76 @@ mod tests {
         let params = Params::practical(100, 100, 5, 2.0);
         let alg = SmallSet::new(100, &params, 1);
         assert!(alg.finalize().is_none());
+    }
+
+    #[test]
+    fn merge_matches_serial_on_firing_instance() {
+        let ss = many_small(2000, 400, 50, 0.4, 8);
+        let params = Params::practical(400, 2000, 50, 8.0);
+        let edges = edge_stream(&ss, ArrivalOrder::Shuffled(17));
+        let proto = SmallSet::new(2000, &params, 23);
+        let mut serial = proto.clone();
+        feed(&mut serial, &edges);
+        let (head, tail) = edges.split_at(edges.len() / 4);
+        let mut left = proto.clone();
+        let mut right = proto;
+        feed(&mut left, head);
+        feed(&mut right, tail);
+        left.merge(&right);
+        let a = serial.finalize().expect("fires on regime III");
+        let b = left.finalize().expect("merged must fire too");
+        assert_eq!(a.0.to_bits(), b.0.to_bits(), "estimate must match");
+        assert_eq!(a.1, b.1, "witness must match");
+        assert_eq!(serial.space_words(), left.space_words());
+    }
+
+    #[test]
+    fn merge_reproduces_serial_overflow() {
+        // Force the cap low enough that the combined stream overflows
+        // while each half alone stays under it.
+        let ss = few_large(500, 100, 2, 150, 3);
+        let mut params = Params::practical(100, 500, 20, 2.0);
+        params.small_set_edge_cap = 64;
+        let edges = edge_stream(&ss, ArrivalOrder::Shuffled(5));
+        let proto = SmallSet::new(500, &params, 5);
+        let mut serial = proto.clone();
+        feed(&mut serial, &edges);
+        let (head, tail) = edges.split_at(edges.len() / 2);
+        let mut left = proto.clone();
+        let mut right = proto;
+        feed(&mut left, head);
+        feed(&mut right, tail);
+        left.merge(&right);
+        for (rs, rm) in serial.reps.iter().zip(&left.reps) {
+            for (ls, lm) in rs.lanes.iter().zip(&rm.lanes) {
+                assert_eq!(ls.overflowed, lm.overflowed, "overflow flags must agree");
+                assert_eq!(ls.edges.len(), lm.edges.len(), "stored edge counts must agree");
+            }
+        }
+        assert!(
+            serial.reps.iter().flat_map(|r| r.lanes.iter()).any(|l| l.overflowed),
+            "test instance must actually overflow some lane"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "identical hash functions")]
+    fn merge_rejects_seed_mismatch() {
+        let params = Params::practical(100, 100, 5, 2.0);
+        let mut a = SmallSet::new(100, &params, 1);
+        let b = SmallSet::new(100, &params, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical configuration")]
+    fn merge_rejects_cap_mismatch() {
+        let mut p1 = Params::practical(100, 100, 5, 2.0);
+        let p2 = p1.clone();
+        p1.small_set_edge_cap += 1;
+        let mut a = SmallSet::new(100, &p1, 1);
+        let b = SmallSet::new(100, &p2, 1);
+        a.merge(&b);
     }
 
     #[test]

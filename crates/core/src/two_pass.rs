@@ -25,7 +25,7 @@ use crate::report::ReportedCover;
 use crate::universe::UniverseReducer;
 
 /// Pass 1: estimate the optimal coverage size.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TwoPassFirst {
     n: usize,
     m: usize,
@@ -72,6 +72,21 @@ impl TwoPassFirst {
         self.estimator.observe_batch(edges);
     }
 
+    /// Merge another pass-1 state built from the same instance shape,
+    /// configuration and seed (delegates to
+    /// [`MaxCoverEstimator::merge`], so the merged state hands the same
+    /// `ẑ` guess to pass 2 as serial ingestion would).
+    pub fn merge(&mut self, other: &Self) {
+        self.estimator.merge(&other.estimator);
+    }
+
+    /// Ingest pass-1 edges through sharded replicas (see
+    /// [`MaxCoverEstimator::ingest_sharded`]). Must be called on a
+    /// freshly constructed pass-1 state.
+    pub fn ingest_sharded(&mut self, edges: &[Edge], shards: usize, batch: usize) {
+        self.estimator.ingest_sharded(edges, shards, batch);
+    }
+
     /// Finish pass 1 and build pass 2 around the guess.
     pub fn into_second_pass(self) -> TwoPassSecond {
         let out = self.estimator.finalize();
@@ -112,7 +127,7 @@ impl TwoPassFirst {
 }
 
 /// Pass 2: a single tuned, reporting oracle (repeated for confidence).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TwoPassSecond {
     k: usize,
     z: u64,
@@ -141,6 +156,63 @@ impl TwoPassSecond {
         for (reducer, oracle) in &mut self.lanes {
             reducer.map_batch(edges, &mut scratch);
             oracle.observe_batch(&scratch);
+        }
+    }
+
+    /// Merge another pass-2 state derived from the same pass-1 guess
+    /// and seed: every repetition lane's oracle is merged; reducers are
+    /// checked to compute the same universe map.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            (self.k, self.z, self.lanes.len(), self.pass1_estimate.to_bits()),
+            (other.k, other.z, other.lanes.len(), other.pass1_estimate.to_bits()),
+            "TwoPassSecond merge requires identical configuration (pass-1 guess)"
+        );
+        for ((reducer, oracle), (other_reducer, other_oracle)) in
+            self.lanes.iter_mut().zip(&other.lanes)
+        {
+            assert!(
+                reducer.same_function(other_reducer),
+                "TwoPassSecond merge requires identical hash functions"
+            );
+            oracle.merge(other_oracle);
+        }
+    }
+
+    /// Ingest pass-2 edges through sharded replicas folded back with
+    /// [`TwoPassSecond::merge`]. Must be called on a fresh pass-2 state
+    /// (straight out of [`TwoPassFirst::into_second_pass`]).
+    pub fn ingest_sharded(&mut self, edges: &[Edge], shards: usize, batch: usize) {
+        let shards = shards.max(1);
+        if shards == 1 || edges.is_empty() {
+            for chunk in edges.chunks(batch.max(1)) {
+                self.observe_batch(chunk);
+            }
+            return;
+        }
+        let chunk_len = edges.len().div_ceil(shards);
+        let mut parts = edges.chunks(chunk_len);
+        let own = parts.next().unwrap_or(&[]);
+        let mut replicas: Vec<TwoPassSecond> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .map(|part| {
+                    let mut replica = self.clone();
+                    s.spawn(move || {
+                        for chunk in part.chunks(batch.max(1)) {
+                            replica.observe_batch(chunk);
+                        }
+                        replica
+                    })
+                })
+                .collect();
+            for chunk in own.chunks(batch.max(1)) {
+                self.observe_batch(chunk);
+            }
+            replicas.extend(handles.into_iter().map(|h| h.join().expect("shard worker panicked")));
+        });
+        for replica in &replicas {
+            self.merge(replica);
         }
     }
 
@@ -204,6 +276,27 @@ pub fn run_two_pass(
     for &e in edges {
         second.observe(e);
     }
+    second.finalize()
+}
+
+/// Convenience: run both passes with `config.shards` sharded replicas
+/// per pass (pass 1 via [`TwoPassFirst::ingest_sharded`], pass 2 via
+/// [`TwoPassSecond::ingest_sharded`]). Matches [`run_two_pass`] up to
+/// the merge-equivalence contract (DESIGN.md §8).
+pub fn run_two_pass_sharded(
+    n: usize,
+    m: usize,
+    k: usize,
+    alpha: f64,
+    config: &EstimatorConfig,
+    edges: &[Edge],
+    batch: usize,
+) -> ReportedCover {
+    let shards = config.shards.max(1);
+    let mut first = TwoPassFirst::new(n, m, k, alpha, config);
+    first.ingest_sharded(edges, shards, batch);
+    let mut second = first.into_second_pass();
+    second.ingest_sharded(edges, shards, batch);
     second.finalize()
 }
 
@@ -279,5 +372,23 @@ mod tests {
         let config = EstimatorConfig::practical(1);
         let cover = run_two_pass(100, 50, 5, 2.0, &config, &[]);
         assert!(cover.sets.is_empty());
+    }
+
+    #[test]
+    fn sharded_two_pass_matches_serial() {
+        let inst = planted_cover(1_000, 150, 8, 0.7, 30, 13);
+        let edges = edge_stream(&inst.system, ArrivalOrder::Shuffled(3));
+        let config = EstimatorConfig::practical(7);
+        let serial = run_two_pass(1_000, 150, 8, 4.0, &config, &edges);
+        for shards in [2usize, 4] {
+            let sharded_config = config.clone().with_shards(shards);
+            let out = run_two_pass_sharded(1_000, 150, 8, 4.0, &sharded_config, &edges, 128);
+            assert_eq!(serial.sets, out.sets, "shards={shards}");
+            assert_eq!(
+                serial.estimate.to_bits(),
+                out.estimate.to_bits(),
+                "shards={shards}"
+            );
+        }
     }
 }

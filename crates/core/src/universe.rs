@@ -53,6 +53,17 @@ impl UniverseReducer {
         self.z
     }
 
+    /// Whether `other` computes the same map `U → [z]` (same range and
+    /// same hash function, checked by probing). Used by the merge path
+    /// to verify two lanes reduce the universe identically.
+    pub fn same_function(&self, other: &Self) -> bool {
+        self.z == other.z
+            && (0..4u64).all(|i| {
+                let probe = 0x5eed_c0de ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                self.hash.hash(probe) == other.hash.hash(probe)
+            })
+    }
+
     /// Image size `|h(S)|` of an explicit set (used by tests and the
     /// Lemma 3.5 experiment).
     pub fn image_size(&self, members: &[u64]) -> usize {
@@ -130,6 +141,17 @@ mod tests {
             let members: Vec<u64> = (0..size as u64).map(|x| x * 7 + 1).collect();
             assert!(r.image_size(&members) <= size);
         }
+    }
+
+    #[test]
+    fn same_function_detects_seed_and_range() {
+        let a = UniverseReducer::new(64, 5);
+        let b = UniverseReducer::new(64, 5);
+        let c = UniverseReducer::new(64, 6);
+        let d = UniverseReducer::new(32, 5);
+        assert!(a.same_function(&b));
+        assert!(!a.same_function(&c));
+        assert!(!a.same_function(&d));
     }
 
     #[test]

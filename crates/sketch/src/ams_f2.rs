@@ -133,15 +133,15 @@ impl AmsF2 {
     /// are linear: counters add). Panics on shape or sign-hash
     /// mismatch.
     pub fn merge(&mut self, other: &AmsF2) {
-        assert_eq!(self.rows, other.rows, "row mismatch");
-        assert_eq!(self.cols, other.cols, "column mismatch");
+        assert_eq!(self.rows, other.rows, "AmsF2 merge requires identical configuration (rows)");
+        assert_eq!(self.cols, other.cols, "AmsF2 merge requires identical configuration (columns)");
         // A single ±1 probe collides half the time; probe a batch.
         let probe =
             |s: &SignHash| -> u32 { (0..32).map(|i| u32::from(s.sign(i) > 0) << i).sum() };
         assert_eq!(
             probe(&self.signs[0]),
             probe(&other.signs[0]),
-            "AMS merge requires identical sign hashes"
+            "AmsF2 merge requires identical hash functions"
         );
         for (a, &b) in self.counters.iter_mut().zip(&other.counters) {
             *a += b;
@@ -262,10 +262,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "identical sign hashes")]
+    #[should_panic(expected = "identical hash functions")]
     fn merge_rejects_seed_mismatch() {
         let mut a = AmsF2::new(2, 4, 1);
         let b = AmsF2::new(2, 4, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical configuration")]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = AmsF2::new(2, 4, 1);
+        let b = AmsF2::new(3, 4, 1);
         a.merge(&b);
     }
 }

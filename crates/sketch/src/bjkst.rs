@@ -63,14 +63,63 @@ impl Bjkst {
         self.level
     }
 
-    /// Merge another summary built with the *same seed* (linearity over
-    /// set union): raise both to the higher level and unite buffers.
-    /// Panics if the seeds differ (detected via a probe value).
+    /// The configured buffer capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The sampling hash (wire serialization).
+    pub fn hash(&self) -> &KWise {
+        &self.hash
+    }
+
+    /// The surviving hash values, ascending (wire serialization; sorted
+    /// so the encoding is canonical).
+    pub fn buffer_values(&self) -> Vec<u64> {
+        let mut vals: Vec<u64> = self.buffer.iter().copied().collect();
+        vals.sort_unstable();
+        vals
+    }
+
+    /// Rebuild from parts (inverse of the accessors). Fails when the
+    /// buffer exceeds the capacity or holds a value below the level.
+    pub fn from_parts(
+        capacity: usize,
+        level: u32,
+        hash: KWise,
+        values: Vec<u64>,
+    ) -> Result<Self, String> {
+        if capacity < 8 {
+            return Err("BJKST needs capacity >= 8".into());
+        }
+        if values.len() > capacity {
+            return Err(format!("{} buffered values exceed capacity {capacity}", values.len()));
+        }
+        if values.iter().any(|&v| v.trailing_zeros() < level) {
+            return Err(format!("buffered value below sampling level {level}"));
+        }
+        Ok(Bjkst {
+            hash,
+            level,
+            buffer: values.into_iter().collect(),
+            capacity,
+        })
+    }
+
+    /// Merge another summary built with the *same capacity and seed*
+    /// (linearity over set union): raise both to the higher level and
+    /// unite buffers. Panics on configuration or seed mismatch
+    /// (detected via a probe value).
     pub fn merge(&mut self, other: &Bjkst) {
+        assert_eq!(
+            self.capacity,
+            other.capacity,
+            "Bjkst merge requires identical configuration (capacity)"
+        );
         assert_eq!(
             self.hash.hash(0x5eed_c0de),
             other.hash.hash(0x5eed_c0de),
-            "BJKST merge requires identical hash functions"
+            "Bjkst merge requires identical hash functions"
         );
         self.level = self.level.max(other.level);
         let level = self.level;
@@ -169,6 +218,30 @@ mod tests {
         let mut a = Bjkst::new(16, 1);
         let b = Bjkst::new(16, 2);
         a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical configuration")]
+    fn merge_rejects_capacity_mismatch() {
+        // Same seed, different capacity: the overflow schedules differ,
+        // so the merged level would not match the union stream's.
+        let mut a = Bjkst::new(16, 1);
+        let b = Bjkst::new(32, 1);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_validates() {
+        let mut b = Bjkst::new(16, 4);
+        for i in 0..5_000u64 {
+            b.insert(i);
+        }
+        let back =
+            Bjkst::from_parts(b.capacity(), b.level(), b.hash().clone(), b.buffer_values())
+                .unwrap();
+        assert_eq!(b.estimate(), back.estimate());
+        assert!(Bjkst::from_parts(4, 0, b.hash().clone(), Vec::new()).is_err());
+        assert!(Bjkst::from_parts(8, 3, b.hash().clone(), vec![1]).is_err());
     }
 
     #[test]

@@ -82,7 +82,7 @@ pub struct ContributingReport {
 }
 
 /// Single-pass `γ`-contributing class finder (Theorem 2.11 interface).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct F2Contributing {
     /// One shared `Θ(log mn)`-wise sampling hash; level `i` keeps a
     /// coordinate iff `hash(j) mod 2^i < keep_i`. The levels are nested
@@ -93,7 +93,7 @@ pub struct F2Contributing {
     levels: Vec<Level>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Level {
     /// Keep a coordinate iff `hash(j) mod 2^i < keep`, i.e. with
     /// probability `keep / 2^i`.
@@ -200,6 +200,72 @@ impl F2Contributing {
     /// Number of size-guess levels.
     pub fn num_levels(&self) -> usize {
         self.levels.len()
+    }
+
+    /// The shared sampling hash (wire serialization).
+    pub fn sampling_hash(&self) -> &KWise {
+        &self.hash
+    }
+
+    /// Per-level `(modulus, keep, heavy hitter)` triples (wire
+    /// serialization).
+    pub fn level_parts(&self) -> Vec<(u64, u64, &F2HeavyHitter)> {
+        self.levels.iter().map(|l| (l.modulus, l.keep, &l.hh)).collect()
+    }
+
+    /// Rebuild from parts (inverse of the accessors). Fails on an empty
+    /// or malformed level schedule.
+    pub fn from_parts(
+        hash: KWise,
+        levels: Vec<(u64, u64, F2HeavyHitter)>,
+    ) -> Result<Self, String> {
+        if levels.is_empty() {
+            return Err("need at least one level".into());
+        }
+        let mut prev = 0u64;
+        for &(modulus, keep, _) in &levels {
+            if !modulus.is_power_of_two() || keep == 0 || keep > modulus {
+                return Err(format!("malformed level (modulus {modulus}, keep {keep})"));
+            }
+            if modulus <= prev {
+                return Err("level moduli must be strictly increasing".into());
+            }
+            prev = modulus;
+        }
+        Ok(F2Contributing {
+            hash,
+            levels: levels
+                .into_iter()
+                .map(|(modulus, keep, hh)| Level { modulus, keep, hh })
+                .collect(),
+        })
+    }
+
+    /// Merge a finder built with the same configuration and seed over a
+    /// disjoint stream shard. Coordinate sampling is a pure function of
+    /// the shared hash, so each level's surviving substream is the
+    /// disjoint union of the shards' substreams and the per-level heavy
+    /// hitters merge under their own contract. Panics on configuration
+    /// or seed mismatch.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.levels.len(),
+            other.levels.len(),
+            "F2Contributing merge requires identical configuration (levels)"
+        );
+        assert_eq!(
+            self.hash.hash(0x5eed_c0de),
+            other.hash.hash(0x5eed_c0de),
+            "F2Contributing merge requires identical hash functions"
+        );
+        for (a, b) in self.levels.iter_mut().zip(&other.levels) {
+            assert_eq!(
+                (a.modulus, a.keep),
+                (b.modulus, b.keep),
+                "F2Contributing merge requires identical configuration (level schedule)"
+            );
+            a.hh.merge(&b.hh);
+        }
     }
 }
 
@@ -327,5 +393,64 @@ mod tests {
     #[should_panic(expected = "gamma must be in (0, 1]")]
     fn invalid_gamma_rejected() {
         let _ = ContributingConfig::new(-0.1, 10);
+    }
+
+    #[test]
+    fn merge_matches_serial_report() {
+        let proto = F2Contributing::new(ContributingConfig::new(0.25, 64), 1000, 1000, 19);
+        let mut left = proto.clone();
+        let mut right = proto.clone();
+        let mut serial = proto.clone();
+        let mut freqs: Vec<(u64, u64)> = vec![(0, 256)];
+        freqs.extend((1..=16).map(|i| (i as u64, 64)));
+        // Split the round-robin stream at round 100: the first chunk to
+        // the left shard, the rest to the right.
+        let max_f = freqs.iter().map(|&(_, f)| f).max().unwrap();
+        for round in 0..max_f {
+            for &(item, f) in &freqs {
+                if round < f {
+                    serial.insert(item);
+                    if round < 100 {
+                        left.insert(item);
+                    } else {
+                        right.insert(item);
+                    }
+                }
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.report(), serial.report());
+    }
+
+    #[test]
+    #[should_panic(expected = "identical hash functions")]
+    fn merge_rejects_seed_mismatch() {
+        let mut a = F2Contributing::new(ContributingConfig::new(0.5, 16), 100, 100, 1);
+        let b = F2Contributing::new(ContributingConfig::new(0.5, 16), 100, 100, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical configuration")]
+    fn merge_rejects_level_mismatch() {
+        let mut a = F2Contributing::new(ContributingConfig::new(0.5, 16), 100, 100, 1);
+        let b = F2Contributing::new(ContributingConfig::new(0.5, 256), 100, 100, 1);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_validates() {
+        let mut fc = F2Contributing::new(ContributingConfig::new(0.3, 64), 500, 500, 3);
+        feed(&mut fc, &[(4, 128), (9, 40)]);
+        let levels: Vec<(u64, u64, F2HeavyHitter)> = fc
+            .level_parts()
+            .into_iter()
+            .map(|(m, k, hh)| (m, k, hh.clone()))
+            .collect();
+        let back = F2Contributing::from_parts(fc.sampling_hash().clone(), levels).unwrap();
+        assert_eq!(fc.report(), back.report());
+        assert!(F2Contributing::from_parts(fc.sampling_hash().clone(), Vec::new()).is_err());
+        let bad = vec![(3u64, 1u64, F2HeavyHitter::for_phi(0.5, 1))];
+        assert!(F2Contributing::from_parts(fc.sampling_hash().clone(), bad).is_err());
     }
 }

@@ -80,8 +80,12 @@ impl CountMin {
     /// Merge a sketch built with the same shape and seed (linear).
     /// Panics on mismatch.
     pub fn merge(&mut self, other: &CountMin) {
-        assert_eq!(self.rows, other.rows, "row mismatch");
-        assert_eq!(self.width, other.width, "width mismatch");
+        assert_eq!(self.rows, other.rows, "CountMin merge requires identical configuration (rows)");
+        assert_eq!(
+            self.width,
+            other.width,
+            "CountMin merge requires identical configuration (width)"
+        );
         assert_eq!(
             self.hashes[0].hash(0x5eed_c0de),
             other.hashes[0].hash(0x5eed_c0de),
@@ -178,6 +182,14 @@ mod tests {
     fn merge_rejects_seed_mismatch() {
         let mut a = CountMin::new(2, 8, 1);
         let b = CountMin::new(2, 8, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical configuration")]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = CountMin::new(2, 8, 1);
+        let b = CountMin::new(2, 16, 1);
         a.merge(&b);
     }
 }

@@ -118,8 +118,16 @@ impl CountSketch {
     /// Merge a sketch built with the same shape and seed (CountSketch is
     /// a linear sketch: tables add). Panics on mismatch.
     pub fn merge(&mut self, other: &CountSketch) {
-        assert_eq!(self.rows, other.rows, "row mismatch");
-        assert_eq!(self.width, other.width, "width mismatch");
+        assert_eq!(
+            self.rows,
+            other.rows,
+            "CountSketch merge requires identical configuration (rows)"
+        );
+        assert_eq!(
+            self.width,
+            other.width,
+            "CountSketch merge requires identical configuration (width)"
+        );
         assert_eq!(
             (self.buckets[0].hash(0x5eed_c0de), self.signs[0].sign(0x5eed_c0de)),
             (other.buckets[0].hash(0x5eed_c0de), other.signs[0].sign(0x5eed_c0de)),
@@ -288,6 +296,14 @@ mod tests {
     fn merge_rejects_seed_mismatch() {
         let mut a = CountSketch::new(2, 8, 1);
         let b = CountSketch::new(2, 8, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical configuration")]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = CountSketch::new(2, 8, 1);
+        let b = CountSketch::new(2, 16, 1);
         a.merge(&b);
     }
 

@@ -192,6 +192,112 @@ impl F2HeavyHitter {
     pub fn phi(&self) -> f64 {
         self.config.phi
     }
+
+    /// The full configuration (wire serialization).
+    pub fn config(&self) -> &HeavyHitterConfig {
+        &self.config
+    }
+
+    /// The CountSketch frequency sketch (wire serialization).
+    pub fn sketch(&self) -> &CountSketch {
+        &self.sketch
+    }
+
+    /// The AMS `F2` sketch (wire serialization).
+    pub fn f2_sketch(&self) -> &AmsF2 {
+        &self.f2
+    }
+
+    /// Candidate entries as `(item, base estimate, arrivals since)`,
+    /// sorted by item so the encoding is canonical (wire serialization).
+    pub fn candidate_entries(&self) -> Vec<(u64, i64, i64)> {
+        let mut out: Vec<(u64, i64, i64)> =
+            self.candidates.iter().map(|(&item, &(b, c))| (item, b, c)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Rebuild from parts (inverse of the accessors). Fails when the
+    /// sketch shapes disagree with what `config` dictates or the
+    /// candidate list exceeds its high-water mark.
+    pub fn from_parts(
+        config: HeavyHitterConfig,
+        sketch: CountSketch,
+        f2: AmsF2,
+        candidates: Vec<(u64, i64, i64)>,
+        items_seen: u64,
+    ) -> Result<Self, String> {
+        if !(config.phi > 0.0 && config.phi <= 1.0) {
+            return Err("phi must be in (0, 1]".into());
+        }
+        let width = ((config.width_factor / config.phi).ceil() as usize).clamp(8, 1 << 22);
+        let capacity = ((config.capacity_factor / config.phi).ceil() as usize).clamp(8, 1 << 22);
+        if sketch.rows() != config.rows || sketch.width() != width {
+            return Err("CountSketch shape disagrees with the configuration".into());
+        }
+        if candidates.len() > capacity + capacity / 2 {
+            return Err(format!(
+                "{} candidates exceed the high-water mark {}",
+                candidates.len(),
+                capacity + capacity / 2
+            ));
+        }
+        Ok(F2HeavyHitter {
+            config,
+            sketch,
+            f2,
+            candidates: candidates.into_iter().map(|(item, b, c)| (item, (b, c))).collect(),
+            capacity,
+            items_seen,
+        })
+    }
+
+    /// Merge a tracker built with the same configuration and seed over a
+    /// *disjoint stream shard*. The CountSketch and AMS substructures
+    /// are linear, so their merged state is bit-identical to
+    /// single-stream ingestion. The candidate tracker is the one
+    /// order-sensitive piece: the merged candidate set is rebuilt
+    /// *canonically* — the union of both key sets, every entry re-based
+    /// on the merged sketch, pruned by the same value-cut/item-id rule
+    /// as serial ingestion. This makes merging commutative and
+    /// associative (the result depends only on the union of tracked
+    /// keys), and [`F2HeavyHitter::heavy_hitters`] — which re-queries
+    /// the merged sketch and thresholds against the merged `F2` — agrees
+    /// with serial ingestion whenever the tracked key sets agree on the
+    /// threshold-passing items (the equivalence contract; exact whenever
+    /// the candidate list never overflowed). Panics on configuration or
+    /// seed mismatch.
+    pub fn merge(&mut self, other: &Self) {
+        let cfg = |c: &HeavyHitterConfig| {
+            (
+                c.phi.to_bits(),
+                c.rows,
+                c.width_factor.to_bits(),
+                c.capacity_factor.to_bits(),
+                c.report_slack.to_bits(),
+            )
+        };
+        assert_eq!(
+            cfg(&self.config),
+            cfg(&other.config),
+            "F2HeavyHitter merge requires identical configuration"
+        );
+        self.sketch.merge(&other.sketch);
+        self.f2.merge(&other.f2);
+        self.items_seen += other.items_seen;
+        let mut items: Vec<u64> = self.candidates.keys().copied().collect();
+        items.extend(other.candidates.keys().copied());
+        items.sort_unstable();
+        items.dedup();
+        self.candidates.clear();
+        for &item in &items {
+            let est = self.sketch.query(item);
+            self.candidates.insert(item, (est, 0));
+        }
+        if self.candidates.len() > self.capacity + self.capacity / 2 {
+            self.prune();
+        }
+    }
 }
 
 impl SpaceUsage for F2HeavyHitter {
@@ -317,6 +423,95 @@ mod tests {
     #[should_panic(expected = "phi must be in (0, 1]")]
     fn invalid_phi_rejected() {
         let _ = HeavyHitterConfig::for_phi(0.0);
+    }
+
+    #[test]
+    fn merge_matches_serial_report() {
+        // Shards whose distinct-item count stays within the candidate
+        // capacity: the merged tracker is bit-identical to serial
+        // ingestion (same candidate keys, same linear sketches).
+        let proto = F2HeavyHitter::for_phi(0.05, 13);
+        let mut left = proto.clone();
+        let mut right = proto.clone();
+        let mut serial = proto.clone();
+        for round in 0..300u64 {
+            for &(item, heavy) in &[(1u64, true), (2, round % 3 == 0), (40 + round % 50, false)] {
+                if heavy || round % 2 == 0 {
+                    serial.insert(item);
+                    if round < 150 {
+                        left.insert(item);
+                    } else {
+                        right.insert(item);
+                    }
+                }
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.items_seen(), serial.items_seen());
+        assert_eq!(left.f2_estimate().to_bits(), serial.f2_estimate().to_bits());
+        assert_eq!(left.heavy_hitters(), serial.heavy_hitters());
+        assert_eq!(left.candidate_entries().len(), serial.candidate_entries().len());
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let proto = F2HeavyHitter::for_phi(0.1, 21);
+        let mut a = proto.clone();
+        let mut b = proto.clone();
+        for i in 0..400u64 {
+            a.insert(i % 37);
+            b.insert(i % 53);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.heavy_hitters(), ba.heavy_hitters());
+        assert_eq!(ab.candidate_entries(), ba.candidate_entries());
+    }
+
+    #[test]
+    #[should_panic(expected = "identical configuration")]
+    fn merge_rejects_config_mismatch() {
+        let mut a = F2HeavyHitter::for_phi(0.1, 1);
+        let b = F2HeavyHitter::for_phi(0.2, 1);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical hash functions")]
+    fn merge_rejects_seed_mismatch() {
+        let mut a = F2HeavyHitter::for_phi(0.1, 1);
+        let b = F2HeavyHitter::for_phi(0.1, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_validates() {
+        let mut hh = F2HeavyHitter::for_phi(0.1, 17);
+        for i in 0..500u64 {
+            hh.insert(i % 11);
+        }
+        let back = F2HeavyHitter::from_parts(
+            hh.config().clone(),
+            hh.sketch().clone(),
+            hh.f2_sketch().clone(),
+            hh.candidate_entries(),
+            hh.items_seen(),
+        )
+        .unwrap();
+        assert_eq!(hh.heavy_hitters(), back.heavy_hitters());
+        assert_eq!(hh.items_seen(), back.items_seen());
+        // Mismatched sketch shape is rejected.
+        let wrong = CountSketch::new(2, 8, 1);
+        assert!(F2HeavyHitter::from_parts(
+            hh.config().clone(),
+            wrong,
+            hh.f2_sketch().clone(),
+            Vec::new(),
+            0,
+        )
+        .is_err());
     }
 
     #[test]

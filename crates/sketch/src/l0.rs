@@ -130,15 +130,16 @@ impl Kmv {
         })
     }
 
-    /// Merge a summary built with the *same seed* (bottom-k summaries
-    /// are mergeable under set union — the property the BEM-style
-    /// baseline and distributed deployments rely on). Panics if the
-    /// hash functions differ.
+    /// Merge a summary built with the *same `k` and seed* (bottom-k
+    /// summaries are mergeable under set union — the property the
+    /// BEM-style baseline and distributed deployments rely on). Panics
+    /// if the configurations or hash functions differ.
     pub fn merge(&mut self, other: &Kmv) {
+        assert_eq!(self.k, other.k, "Kmv merge requires identical configuration (k)");
         assert_eq!(
             self.hash.hash(0x5eed_c0de),
             other.hash.hash(0x5eed_c0de),
-            "KMV merge requires identical hash functions"
+            "Kmv merge requires identical hash functions"
         );
         for &h in &other.smallest {
             self.smallest.insert(h);
@@ -208,10 +209,32 @@ impl L0Estimator {
     /// Merge an estimator built with the same seed and shape (merges
     /// repetition-wise). Panics on mismatched shapes or seeds.
     pub fn merge(&mut self, other: &L0Estimator) {
-        assert_eq!(self.reps.len(), other.reps.len(), "repetition count mismatch");
+        assert_eq!(
+            self.reps.len(),
+            other.reps.len(),
+            "L0Estimator merge requires identical configuration (repetitions)"
+        );
         for (a, b) in self.reps.iter_mut().zip(&other.reps) {
             a.merge(b);
         }
+    }
+
+    /// The underlying KMV repetitions (wire serialization).
+    pub fn repetitions(&self) -> &[Kmv] {
+        &self.reps
+    }
+
+    /// Rebuild from parts (inverse of [`L0Estimator::repetitions`]).
+    /// Fails when empty or when the repetitions disagree on `k`.
+    pub fn from_parts(reps: Vec<Kmv>) -> Result<Self, String> {
+        if reps.is_empty() {
+            return Err("need at least one repetition".into());
+        }
+        let k = reps[0].k();
+        if reps.iter().any(|r| r.k() != k) {
+            return Err("repetitions disagree on k".into());
+        }
+        Ok(L0Estimator { reps })
     }
 }
 
@@ -338,6 +361,45 @@ mod tests {
         let mut a = Kmv::new(8, 1);
         let b = Kmv::new(8, 2);
         a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical configuration")]
+    fn kmv_merge_rejects_k_mismatch() {
+        // Same seed, different k: the bottom-k cut-offs differ, so a
+        // union of the kept sets is not the union-stream summary.
+        let mut a = Kmv::new(8, 1);
+        let b = Kmv::new(16, 1);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical configuration")]
+    fn estimator_merge_rejects_rep_count_mismatch() {
+        let mut a = L0Estimator::new(16, 3, 1);
+        let b = L0Estimator::new(16, 4, 1);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical hash functions")]
+    fn estimator_merge_rejects_seed_mismatch() {
+        let mut a = L0Estimator::new(16, 3, 1);
+        let b = L0Estimator::new(16, 3, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn estimator_from_parts_roundtrips() {
+        let mut est = L0Estimator::new(16, 3, 5);
+        for i in 0..500u64 {
+            est.insert(i);
+        }
+        let back = L0Estimator::from_parts(est.repetitions().to_vec()).unwrap();
+        assert_eq!(est.estimate(), back.estimate());
+        assert!(L0Estimator::from_parts(Vec::new()).is_err());
+        let mixed = vec![Kmv::new(8, 1), Kmv::new(16, 1)];
+        assert!(L0Estimator::from_parts(mixed).is_err());
     }
 
     #[test]

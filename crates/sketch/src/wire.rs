@@ -17,9 +17,12 @@
 use kcov_hash::{KWise, SignHash};
 
 use crate::ams_f2::AmsF2;
+use crate::bjkst::Bjkst;
+use crate::contributing::F2Contributing;
 use crate::count_min::CountMin;
 use crate::count_sketch::CountSketch;
-use crate::l0::Kmv;
+use crate::heavy_hitter::{F2HeavyHitter, HeavyHitterConfig};
+use crate::l0::{Kmv, L0Estimator};
 
 /// Decode error with context.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,6 +93,14 @@ pub(crate) fn take_i64(input: &mut &[u8]) -> Result<i64, WireError> {
     Ok(take_u64(input)? as i64)
 }
 
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+pub(crate) fn take_f64(input: &mut &[u8]) -> Result<f64, WireError> {
+    Ok(f64::from_bits(take_u64(input)?))
+}
+
 pub(crate) fn put_u64s(out: &mut Vec<u8>, vs: &[u64]) {
     put_u64(out, vs.len() as u64);
     for &v in vs {
@@ -135,6 +146,10 @@ const TAG_KMV: u64 = 0x4b4d56; // "KMV"
 const TAG_AMS: u64 = 0x414d53; // "AMS"
 const TAG_CS: u64 = 0x4353; // "CS"
 const TAG_CM: u64 = 0x434d; // "CM"
+const TAG_L0: u64 = 0x4c30; // "L0"
+const TAG_BJKST: u64 = 0x424a4b5354; // "BJKST"
+const TAG_HH: u64 = 0x4848; // "HH"
+const TAG_FC: u64 = 0x4643; // "FC"
 
 impl WireEncode for Kmv {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -246,6 +261,126 @@ impl WireEncode for CountMin {
     }
 }
 
+impl WireEncode for L0Estimator {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, TAG_L0);
+        put_u64(out, self.repetitions().len() as u64);
+        for r in self.repetitions() {
+            r.encode(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        if take_u64(input)? != TAG_L0 {
+            return Err(err("bad L0Estimator tag"));
+        }
+        let n = take_u64(input)? as usize;
+        if n > input.len() {
+            // Each repetition needs at least one byte; cheap sanity cap
+            // so a corrupt length cannot drive a huge allocation loop.
+            return Err(err("L0Estimator repetition count exceeds input"));
+        }
+        let reps = (0..n).map(|_| Kmv::decode(input)).collect::<Result<Vec<_>, _>>()?;
+        L0Estimator::from_parts(reps).map_err(err)
+    }
+}
+
+impl WireEncode for Bjkst {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, TAG_BJKST);
+        put_u64(out, self.capacity() as u64);
+        put_u64(out, u64::from(self.level()));
+        put_kwise(out, self.hash());
+        put_u64s(out, &self.buffer_values());
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        if take_u64(input)? != TAG_BJKST {
+            return Err(err("bad BJKST tag"));
+        }
+        let capacity = take_u64(input)? as usize;
+        let level = take_u64(input)? as u32;
+        let hash = take_kwise(input)?;
+        let values = take_u64s(input)?;
+        Bjkst::from_parts(capacity, level, hash, values).map_err(err)
+    }
+}
+
+impl WireEncode for F2HeavyHitter {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, TAG_HH);
+        let c = self.config();
+        put_f64(out, c.phi);
+        put_u64(out, c.rows as u64);
+        put_f64(out, c.width_factor);
+        put_f64(out, c.capacity_factor);
+        put_f64(out, c.report_slack);
+        self.sketch().encode(out);
+        self.f2_sketch().encode(out);
+        put_u64(out, self.items_seen());
+        let candidates = self.candidate_entries();
+        put_u64(out, candidates.len() as u64);
+        for (item, base, count) in candidates {
+            put_u64(out, item);
+            put_i64(out, base);
+            put_i64(out, count);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        if take_u64(input)? != TAG_HH {
+            return Err(err("bad F2HeavyHitter tag"));
+        }
+        let config = HeavyHitterConfig {
+            phi: take_f64(input)?,
+            rows: take_u64(input)? as usize,
+            width_factor: take_f64(input)?,
+            capacity_factor: take_f64(input)?,
+            report_slack: take_f64(input)?,
+        };
+        let sketch = CountSketch::decode(input)?;
+        let f2 = AmsF2::decode(input)?;
+        let items_seen = take_u64(input)?;
+        let n = take_u64(input)? as usize;
+        if input.len() < 24 * n {
+            return Err(err(format!("truncated candidate list of {n} entries")));
+        }
+        let candidates = (0..n)
+            .map(|_| Ok((take_u64(input)?, take_i64(input)?, take_i64(input)?)))
+            .collect::<Result<Vec<_>, WireError>>()?;
+        F2HeavyHitter::from_parts(config, sketch, f2, candidates, items_seen).map_err(err)
+    }
+}
+
+impl WireEncode for F2Contributing {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, TAG_FC);
+        put_kwise(out, self.sampling_hash());
+        let levels = self.level_parts();
+        put_u64(out, levels.len() as u64);
+        for (modulus, keep, hh) in levels {
+            put_u64(out, modulus);
+            put_u64(out, keep);
+            hh.encode(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        if take_u64(input)? != TAG_FC {
+            return Err(err("bad F2Contributing tag"));
+        }
+        let hash = take_kwise(input)?;
+        let n = take_u64(input)? as usize;
+        if n > input.len() {
+            return Err(err("F2Contributing level count exceeds input"));
+        }
+        let levels = (0..n)
+            .map(|_| Ok((take_u64(input)?, take_u64(input)?, F2HeavyHitter::decode(input)?)))
+            .collect::<Result<Vec<_>, WireError>>()?;
+        F2Contributing::from_parts(hash, levels).map_err(err)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +437,105 @@ mod tests {
         for i in 0..50u64 {
             assert_eq!(cm.query(i), back.query(i));
         }
+    }
+
+    #[test]
+    fn l0_estimator_roundtrip_and_continue() {
+        let mut est = L0Estimator::new(32, 3, 11);
+        for i in 0..4_000u64 {
+            est.insert(i * 7);
+        }
+        let mut back = L0Estimator::from_bytes(&est.to_bytes()).unwrap();
+        assert_eq!(est.estimate(), back.estimate());
+        let mut original = est.clone();
+        for i in 0..2_000u64 {
+            original.insert(500_000 + i);
+            back.insert(500_000 + i);
+        }
+        assert_eq!(original.estimate(), back.estimate());
+    }
+
+    #[test]
+    fn bjkst_roundtrip_and_continue() {
+        let mut b = Bjkst::new(64, 23);
+        for i in 0..8_000u64 {
+            b.insert(i);
+        }
+        let mut back = Bjkst::from_bytes(&b.to_bytes()).unwrap();
+        assert_eq!(b.estimate(), back.estimate());
+        assert_eq!(b.level(), back.level());
+        let mut original = b.clone();
+        for i in 8_000..16_000u64 {
+            original.insert(i);
+            back.insert(i);
+        }
+        assert_eq!(original.estimate(), back.estimate());
+    }
+
+    #[test]
+    fn heavy_hitter_roundtrip_and_continue() {
+        let mut hh = F2HeavyHitter::for_phi(0.05, 31);
+        for i in 0..3_000u64 {
+            hh.insert(i % 40);
+            hh.insert(7); // dominant item
+        }
+        let mut back = F2HeavyHitter::from_bytes(&hh.to_bytes()).unwrap();
+        assert_eq!(hh.heavy_hitters(), back.heavy_hitters());
+        assert_eq!(hh.items_seen(), back.items_seen());
+        assert_eq!(hh.f2_estimate().to_bits(), back.f2_estimate().to_bits());
+        let mut original = hh.clone();
+        for i in 0..1_000u64 {
+            original.insert(i % 13);
+            back.insert(i % 13);
+        }
+        assert_eq!(original.heavy_hitters(), back.heavy_hitters());
+        assert_eq!(original.candidate_entries(), back.candidate_entries());
+    }
+
+    #[test]
+    fn contributing_roundtrip_and_continue() {
+        use crate::contributing::ContributingConfig;
+        let mut fc = F2Contributing::new(ContributingConfig::new(0.25, 64), 1000, 1000, 41);
+        for round in 0..300u64 {
+            fc.insert(5);
+            fc.insert(100 + round % 20);
+        }
+        let mut back = F2Contributing::from_bytes(&fc.to_bytes()).unwrap();
+        assert_eq!(fc.report(), back.report());
+        let mut original = fc.clone();
+        for round in 0..200u64 {
+            original.insert(9);
+            back.insert(9);
+            original.insert(400 + round);
+            back.insert(400 + round);
+        }
+        assert_eq!(original.report(), back.report());
+    }
+
+    #[test]
+    fn new_type_truncations_rejected() {
+        let mut hh = F2HeavyHitter::for_phi(0.2, 3);
+        hh.insert(1);
+        let bytes = hh.to_bytes();
+        for cut in [0usize, 1, 7, 16, bytes.len() / 2, bytes.len() - 1] {
+            assert!(F2HeavyHitter::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let b = Bjkst::new(8, 1);
+        let bytes = b.to_bytes();
+        assert!(Bjkst::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let est = L0Estimator::new(8, 2, 1);
+        let bytes = est.to_bytes();
+        assert!(L0Estimator::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn new_type_wrong_tags_rejected() {
+        let est = L0Estimator::new(8, 2, 1);
+        assert!(Bjkst::from_bytes(&est.to_bytes()).is_err());
+        let b = Bjkst::new(8, 1);
+        assert!(L0Estimator::from_bytes(&b.to_bytes()).is_err());
+        let hh = F2HeavyHitter::for_phi(0.5, 1);
+        assert!(F2Contributing::from_bytes(&hh.to_bytes()).is_err());
     }
 
     #[test]

@@ -9,11 +9,16 @@
 //! summaries. The merged result is bit-identical to a single-machine
 //! pass (sketches are exactly mergeable), demonstrated live.
 //!
+//! The finale runs the same pattern through the *whole* paper stack:
+//! `MaxCoverEstimator` replicas over stream shards, folded back with
+//! `merge` (DESIGN.md §8) — same estimate as the serial pass.
+//!
 //! ```text
 //! cargo run --release --example distributed_merge
 //! ```
 
 use maxkcov::baselines::{greedy_max_cover, SketchedGreedy};
+use maxkcov::core::{EstimatorConfig, MaxCoverEstimator};
 use maxkcov::sketch::SpaceUsage;
 use maxkcov::stream::gen::zipf_set_sizes;
 use maxkcov::stream::{coverage_of, edge_stream, ArrivalOrder};
@@ -79,5 +84,20 @@ fn main() {
     println!(
         "estimate from merged sketches: {:.0}",
         distributed.estimated_coverage
+    );
+
+    // The same pattern through the full estimator stack: each worker
+    // runs a complete `MaxCoverEstimator` replica over its shard, and
+    // the coordinator folds them with `merge` at finalize. The paper's
+    // Õ(m/α²)-space estimate is identical to a single-machine pass.
+    let alpha = 4.0;
+    let config = EstimatorConfig::practical(seed);
+    let serial = MaxCoverEstimator::run(n, m, k, alpha, &config, &edges);
+    let sharded_config = config.clone().with_shards(workers);
+    let sharded = MaxCoverEstimator::run_sharded(n, m, k, alpha, &sharded_config, &edges, 8192);
+    assert_eq!(serial.estimate.to_bits(), sharded.estimate.to_bits());
+    println!(
+        "\nfull-stack shard merge ({workers} estimator replicas): estimate {:.0} == serial {:.0}: OK",
+        sharded.estimate, serial.estimate
     );
 }

@@ -7,9 +7,9 @@
 //! maxkcov greedy   --input FILE --k K
 //! maxkcov exact    --input FILE --k K
 //! maxkcov estimate --input FILE --k K --alpha A [--seed S] [--order ORDER] \
-//!                  [--threads T] [--batch B]
+//!                  [--threads T] [--batch B] [--shards S]
 //! maxkcov report   --input FILE --k K --alpha A [--seed S] [--order ORDER] \
-//!                  [--threads T] [--batch B]
+//!                  [--threads T] [--batch B] [--shards S]
 //! ```
 //!
 //! `ORDER` is one of `set`, `element`, `roundrobin`, `shuffle:SEED`
@@ -17,7 +17,10 @@
 //! `kcov_stream::io`. `--batch B` routes ingestion through the batched
 //! engine in chunks of `B` edges and `--threads T` shards the guess ×
 //! repetition lanes across `T` OS threads; both are bit-identical to
-//! the default per-edge serial pass.
+//! the default per-edge serial pass. `--shards S` instead partitions
+//! the *stream* across `S` full estimator replicas (scoped threads)
+//! merged at finalize — estimates are identical to the serial pass up
+//! to the merge contract of DESIGN.md §8.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -52,16 +55,20 @@ const USAGE: &str = "usage:
   maxkcov greedy   --input FILE --k K
   maxkcov exact    --input FILE --k K
   maxkcov estimate --input FILE --k K --alpha A [--seed S] [--order ORDER] [--mode paper|practical]
-                   [--threads T] [--batch B]
+                   [--threads T] [--batch B] [--shards S]
   maxkcov report   --input FILE --k K --alpha A [--seed S] [--order ORDER] [--mode paper|practical]
-                   [--threads T] [--batch B]
+                   [--threads T] [--batch B] [--shards S]
   maxkcov twopass  --input FILE --k K --alpha A [--seed S] [--order ORDER] [--threads T] [--batch B]
+                   [--shards S]
   maxkcov setcover --input FILE [--fraction F]
   maxkcov budget   --input FILE --k K --words W [--seed S] [--order ORDER] [--threads T] [--batch B]
+                   [--shards S]
 KIND: uniform | zipf | planted | common | few-large | many-small
 ORDER: set | element | roundrobin | shuffle:SEED (default shuffle:0)
 --batch B ingests B edges per observe_batch call (default: per-edge observe);
---threads T shards lanes across T threads. Results are bit-identical either way.";
+--threads T shards lanes across T threads. Results are bit-identical either way.
+--shards S partitions the stream across S estimator replicas merged at
+finalize; estimates are identical to the serial pass (DESIGN.md sec. 8).";
 
 /// Parse `--key value` flags after the subcommand.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -120,6 +127,13 @@ fn parse_config(flags: &HashMap<String, String>) -> Result<EstimatorConfig, Stri
     }
     if let Some(t) = flags.get("threads") {
         config.threads = parse_num(t, "threads")?;
+    }
+    if let Some(s) = flags.get("shards") {
+        let shards: usize = parse_num(s, "shards")?;
+        if shards == 0 {
+            return Err("--shards must be >= 1".into());
+        }
+        config.shards = shards;
     }
     Ok(config)
 }
@@ -236,15 +250,19 @@ fn cmd_estimate(flags: &HashMap<String, String>) -> Result<(), String> {
     let batch = parse_batch(flags)?;
     let edges = edge_stream(&system, order);
     let mut est = MaxCoverEstimator::new(system.num_elements(), system.num_sets(), k, alpha, &config);
-    match batch {
-        None => {
-            for &e in &edges {
-                est.observe(e);
+    if config.shards > 1 {
+        est.ingest_sharded(&edges, config.shards, batch.unwrap_or(1024));
+    } else {
+        match batch {
+            None => {
+                for &e in &edges {
+                    est.observe(e);
+                }
             }
-        }
-        Some(b) => {
-            for chunk in edges.chunks(b) {
-                est.observe_batch(chunk);
+            Some(b) => {
+                for chunk in edges.chunks(b) {
+                    est.observe_batch(chunk);
+                }
             }
         }
     }
@@ -267,18 +285,22 @@ fn cmd_twopass(flags: &HashMap<String, String>) -> Result<(), String> {
     let batch = parse_batch(flags)?;
     let edges = edge_stream(&system, order);
     let (n, m) = (system.num_elements(), system.num_sets());
-    let cover = match batch {
-        None => kcov_core::run_two_pass(n, m, k, alpha, &config, &edges),
-        Some(b) => {
-            let mut first = kcov_core::TwoPassFirst::new(n, m, k, alpha, &config);
-            for chunk in edges.chunks(b) {
-                first.observe_batch(chunk);
+    let cover = if config.shards > 1 {
+        kcov_core::run_two_pass_sharded(n, m, k, alpha, &config, &edges, batch.unwrap_or(1024))
+    } else {
+        match batch {
+            None => kcov_core::run_two_pass(n, m, k, alpha, &config, &edges),
+            Some(b) => {
+                let mut first = kcov_core::TwoPassFirst::new(n, m, k, alpha, &config);
+                for chunk in edges.chunks(b) {
+                    first.observe_batch(chunk);
+                }
+                let mut second = first.into_second_pass();
+                for chunk in edges.chunks(b) {
+                    second.observe_batch(chunk);
+                }
+                second.finalize()
             }
-            let mut second = first.into_second_pass();
-            for chunk in edges.chunks(b) {
-                second.observe_batch(chunk);
-            }
-            second.finalize()
         }
     };
     let chosen: Vec<usize> = cover.sets.iter().map(|&s| s as usize).collect();
@@ -308,15 +330,20 @@ fn cmd_budget(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("predicted max  = {} words", fit.predicted_words);
     let batch = parse_batch(flags)?;
     let edges = edge_stream(&system, order);
-    match batch {
-        None => {
-            for &e in &edges {
-                fit.estimator.observe(e);
+    if config.shards > 1 {
+        fit.estimator
+            .ingest_sharded(&edges, config.shards, batch.unwrap_or(1024));
+    } else {
+        match batch {
+            None => {
+                for &e in &edges {
+                    fit.estimator.observe(e);
+                }
             }
-        }
-        Some(b) => {
-            for chunk in edges.chunks(b) {
-                fit.estimator.observe_batch(chunk);
+            Some(b) => {
+                for chunk in edges.chunks(b) {
+                    fit.estimator.observe_batch(chunk);
+                }
             }
         }
     }
@@ -353,15 +380,19 @@ fn cmd_report(flags: &HashMap<String, String>) -> Result<(), String> {
     let batch = parse_batch(flags)?;
     let edges = edge_stream(&system, order);
     let mut rep = MaxCoverReporter::new(system.num_elements(), system.num_sets(), k, alpha, &config);
-    match batch {
-        None => {
-            for &e in &edges {
-                rep.observe(e);
+    if config.shards > 1 {
+        rep.ingest_sharded(&edges, config.shards, batch.unwrap_or(1024));
+    } else {
+        match batch {
+            None => {
+                for &e in &edges {
+                    rep.observe(e);
+                }
             }
-        }
-        Some(b) => {
-            for chunk in edges.chunks(b) {
-                rep.observe_batch(chunk);
+            Some(b) => {
+                for chunk in edges.chunks(b) {
+                    rep.observe_batch(chunk);
+                }
             }
         }
     }

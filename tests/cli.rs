@@ -134,6 +134,89 @@ fn exact_runs_on_tiny_instances() {
 }
 
 #[test]
+fn sharded_ingestion_flag_on_all_stream_subcommands() {
+    let path = tmp_file("shards.txt");
+    let path_s = path.to_str().unwrap();
+    let out = run(&[
+        "gen", "--kind", "planted", "--n", "600", "--m", "90", "--k", "6", "--seed", "8",
+        "--out", path_s,
+    ]);
+    assert!(out.status.success());
+
+    // estimate: --shards 1 must print exactly what the serial pass
+    // prints, and higher shard counts must report the same estimate.
+    let serial = run(&["estimate", "--input", path_s, "--k", "6", "--alpha", "4", "--seed", "3"]);
+    assert!(serial.status.success());
+    let one = run(&[
+        "estimate", "--input", path_s, "--k", "6", "--alpha", "4", "--seed", "3",
+        "--shards", "1",
+    ]);
+    assert!(one.status.success());
+    assert_eq!(serial.stdout, one.stdout, "--shards 1 must equal no flag");
+    let serial_text = String::from_utf8_lossy(&serial.stdout).to_string();
+    let serial_estimate = serial_text
+        .lines()
+        .find(|l| l.starts_with("estimate"))
+        .expect("estimate line")
+        .to_string();
+    for shards in ["2", "4"] {
+        let out = run(&[
+            "estimate", "--input", path_s, "--k", "6", "--alpha", "4", "--seed", "3",
+            "--shards", shards,
+        ]);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains(&serial_estimate), "shards={shards}: {text}\nvs {serial_estimate}");
+    }
+
+    // report: same cover sets under sharding.
+    let serial = run(&["report", "--input", path_s, "--k", "6", "--alpha", "4", "--seed", "3"]);
+    assert!(serial.status.success());
+    let serial_sets = String::from_utf8_lossy(&serial.stdout)
+        .lines()
+        .find(|l| l.starts_with("reported sets"))
+        .expect("reported sets line")
+        .to_string();
+    let out = run(&[
+        "report", "--input", path_s, "--k", "6", "--alpha", "4", "--seed", "3",
+        "--shards", "3",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains(&serial_sets), "{text}\nvs {serial_sets}");
+
+    // twopass and budget accept the flag and produce output.
+    let out = run(&[
+        "twopass", "--input", path_s, "--k", "6", "--alpha", "4", "--shards", "2",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("real coverage"));
+    let out = run(&[
+        "budget", "--input", path_s, "--k", "6", "--words", "2000000", "--shards", "2",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("fitted alpha"));
+
+    // --shards 0 is rejected on every stream subcommand.
+    for cmd in [
+        &["estimate", "--input", path_s, "--k", "6", "--alpha", "4", "--shards", "0"][..],
+        &["report", "--input", path_s, "--k", "6", "--alpha", "4", "--shards", "0"][..],
+        &["twopass", "--input", path_s, "--k", "6", "--alpha", "4", "--shards", "0"][..],
+        &["budget", "--input", path_s, "--k", "6", "--words", "2000000", "--shards", "0"][..],
+    ] {
+        let out = run(cmd);
+        assert!(!out.status.success(), "{cmd:?} should fail");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("--shards must be >= 1"),
+            "{cmd:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn bad_usage_fails_with_usage_message() {
     for args in [
         &["frobnicate"][..],
