@@ -14,6 +14,7 @@ use std::time::Instant;
 use kcov_baselines::{MvEdgeArrival, SketchedGreedy};
 use kcov_bench::{coarse_config, fmt, print_table};
 use kcov_core::{EstimatorConfig, MaxCoverEstimator};
+use kcov_obs::json::Json;
 use kcov_stream::gen::{rmat_incidence, uniform_fixed_size, RmatParams};
 use kcov_stream::{edge_stream, ArrivalOrder, Edge};
 
@@ -33,6 +34,8 @@ fn main() {
     println!("workload: n={n} m={m} k={k}, {} edges", edges.len());
 
     let mut rows = Vec::new();
+    let mut json_estimator = Vec::new();
+    let mut json_baselines = Vec::new();
     for alpha in [2.0f64, 8.0, 32.0] {
         let mut config = EstimatorConfig::practical(3);
         config.reps = Some(1);
@@ -43,16 +46,29 @@ fn main() {
             fmt(eps / 1e6),
             est.num_lanes().to_string(),
         ]);
+        json_estimator.push(Json::obj(vec![
+            ("alpha", Json::Num(alpha)),
+            ("edges_per_s", Json::Num(eps)),
+            ("lanes", Json::Num(est.num_lanes() as f64)),
+        ]));
     }
     {
         let mut alg = SketchedGreedy::new(m, 48, 5);
         let eps = throughput(&edges, |e| alg.observe(e));
         rows.push(vec!["BEM sketched greedy".into(), fmt(eps / 1e6), "-".into()]);
+        json_baselines.push(Json::obj(vec![
+            ("name", Json::Str("bem_sketched_greedy".into())),
+            ("edges_per_s", Json::Num(eps)),
+        ]));
     }
     {
         let mut alg = MvEdgeArrival::new(n, m, k, 0.4, 7);
         let eps = throughput(&edges, |e| alg.observe(e));
         rows.push(vec!["MV element sampling".into(), fmt(eps / 1e6), "-".into()]);
+        json_baselines.push(Json::obj(vec![
+            ("name", Json::Str("mv_element_sampling".into())),
+            ("edges_per_s", Json::Num(eps)),
+        ]));
     }
     print_table(
         "edge-arrival observe throughput",
@@ -84,6 +100,7 @@ fn main() {
         "1.00".into(),
         format!("{:.1}", reference.estimate),
     ]];
+    let mut json_batched = Vec::new();
     for &threads in &[1usize, 2, 4, 8] {
         for &batch in &[1024usize, 16_384] {
             let config = bconfig.clone().with_threads(threads);
@@ -102,6 +119,12 @@ fn main() {
                 format!("{:.2}", eps / serial_eps),
                 format!("{:.1}", out.estimate),
             ]);
+            json_batched.push(Json::obj(vec![
+                ("threads", Json::Num(threads as f64)),
+                ("batch", Json::Num(batch as f64)),
+                ("edges_per_s", Json::Num(eps)),
+                ("speedup", Json::Num(eps / serial_eps)),
+            ]));
         }
     }
     print_table(
@@ -125,6 +148,7 @@ fn main() {
         "1.00".into(),
         format!("{:.1}", reference.estimate),
     ]];
+    let mut json_sharded = Vec::new();
     for &shards in &[1usize, 2, 4, 8] {
         for &batch in &[1024usize, 16_384] {
             let config = bconfig.clone().with_shards(shards);
@@ -143,6 +167,12 @@ fn main() {
                 format!("{:.2}", eps / serial_eps),
                 format!("{:.1}", out.estimate),
             ]);
+            json_sharded.push(Json::obj(vec![
+                ("shards", Json::Num(shards as f64)),
+                ("batch", Json::Num(batch as f64)),
+                ("edges_per_s", Json::Num(eps)),
+                ("speedup", Json::Num(eps / serial_eps)),
+            ]));
         }
     }
     print_table(
@@ -156,4 +186,39 @@ fn main() {
     println!("container any speedup over the per-edge reference comes from the");
     println!("batched engine inside each replica, not from shard parallelism —");
     println!("compare against the E9b threads=1 rows, not the serial row.");
+
+    // Machine-readable twin of the tables above (timings vary per host;
+    // the schema and the determinism assertions do not).
+    let doc = Json::obj(vec![
+        ("experiment", Json::Str("throughput".into())),
+        (
+            "workload",
+            Json::obj(vec![
+                ("n", Json::Num(n as f64)),
+                ("m", Json::Num(m as f64)),
+                ("k", Json::Num(k as f64)),
+                ("edges", Json::Num(edges.len() as f64)),
+            ]),
+        ),
+        ("estimator", Json::Arr(json_estimator)),
+        ("baselines", Json::Arr(json_baselines)),
+        (
+            "rmat_workload",
+            Json::obj(vec![
+                ("n", Json::Num(bn as f64)),
+                ("m", Json::Num(bm as f64)),
+                ("k", Json::Num(bk as f64)),
+                ("alpha", Json::Num(balpha)),
+                ("edges", Json::Num(bedges.len() as f64)),
+                ("serial_edges_per_s", Json::Num(serial_eps)),
+            ]),
+        ),
+        ("batched", Json::Arr(json_batched)),
+        ("sharded", Json::Arr(json_sharded)),
+    ]);
+    let path = "results/BENCH_throughput.json";
+    match std::fs::write(path, doc.render_pretty(2)) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
 }

@@ -152,6 +152,64 @@ mod tests {
     }
 
     #[test]
+    fn boundary_budget_is_the_feasibility_frontier() {
+        let c = config();
+        let alpha_max = (1_000f64).sqrt();
+        let floor = predict_space_words(8_000, 1_000, 32, alpha_max, &c);
+        // Exactly the worst-case prediction at alpha_max fits…
+        let fit = fit_alpha_to_budget(8_000, 1_000, 32, floor, &c).expect("boundary budget fits");
+        assert!(fit.alpha <= alpha_max);
+        assert!(fit.predicted_words <= floor);
+        // …and one word less does not.
+        assert!(
+            fit_alpha_to_budget(8_000, 1_000, 32, floor - 1, &c).is_none(),
+            "one word below the alpha_max prediction must be infeasible"
+        );
+    }
+
+    #[test]
+    fn huge_budget_fits_alpha_one() {
+        let c = config();
+        let huge = predict_space_words(8_000, 1_000, 32, 1.0, &c) * 10;
+        let fit = fit_alpha_to_budget(8_000, 1_000, 32, huge, &c).expect("huge budget fits");
+        // α = 1 is feasible, and the search returns it exactly (the
+        // lower probe short-circuits the binary search).
+        assert_eq!(fit.alpha.to_bits(), 1.0f64.to_bits());
+        assert!(fit.predicted_words <= huge);
+    }
+
+    #[test]
+    fn fitted_estimator_space_matches_recorded_snapshot() {
+        use kcov_obs::Recorder;
+        let mut c = config();
+        let rec = Recorder::enabled();
+        c.recorder = rec.clone();
+        let budget = predict_space_words(4_000, 500, 16, 8.0, &c);
+        let mut fit = fit_alpha_to_budget(4_000, 500, 16, budget, &c).expect("fits");
+        let inst = planted_cover(4_000, 500, 16, 0.7, 30, 3);
+        for e in edge_stream(&inst.system, ArrivalOrder::Shuffled(1)) {
+            fit.estimator.observe(e);
+        }
+        let out = fit.estimator.finalize();
+        // The summary event reports exactly the estimator's words, the
+        // per-subroutine snapshots sum to it, and both respect the
+        // prediction the budget fit promised.
+        let summary = &rec.events_of("summary")[0];
+        assert_eq!(
+            summary.u64_field("space_words").unwrap(),
+            fit.estimator.space_words() as u64
+        );
+        assert_eq!(out.space_words, fit.estimator.space_words());
+        let sub_sum: u64 = rec
+            .events_of("subroutine")
+            .iter()
+            .map(|e| e.u64_field("space_words").unwrap())
+            .sum();
+        assert_eq!(sub_sum, fit.estimator.space_words() as u64);
+        assert!(fit.estimator.space_words() <= fit.predicted_words);
+    }
+
+    #[test]
     fn fitted_estimator_respects_prediction_at_runtime() {
         let c = config();
         let budget = predict_space_words(4_000, 500, 16, 8.0, &c);

@@ -11,6 +11,9 @@
 //! * Answer: the maximum `est_z` over guesses with `est_z ≥ z/(4α)`
 //!   (Theorem 3.6's acceptance test).
 
+use std::time::Instant;
+
+use kcov_obs::{Recorder, Value};
 use kcov_sketch::SpaceUsage;
 use kcov_stream::Edge;
 
@@ -47,6 +50,13 @@ pub struct EstimatorConfig {
     /// replicas are folded back with [`MaxCoverEstimator::merge`] at
     /// finalize. `0` is treated as `1` (plain serial ingestion).
     pub shards: usize,
+    /// Observability sink: a cheap clonable handle recording phase
+    /// timings, per-lane/per-subroutine snapshots, and sketch telemetry.
+    /// The default ([`Recorder::disabled`]) makes every probe a no-op —
+    /// no clock reads, no locking, no allocation — and the determinism
+    /// and merge contracts are untouched either way (events are emitted
+    /// only from the coordinating thread, never from ingestion workers).
+    pub recorder: Recorder,
 }
 
 impl EstimatorConfig {
@@ -60,6 +70,7 @@ impl EstimatorConfig {
             reporting: false,
             threads: 1,
             shards: 1,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -72,6 +83,12 @@ impl EstimatorConfig {
     /// Builder-style shard count for the sharded ingestion path.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Builder-style observability recorder.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 }
@@ -219,6 +236,10 @@ pub struct MaxCoverEstimator {
     threads: usize,
     trivial: Option<TrivialState>,
     lanes: Vec<Lane>,
+    rec: Recorder,
+    /// Stream edges ingested (telemetry: merged by addition; every lane
+    /// consumes every edge, so this is also each lane's edge count).
+    edges_seen: u64,
 }
 
 impl MaxCoverEstimator {
@@ -237,6 +258,8 @@ impl MaxCoverEstimator {
                 threads: config.threads.max(1),
                 trivial: Some(TrivialState::new(m, k, config.seed ^ 0x7121a1)),
                 lanes: Vec::new(),
+                rec: config.recorder.clone(),
+                edges_seen: 0,
             };
         }
         let mut seq = kcov_hash::SeedSequence::labeled(config.seed, "estimate-max-cover");
@@ -272,11 +295,14 @@ impl MaxCoverEstimator {
             threads: config.threads.max(1),
             trivial: None,
             lanes,
+            rec: config.recorder.clone(),
+            edges_seen: 0,
         }
     }
 
     /// Observe one `(set, element)` edge.
     pub fn observe(&mut self, edge: Edge) {
+        self.edges_seen += 1;
         if let Some(t) = &mut self.trivial {
             t.observe(edge);
             return;
@@ -300,6 +326,7 @@ impl MaxCoverEstimator {
         if edges.is_empty() {
             return;
         }
+        self.edges_seen += edges.len() as u64;
         if let Some(t) = &mut self.trivial {
             t.observe_batch(edges);
             return;
@@ -345,6 +372,7 @@ impl MaxCoverEstimator {
             (other.n, other.m, other.k, other.alpha.to_bits()),
             "MaxCoverEstimator merge requires identical configuration (instance shape)"
         );
+        self.edges_seen += other.edges_seen;
         match (&mut self.trivial, &other.trivial) {
             (Some(a), Some(b)) => {
                 a.merge(b);
@@ -384,31 +412,76 @@ impl MaxCoverEstimator {
         let chunk_len = edges.len().div_ceil(shards);
         let mut parts = edges.chunks(chunk_len);
         let own = parts.next().unwrap_or(&[]);
-        let mut replicas: Vec<MaxCoverEstimator> = Vec::new();
+        // Workers only *measure* (a plain Instant each, no sink access);
+        // the coordinator emits every event after the join, so the sink
+        // lock is never touched from an ingestion thread.
+        let timed = self.rec.is_enabled();
+        let mut replicas: Vec<(MaxCoverEstimator, u64)> = Vec::new();
+        let mut own_ns = 0u64;
         std::thread::scope(|s| {
             let handles: Vec<_> = parts
                 .map(|part| {
                     let mut replica = self.clone();
                     s.spawn(move || {
+                        let start = timed.then(Instant::now);
                         for chunk in part.chunks(batch.max(1)) {
                             replica.observe_batch(chunk);
                         }
-                        replica
+                        let ns = start.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                        (replica, ns)
                     })
                 })
                 .collect();
+            let start = timed.then(Instant::now);
             for chunk in own.chunks(batch.max(1)) {
                 self.observe_batch(chunk);
             }
+            own_ns = start.map_or(0, |t| t.elapsed().as_nanos() as u64);
             replicas.extend(handles.into_iter().map(|h| h.join().expect("shard worker panicked")));
         });
-        for replica in &replicas {
+        if timed {
+            self.rec.event(
+                "shard",
+                &[
+                    ("shard", Value::from(0u64)),
+                    ("edges", Value::from(own.len() as u64)),
+                    ("ns", Value::from(own_ns)),
+                ],
+            );
+            for (i, (replica, ns)) in replicas.iter().enumerate() {
+                self.rec.event(
+                    "shard",
+                    &[
+                        ("shard", Value::from(i as u64 + 1)),
+                        ("edges", Value::from(replica.edges_seen)),
+                        ("ns", Value::from(*ns)),
+                    ],
+                );
+            }
+        }
+        let merge_span = self.rec.span("merge");
+        for (replica, _) in &replicas {
             self.merge(replica);
         }
+        merge_span.finish();
     }
 
-    /// Finalize after the pass (Theorem 3.6 acceptance).
+    /// Finalize after the pass (Theorem 3.6 acceptance). When the
+    /// configured recorder is enabled, this also emits the finalize-time
+    /// snapshot: one "lane" event per `(z, rep)` lane, per-subroutine
+    /// "subroutine"/"sketch" events whose `space_words` sum to the
+    /// reported total exactly, and a closing "summary" event.
     pub fn finalize(&self) -> EstimateOutcome {
+        let span = self.rec.span("finalize");
+        let outcome = self.finalize_outcome();
+        if self.rec.is_enabled() {
+            self.record_snapshot(&outcome);
+        }
+        span.finish();
+        outcome
+    }
+
+    fn finalize_outcome(&self) -> EstimateOutcome {
         if let Some(t) = &self.trivial {
             return EstimateOutcome {
                 estimate: t.estimate().min(self.n as f64 / 1.0),
@@ -461,6 +534,75 @@ impl MaxCoverEstimator {
         }
     }
 
+    /// Emit the finalize-time observability snapshot (recorder known to
+    /// be enabled). The per-lane oracle finalizations here re-run the
+    /// (cheap, state-free) estimate extraction; they do not mutate any
+    /// stream state.
+    fn record_snapshot(&self, outcome: &EstimateOutcome) {
+        let rec = &self.rec;
+        if let Some(t) = &self.trivial {
+            rec.event(
+                "subroutine",
+                &[
+                    ("lane", Value::from(0u64)),
+                    ("name", Value::from("trivial")),
+                    ("estimate", Value::from(t.estimate())),
+                    ("space_words", Value::from(t.space_words())),
+                ],
+            );
+        }
+        for (i, lane) in self.lanes.iter().enumerate() {
+            let out = lane.oracle.finalize();
+            let qualifying = out.estimate >= lane.z as f64 / (4.0 * self.alpha);
+            rec.event(
+                "lane",
+                &[
+                    ("lane", Value::from(i as u64)),
+                    ("z", Value::from(lane.z)),
+                    ("edges", Value::from(self.edges_seen)),
+                    ("estimate", Value::from(out.estimate)),
+                    (
+                        "winner",
+                        Value::from(out.winner.map_or("none", SubroutineKind::name)),
+                    ),
+                    ("qualifying", Value::from(qualifying)),
+                    (
+                        "space_words",
+                        Value::from(lane.oracle.space_words() + lane.reducer.space_words()),
+                    ),
+                ],
+            );
+            lane.oracle.record_snapshot(rec, i);
+            rec.event(
+                "subroutine",
+                &[
+                    ("lane", Value::from(i as u64)),
+                    ("name", Value::from("reducer")),
+                    ("estimate", Value::from(f64::NAN)),
+                    ("space_words", Value::from(lane.reducer.space_words())),
+                ],
+            );
+        }
+        rec.event(
+            "summary",
+            &[
+                ("estimate", Value::from(outcome.estimate)),
+                ("winning_z", Value::from(outcome.winning_z)),
+                (
+                    "winner",
+                    Value::from(outcome.winner.map_or("none", SubroutineKind::name)),
+                ),
+                ("trivial", Value::from(outcome.trivial)),
+                ("space_words", Value::from(outcome.space_words)),
+                ("edges", Value::from(self.edges_seen)),
+            ],
+        );
+        rec.gauge("estimate", outcome.estimate);
+        rec.gauge("space_words", outcome.space_words as f64);
+        rec.incr("edges.total", self.edges_seen);
+        rec.incr("lanes.total", self.lanes.len() as u64);
+    }
+
     /// Convenience: run over a finite edge stream.
     pub fn run(
         n: usize,
@@ -471,9 +613,11 @@ impl MaxCoverEstimator {
         edges: &[Edge],
     ) -> EstimateOutcome {
         let mut est = MaxCoverEstimator::new(n, m, k, alpha, config);
+        let span = est.rec.span("ingest");
         for &e in edges {
             est.observe(e);
         }
+        span.finish();
         est.finalize()
     }
 
@@ -491,9 +635,11 @@ impl MaxCoverEstimator {
         batch_size: usize,
     ) -> EstimateOutcome {
         let mut est = MaxCoverEstimator::new(n, m, k, alpha, config);
+        let span = est.rec.span("ingest");
         for chunk in edges.chunks(batch_size.max(1)) {
             est.observe_batch(chunk);
         }
+        span.finish();
         est.finalize()
     }
 
@@ -513,7 +659,9 @@ impl MaxCoverEstimator {
         batch_size: usize,
     ) -> EstimateOutcome {
         let mut est = MaxCoverEstimator::new(n, m, k, alpha, config);
+        let span = est.rec.span("ingest");
         est.ingest_sharded(edges, config.shards.max(1), batch_size);
+        span.finish();
         est.finalize()
     }
 
@@ -530,6 +678,11 @@ impl MaxCoverEstimator {
     /// Number of `(z, rep)` lanes.
     pub fn num_lanes(&self) -> usize {
         self.lanes.len()
+    }
+
+    /// Total stream edges ingested (telemetry).
+    pub fn edges_seen(&self) -> u64 {
+        self.edges_seen
     }
 
     /// The instance shape this estimator was built for.

@@ -258,6 +258,21 @@ impl LargeCommon {
         }
     }
 
+    /// Aggregated sketch telemetry over the per-layer `L0` estimators
+    /// (lane coverage counters plus optional reporting groups).
+    pub fn sketch_stats(&self) -> kcov_obs::SketchStats {
+        let mut agg = kcov_obs::SketchStats::default();
+        for lane in &self.lanes {
+            agg.absorb(lane.de.stats());
+            if let Some(g) = &lane.groups {
+                for c in &g.counters {
+                    agg.absorb(c.stats());
+                }
+            }
+        }
+        agg
+    }
+
     /// Per-layer diagnostics: `(β, L0 value, firing threshold)` for each
     /// layer — the raw material of the multi-layer ablation experiment.
     pub fn lane_values(&self) -> Vec<(f64, f64, f64)> {

@@ -283,6 +283,21 @@ impl LargeSet {
         })
     }
 
+    /// Aggregated sketch telemetry over the contributing-class finders'
+    /// candidate trackers and the directly sampled supersets' `L0`
+    /// sketches.
+    pub fn sketch_stats(&self) -> kcov_obs::SketchStats {
+        let mut agg = kcov_obs::SketchStats::default();
+        for rep in &self.reps {
+            agg.absorb(rep.cntr_small.stats());
+            agg.absorb(rep.cntr_large.stats());
+            for l0 in rep.sampled.values() {
+                agg.absorb(l0.stats());
+            }
+        }
+        agg
+    }
+
     /// The member sets of a superset (for reporting): all sets hashing
     /// to `superset` under the repetition's partition.
     pub fn superset_members(&self, rep: usize, superset: u64) -> Vec<u32> {

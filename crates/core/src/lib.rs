@@ -73,7 +73,7 @@ pub use budget::{fit_alpha_to_budget, predict_space_words, BudgetFit};
 pub use estimate::{EstimateOutcome, EstimatorConfig, MaxCoverEstimator};
 pub use large_common::LargeCommon;
 pub use large_set::LargeSet;
-pub use oracle::{Oracle, OracleOutput, SubroutineKind};
+pub use oracle::{Oracle, OracleDiagnostics, OracleOutput, SubroutineKind};
 pub use params::{ParamMode, Params};
 pub use report::{MaxCoverReporter, ReportedCover};
 pub use small_set::SmallSet;

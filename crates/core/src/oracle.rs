@@ -15,6 +15,7 @@
 //! least `|U|/η` then with good probability the output is at least
 //! `|C(OPT)|/Õ(α)`; and the output never exceeds `|C(OPT)|` (w.h.p.).
 
+use kcov_obs::{Recorder, Value};
 use kcov_sketch::SpaceUsage;
 use kcov_stream::Edge;
 
@@ -33,6 +34,41 @@ pub enum SubroutineKind {
     LargeSet,
     /// Set + element sampling (§4.3).
     SmallSet,
+}
+
+impl SubroutineKind {
+    /// Stable lowercase identifier used in structured event streams.
+    pub fn name(self) -> &'static str {
+        match self {
+            SubroutineKind::LargeCommon => "large_common",
+            SubroutineKind::LargeSet => "large_set",
+            SubroutineKind::SmallSet => "small_set",
+        }
+    }
+}
+
+/// Per-subroutine estimates at finalize time: `None` means infeasible
+/// (or, for [`OracleDiagnostics::small_set`], inactive). Returned by
+/// [`Oracle::diagnostics`] and surfaced in the CLI metrics output.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OracleDiagnostics {
+    /// Case I (multi-layered set sampling) estimate.
+    pub large_common: Option<f64>,
+    /// Case II (heavy hitters / contributing classes) estimate.
+    pub large_set: Option<f64>,
+    /// Case III (set + element sampling) estimate; `None` also when the
+    /// subroutine is disabled (`sα ≥ 2k`).
+    pub small_set: Option<f64>,
+}
+
+impl OracleDiagnostics {
+    /// The best feasible subroutine estimate, if any fired.
+    pub fn best(&self) -> Option<f64> {
+        [self.large_common, self.large_set, self.small_set]
+            .into_iter()
+            .flatten()
+            .reduce(f64::max)
+    }
 }
 
 /// The oracle's answer.
@@ -140,17 +176,62 @@ impl Oracle {
     }
 
     /// Per-subroutine telemetry: each subroutine's estimate (`None` =
-    /// infeasible / inactive), in `(LargeCommon, LargeSet, SmallSet)`
-    /// order. Used by the ablation experiments and diagnostics.
-    pub fn diagnostics(&self) -> (Option<f64>, Option<f64>, Option<f64>) {
-        (
-            self.large_common.finalize().map(|(v, _)| v),
-            self.large_set.finalize().map(|(v, _)| v),
-            self.small_set
+    /// infeasible / inactive). Used by the ablation experiments, the
+    /// CLI metrics output, and finalize-time snapshots.
+    pub fn diagnostics(&self) -> OracleDiagnostics {
+        OracleDiagnostics {
+            large_common: self.large_common.finalize().map(|(v, _)| v),
+            large_set: self.large_set.finalize().map(|(v, _)| v),
+            small_set: self
+                .small_set
                 .as_ref()
                 .and_then(SmallSet::finalize)
                 .map(|(v, _)| v),
-        )
+        }
+    }
+
+    /// Emit the finalize-time observability snapshot for this oracle:
+    /// one "subroutine" event (estimate + resident space) per active
+    /// subroutine and one "sketch" event with its aggregated sketch
+    /// telemetry, all tagged with the owning estimator lane. Infeasible
+    /// estimates are recorded as JSON `null` (NaN sentinel). No-op when
+    /// `rec` is disabled.
+    pub fn record_snapshot(&self, rec: &Recorder, lane: usize) {
+        if !rec.is_enabled() {
+            return;
+        }
+        let d = self.diagnostics();
+        let subs: [(&str, Option<f64>, Option<usize>); 3] = [
+            (
+                "large_common",
+                d.large_common,
+                Some(self.large_common.space_words()),
+            ),
+            ("large_set", d.large_set, Some(self.large_set.space_words())),
+            (
+                "small_set",
+                d.small_set,
+                self.small_set.as_ref().map(SpaceUsage::space_words),
+            ),
+        ];
+        for (name, est, words) in subs {
+            let Some(words) = words else { continue };
+            rec.event(
+                "subroutine",
+                &[
+                    ("lane", Value::from(lane as u64)),
+                    ("name", Value::from(name)),
+                    ("estimate", Value::from(est.unwrap_or(f64::NAN))),
+                    ("space_words", Value::from(words)),
+                ],
+            );
+        }
+        let scope = |name: &str| format!("lane{lane}.{name}");
+        rec.sketch(&scope("large_common"), "l0", self.large_common.sketch_stats());
+        rec.sketch(&scope("large_set"), "candidates", self.large_set.sketch_stats());
+        if let Some(ss) = &self.small_set {
+            rec.sketch(&scope("small_set"), "edge_store", ss.sketch_stats());
+        }
     }
 
     /// Merge an oracle built with the same parameters and seed over a
@@ -285,12 +366,8 @@ mod tests {
         for e in edge_stream(&system, ArrivalOrder::Shuffled(2)) {
             oracle.observe(e);
         }
-        let (lc, ls, ss) = oracle.diagnostics();
-        let best = [lc, ls, ss]
-            .into_iter()
-            .flatten()
-            .fold(0.0f64, f64::max)
-            .min(800.0);
+        let d = oracle.diagnostics();
+        let best = d.best().unwrap_or(0.0).min(800.0);
         let out = oracle.finalize();
         assert!((out.estimate - best).abs() < 1e-9, "max of diagnostics must match");
     }

@@ -201,6 +201,23 @@ impl SmallSet {
         self.reps.iter().map(|r| r.lanes.len()).sum()
     }
 
+    /// Aggregated lane-storage telemetry: stored edges as fill against
+    /// the per-lane cap, overflow terminations as prunes.
+    pub fn sketch_stats(&self) -> kcov_obs::SketchStats {
+        let mut agg = kcov_obs::SketchStats::default();
+        for lane in self.reps.iter().flat_map(|r| r.lanes.iter()) {
+            agg.absorb(kcov_obs::SketchStats {
+                updates: 0,
+                fill: lane.edges.len() as u64,
+                capacity: self.edge_cap as u64,
+                evictions: 0,
+                prunes: u64::from(lane.overflowed),
+                merges: 0,
+            });
+        }
+        agg
+    }
+
     /// Merge a subroutine built with the same parameters and seed over a
     /// disjoint stream shard. A lane's serial state overflows exactly
     /// when its surviving-edge count exceeds `edge_cap` (the cap fires

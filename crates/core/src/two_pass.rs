@@ -268,15 +268,22 @@ pub fn run_two_pass(
     config: &EstimatorConfig,
     edges: &[Edge],
 ) -> ReportedCover {
+    let rec = config.recorder.clone();
     let mut first = TwoPassFirst::new(n, m, k, alpha, config);
+    let span = rec.span("pass1");
     for &e in edges {
         first.observe(e);
     }
+    span.finish();
     let mut second = first.into_second_pass();
+    let span = rec.span("pass2");
     for &e in edges {
         second.observe(e);
     }
-    second.finalize()
+    span.finish();
+    let cover = second.finalize();
+    record_two_pass(&rec, &second, &cover);
+    cover
 }
 
 /// Convenience: run both passes with `config.shards` sharded replicas
@@ -292,12 +299,38 @@ pub fn run_two_pass_sharded(
     edges: &[Edge],
     batch: usize,
 ) -> ReportedCover {
+    let rec = config.recorder.clone();
     let shards = config.shards.max(1);
     let mut first = TwoPassFirst::new(n, m, k, alpha, config);
+    let span = rec.span("pass1");
     first.ingest_sharded(edges, shards, batch);
+    span.finish();
     let mut second = first.into_second_pass();
+    let span = rec.span("pass2");
     second.ingest_sharded(edges, shards, batch);
-    second.finalize()
+    span.finish();
+    let cover = second.finalize();
+    record_two_pass(&rec, &second, &cover);
+    cover
+}
+
+/// Emit the pass-2 observability snapshot (no-op when disabled).
+fn record_two_pass(rec: &kcov_obs::Recorder, second: &TwoPassSecond, cover: &ReportedCover) {
+    if !rec.is_enabled() {
+        return;
+    }
+    rec.event(
+        "twopass",
+        &[
+            ("z", kcov_obs::Value::from(second.z())),
+            ("estimate", kcov_obs::Value::from(cover.estimate)),
+            ("sets", kcov_obs::Value::from(cover.sets.len())),
+            ("space_words", kcov_obs::Value::from(cover.space_words)),
+            ("reps", kcov_obs::Value::from(second.lanes.len())),
+        ],
+    );
+    rec.gauge("twopass.z", second.z() as f64);
+    rec.gauge("twopass.space_words", cover.space_words as f64);
 }
 
 #[cfg(test)]

@@ -1,0 +1,172 @@
+//! Contract suite for the observability layer: enabling a recorder
+//! must never change an estimate (bit-for-bit), and the emitted events
+//! must account exactly — per-lane edge counts match the stream
+//! length, per-subroutine `space_words` snapshots sum to the reported
+//! total, shard timings cover every shard, and the phase spans cover
+//! ingest/merge/finalize.
+
+use kcov_core::{EstimatorConfig, MaxCoverEstimator};
+use kcov_obs::Recorder;
+use kcov_sketch::SpaceUsage;
+use kcov_stream::gen::planted_cover;
+use kcov_stream::{edge_stream, ArrivalOrder, Edge};
+
+fn fast_config(seed: u64, n: usize) -> EstimatorConfig {
+    let mut config = EstimatorConfig::practical(seed);
+    let mut zs = Vec::new();
+    let mut z = 16u64;
+    while z < 2 * n as u64 {
+        zs.push(z);
+        z *= 4;
+    }
+    config.z_guesses = Some(zs);
+    config.reps = Some(2);
+    config
+}
+
+fn workload() -> (usize, usize, Vec<Edge>) {
+    let inst = planted_cover(1_500, 150, 8, 0.8, 30, 5);
+    let edges = edge_stream(&inst.system, ArrivalOrder::Shuffled(1));
+    (inst.system.num_elements(), inst.system.num_sets(), edges)
+}
+
+#[test]
+fn recorder_never_changes_the_estimate() {
+    let (n, m, edges) = workload();
+    let plain = fast_config(3, n);
+    let mut traced = fast_config(3, n);
+    traced.recorder = Recorder::enabled();
+    let a = MaxCoverEstimator::run(n, m, 8, 4.0, &plain, &edges);
+    let b = MaxCoverEstimator::run(n, m, 8, 4.0, &traced, &edges);
+    assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+    assert_eq!(a.winning_z, b.winning_z);
+    assert_eq!(a.winner, b.winner);
+    assert_eq!(a.space_words, b.space_words);
+    // Same for the sharded path.
+    let plain = plain.with_shards(3);
+    let mut traced = fast_config(3, n).with_shards(3);
+    traced.recorder = Recorder::enabled();
+    let a = MaxCoverEstimator::run_sharded(n, m, 8, 4.0, &plain, &edges, 64);
+    let b = MaxCoverEstimator::run_sharded(n, m, 8, 4.0, &traced, &edges, 64);
+    assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+}
+
+#[test]
+fn lane_events_account_for_every_edge() {
+    let (n, m, edges) = workload();
+    let rec = Recorder::enabled();
+    let mut config = fast_config(7, n);
+    config.recorder = rec.clone();
+    let mut est = MaxCoverEstimator::new(n, m, 8, 4.0, &config);
+    for &e in &edges {
+        est.observe(e);
+    }
+    let out = est.finalize();
+
+    let lanes = rec.events_of("lane");
+    assert_eq!(lanes.len(), est.num_lanes(), "one lane event per (z, rep) lane");
+    for ev in &lanes {
+        // Every lane consumes every edge of the stream.
+        assert_eq!(ev.u64_field("edges").unwrap(), edges.len() as u64);
+        assert!(ev.str_field("winner").is_some());
+        assert!(ev.field("qualifying").is_some());
+    }
+    assert_eq!(est.edges_seen(), edges.len() as u64);
+
+    let summary = &rec.events_of("summary")[0];
+    assert_eq!(summary.u64_field("edges").unwrap(), edges.len() as u64);
+    assert_eq!(
+        summary.f64_field("estimate").unwrap().to_bits(),
+        out.estimate.to_bits()
+    );
+}
+
+#[test]
+fn subroutine_space_snapshots_sum_to_the_total() {
+    let (n, m, edges) = workload();
+    let rec = Recorder::enabled();
+    let mut config = fast_config(11, n);
+    config.recorder = rec.clone();
+    let mut est = MaxCoverEstimator::new(n, m, 8, 4.0, &config);
+    for &e in &edges {
+        est.observe(e);
+    }
+    est.finalize();
+
+    let sub_sum: u64 = rec
+        .events_of("subroutine")
+        .iter()
+        .map(|e| e.u64_field("space_words").unwrap())
+        .sum();
+    assert_eq!(
+        sub_sum,
+        est.space_words() as u64,
+        "per-subroutine snapshots must sum exactly to the estimator total"
+    );
+    // The per-lane space fields also partition the total.
+    let lane_sum: u64 = rec
+        .events_of("lane")
+        .iter()
+        .map(|e| e.u64_field("space_words").unwrap())
+        .sum();
+    assert_eq!(lane_sum, est.space_words() as u64);
+}
+
+#[test]
+fn shard_events_cover_the_stream_and_merge_is_timed() {
+    let (n, m, edges) = workload();
+    let rec = Recorder::enabled();
+    let mut config = fast_config(13, n).with_shards(4);
+    config.recorder = rec.clone();
+    MaxCoverEstimator::run_sharded(n, m, 8, 4.0, &config, &edges, 64);
+
+    let shards = rec.events_of("shard");
+    assert_eq!(shards.len(), 4, "one shard event per replica");
+    let edge_sum: u64 = shards.iter().map(|e| e.u64_field("edges").unwrap()).sum();
+    assert_eq!(edge_sum, edges.len() as u64, "shard edge counts partition the stream");
+
+    let phases: Vec<String> = rec
+        .events_of("phase")
+        .iter()
+        .map(|e| e.str_field("phase").unwrap().to_string())
+        .collect();
+    assert!(phases.contains(&"ingest".to_string()));
+    assert!(phases.contains(&"merge".to_string()));
+    assert!(phases.contains(&"finalize".to_string()));
+}
+
+#[test]
+fn disabled_recorder_emits_nothing() {
+    let (n, m, edges) = workload();
+    let config = fast_config(17, n);
+    assert!(!config.recorder.is_enabled());
+    MaxCoverEstimator::run(n, m, 8, 4.0, &config, &edges);
+    assert!(config.recorder.events().is_empty());
+    assert!(config.recorder.counters().is_empty());
+    let mut buf = Vec::new();
+    config.recorder.write_ndjson(&mut buf).unwrap();
+    assert!(buf.is_empty(), "the disabled recorder writes no NDJSON");
+}
+
+#[test]
+fn trivial_regime_snapshot_accounts_exactly() {
+    // k·α ≥ m → the trivial branch; its single subroutine snapshot is
+    // the whole space.
+    let inst = planted_cover(300, 12, 8, 0.8, 20, 9);
+    let edges = edge_stream(&inst.system, ArrivalOrder::Shuffled(2));
+    let rec = Recorder::enabled();
+    let mut config = EstimatorConfig::practical(19);
+    config.recorder = rec.clone();
+    let (n, m) = (inst.system.num_elements(), inst.system.num_sets());
+    let mut est = MaxCoverEstimator::new(n, m, 8, 4.0, &config);
+    for &e in &edges {
+        est.observe(e);
+    }
+    let out = est.finalize();
+    assert!(out.trivial);
+    let subs = rec.events_of("subroutine");
+    assert_eq!(subs.len(), 1);
+    assert_eq!(subs[0].str_field("name").unwrap(), "trivial");
+    assert_eq!(subs[0].u64_field("space_words").unwrap(), est.space_words() as u64);
+    assert!(rec.events_of("lane").is_empty(), "no lanes run in the trivial regime");
+}

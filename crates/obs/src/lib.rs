@@ -1,0 +1,672 @@
+//! # kcov-obs — zero-dependency structured observability
+//!
+//! One instrumentation spine for the whole workspace: a cheap clonable
+//! [`Recorder`] handle that collects **counters**, **gauges**, and
+//! structured **events** (with monotonic [`PhaseSpan`] timing), renders
+//! them as an NDJSON event log or a human summary table — and whose
+//! disabled form is a `None` behind an `Option`, so every probe
+//! early-returns on a single branch and the determinism and merge
+//! contracts of the estimator stack are untouched.
+//!
+//! Design rules enforced across the workspace:
+//!
+//! * **No locks on per-edge paths.** Sketches maintain plain `u64`
+//!   rare-event counters (evictions, prunes, level rises, merges) next
+//!   to the branches where those events already happen; the counters
+//!   are *harvested* into a `Recorder` once, at finalize, as
+//!   [`SketchStats`] snapshots. The shared sink is only touched at
+//!   phase boundaries (ingest / merge / finalize), never per item.
+//! * **Observation never perturbs results.** The recorder is a pure
+//!   side channel: nothing in the estimator reads it back, replicas
+//!   cloned for sharded ingestion share the same sink but only write
+//!   to it from the coordinating thread, and the disabled handle makes
+//!   every probe a no-op.
+//! * **Zero dependencies.** NDJSON rendering, escaping, and the
+//!   [`json`] parser used by the bench emitters and CI validation are
+//!   hand-rolled over `std`.
+
+pub mod json;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A dynamically typed field value attached to an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, sizes, ids).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (estimates, rates).
+    F64(f64),
+    /// String (names, labels).
+    Str(String),
+    /// Boolean (flags).
+    Bool(bool),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl Value {
+    fn render_json(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::I64(v) => out.push_str(&v.to_string()),
+            Value::F64(v) => push_json_f64(out, *v),
+            Value::Str(s) => push_json_str(out, s),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{}` on f64 prints the shortest representation that
+        // round-trips, and never produces NaN/Inf here.
+        if v == v.trunc() && v.abs() < 1e15 {
+            out.push_str(&format!("{:.1}", v));
+        } else {
+            out.push_str(&format!("{v}"));
+        }
+    } else {
+        // NDJSON must stay valid JSON: encode non-finite as null.
+        out.push_str("null");
+    }
+}
+
+/// One structured event: a kind plus ordered key/value fields, stamped
+/// with a monotone per-recorder sequence number.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Monotone sequence number (order of emission).
+    pub seq: u64,
+    /// Event kind (`"phase"`, `"lane"`, `"subroutine"`, `"sketch"`,
+    /// `"shard"`, `"summary"`, …).
+    pub kind: String,
+    /// Ordered fields as emitted.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Render this event as one NDJSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"seq\":");
+        out.push_str(&self.seq.to_string());
+        out.push_str(",\"kind\":");
+        push_json_str(&mut out, &self.kind);
+        for (k, v) in &self.fields {
+            out.push(',');
+            push_json_str(&mut out, k);
+            out.push(':');
+            v.render_json(&mut out);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Look up a field by key.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// A `U64` field, if present and of that type.
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        match self.field(key) {
+            Some(Value::U64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// An `F64` field, if present and of that type.
+    pub fn f64_field(&self, key: &str) -> Option<f64> {
+        match self.field(key) {
+            Some(Value::F64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// A `Str` field, if present and of that type.
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        match self.field(key) {
+            Some(Value::Str(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    events: Vec<Event>,
+    seq: u64,
+}
+
+/// A cheap clonable recorder handle. The default (and
+/// [`Recorder::disabled`]) form carries no state: every probe is a
+/// single `Option` branch, no allocation, no lock. The enabled form
+/// shares one mutex-guarded sink across clones, so estimator replicas
+/// moved onto scoped threads can keep the same handle.
+#[derive(Clone, Default)]
+pub struct Recorder(Option<Arc<Mutex<State>>>);
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            None => f.write_str("Recorder(disabled)"),
+            Some(_) => f.write_str("Recorder(enabled)"),
+        }
+    }
+}
+
+impl Recorder {
+    /// The no-op handle: every probe early-returns.
+    pub fn disabled() -> Self {
+        Recorder(None)
+    }
+
+    /// A live recorder with an empty sink.
+    pub fn enabled() -> Self {
+        Recorder(Some(Arc::new(Mutex::new(State::default()))))
+    }
+
+    /// Whether probes on this handle record anything. Callers building
+    /// non-trivial keys or field vectors should gate on this first so
+    /// the disabled path allocates nothing.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    fn state(&self) -> Option<std::sync::MutexGuard<'_, State>> {
+        self.0
+            .as_ref()
+            .map(|m| m.lock().expect("recorder sink poisoned"))
+    }
+
+    /// Add `by` to the counter `key`.
+    pub fn incr(&self, key: &str, by: u64) {
+        if let Some(mut st) = self.state() {
+            *st.counters.entry(key.to_string()).or_insert(0) += by;
+        }
+    }
+
+    /// Set the gauge `key` to `value` (last write wins).
+    pub fn gauge(&self, key: &str, value: f64) {
+        if let Some(mut st) = self.state() {
+            st.gauges.insert(key.to_string(), value);
+        }
+    }
+
+    /// Emit a structured event.
+    pub fn event(&self, kind: &str, fields: &[(&str, Value)]) {
+        if let Some(mut st) = self.state() {
+            let seq = st.seq;
+            st.seq += 1;
+            st.events.push(Event {
+                seq,
+                kind: kind.to_string(),
+                fields: fields
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            });
+        }
+    }
+
+    /// Start a monotonic phase span. On [`PhaseSpan::finish`] (or drop)
+    /// the elapsed nanoseconds are added to the counter
+    /// `time_ns.<phase>` and a `"phase"` event is emitted. On a
+    /// disabled recorder the span reads no clock.
+    pub fn span(&self, phase: &str) -> PhaseSpan {
+        PhaseSpan {
+            rec: self.clone(),
+            phase: if self.is_enabled() {
+                phase.to_string()
+            } else {
+                String::new()
+            },
+            start: self.is_enabled().then(Instant::now),
+        }
+    }
+
+    /// Record a sketch telemetry snapshot as a `"sketch"` event.
+    /// `scope` names where the sketch sits in the stack (e.g.
+    /// `"lane3.large_set.rep0"`), `kind` the sketch type.
+    pub fn sketch(&self, scope: &str, kind: &str, stats: SketchStats) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.event(
+            "sketch",
+            &[
+                ("scope", scope.into()),
+                ("sketch", kind.into()),
+                ("updates", stats.updates.into()),
+                ("fill", stats.fill.into()),
+                ("capacity", stats.capacity.into()),
+                ("evictions", stats.evictions.into()),
+                ("prunes", stats.prunes.into()),
+                ("merges", stats.merges.into()),
+            ],
+        );
+    }
+
+    /// Snapshot of all counters, sorted by key.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.state()
+            .map(|st| st.counters.iter().map(|(k, v)| (k.clone(), *v)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of all gauges, sorted by key.
+    pub fn gauges(&self) -> Vec<(String, f64)> {
+        self.state()
+            .map(|st| st.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of all events in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.state().map(|st| st.events.clone()).unwrap_or_default()
+    }
+
+    /// Events of one kind, in emission order.
+    pub fn events_of(&self, kind: &str) -> Vec<Event> {
+        self.events().into_iter().filter(|e| e.kind == kind).collect()
+    }
+
+    /// Write the full sink as NDJSON: every event in emission order,
+    /// then one `"counter"` line per counter and one `"gauge"` line per
+    /// gauge (sorted by key), so a log is self-contained.
+    pub fn write_ndjson<W: Write>(&self, mut w: W) -> io::Result<()> {
+        let Some(st) = self.state() else {
+            return Ok(());
+        };
+        for e in &st.events {
+            writeln!(w, "{}", e.to_json_line())?;
+        }
+        let mut seq = st.seq;
+        for (k, v) in &st.counters {
+            let mut line = String::new();
+            line.push_str("{\"seq\":");
+            line.push_str(&seq.to_string());
+            line.push_str(",\"kind\":\"counter\",\"key\":");
+            push_json_str(&mut line, k);
+            line.push_str(",\"value\":");
+            line.push_str(&v.to_string());
+            line.push('}');
+            writeln!(w, "{line}")?;
+            seq += 1;
+        }
+        for (k, v) in &st.gauges {
+            let mut line = String::new();
+            line.push_str("{\"seq\":");
+            line.push_str(&seq.to_string());
+            line.push_str(",\"kind\":\"gauge\",\"key\":");
+            push_json_str(&mut line, k);
+            line.push_str(",\"value\":");
+            push_json_f64(&mut line, *v);
+            line.push('}');
+            writeln!(w, "{line}")?;
+            seq += 1;
+        }
+        Ok(())
+    }
+
+    /// Human summary: counters, gauges, and an event census by kind.
+    pub fn summary_table(&self) -> String {
+        let Some(st) = self.state() else {
+            return String::new();
+        };
+        let mut out = String::new();
+        if !st.counters.is_empty() {
+            out.push_str("counter                                   value\n");
+            for (k, v) in &st.counters {
+                out.push_str(&format!("{k:<40}  {v}\n"));
+            }
+        }
+        if !st.gauges.is_empty() {
+            out.push_str("gauge                                     value\n");
+            for (k, v) in &st.gauges {
+                out.push_str(&format!("{k:<40}  {v}\n"));
+            }
+        }
+        let mut census: BTreeMap<&str, usize> = BTreeMap::new();
+        for e in &st.events {
+            *census.entry(e.kind.as_str()).or_insert(0) += 1;
+        }
+        if !census.is_empty() {
+            out.push_str("events\n");
+            for (k, v) in census {
+                out.push_str(&format!("  {k:<38}  {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// RAII timer returned by [`Recorder::span`].
+#[must_use = "a span measures until dropped; bind it with `let _span = …`"]
+pub struct PhaseSpan {
+    rec: Recorder,
+    phase: String,
+    start: Option<Instant>,
+}
+
+impl PhaseSpan {
+    /// End the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for PhaseSpan {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            let ns = start.elapsed().as_nanos() as u64;
+            self.rec.incr(&format!("time_ns.{}", self.phase), ns);
+            self.rec
+                .event("phase", &[("phase", self.phase.as_str().into()), ("ns", ns.into())]);
+        }
+    }
+}
+
+/// Aggregate telemetry snapshot of one sketch (or a family of
+/// repetitions): maintained as plain fields inside the sketches and
+/// harvested at finalize via [`Recorder::sketch`].
+///
+/// `updates` is only filled where the sketch already tracked it
+/// (e.g. `F2HeavyHitter::items_seen`); `0` means "not tracked", not
+/// "no updates". Counters are merged by addition when sketch replicas
+/// merge, and reset to zero by wire-format reconstruction — they are
+/// telemetry, not state, and never participate in merge compatibility
+/// checks or `space_words` accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SketchStats {
+    /// Items observed, where the sketch already counts them.
+    pub updates: u64,
+    /// Resident entries right now (buffer/candidate fill).
+    pub fill: u64,
+    /// Configured capacity of that buffer (0 = unbounded/fixed table).
+    pub capacity: u64,
+    /// Entries dropped to stay within capacity.
+    pub evictions: u64,
+    /// Bulk shrink passes (heavy-hitter prunes, BJKST level rises).
+    pub prunes: u64,
+    /// Merge invocations absorbed into this state.
+    pub merges: u64,
+}
+
+impl SketchStats {
+    /// Accumulate another snapshot (for families of repetitions /
+    /// levels): all fields add, including fill and capacity.
+    pub fn absorb(&mut self, other: SketchStats) {
+        self.updates += other.updates;
+        self.fill += other.fill;
+        self.capacity += other.capacity;
+        self.evictions += other.evictions;
+        self.prunes += other.prunes;
+        self.merges += other.merges;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = Recorder::disabled();
+        rec.incr("a", 3);
+        rec.gauge("g", 1.5);
+        rec.event("kind", &[("x", 1u64.into())]);
+        let _span = rec.span("phase");
+        drop(_span);
+        assert!(!rec.is_enabled());
+        assert!(rec.counters().is_empty());
+        assert!(rec.gauges().is_empty());
+        assert!(rec.events().is_empty());
+        let mut buf = Vec::new();
+        rec.write_ndjson(&mut buf).unwrap();
+        assert!(buf.is_empty());
+        assert!(rec.summary_table().is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let rec = Recorder::enabled();
+        rec.incr("edges", 10);
+        rec.incr("edges", 5);
+        rec.gauge("estimate", 1.0);
+        rec.gauge("estimate", 2.0);
+        assert_eq!(rec.counters(), vec![("edges".to_string(), 15)]);
+        assert_eq!(rec.gauges(), vec![("estimate".to_string(), 2.0)]);
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let rec = Recorder::enabled();
+        let clone = rec.clone();
+        clone.incr("x", 1);
+        rec.incr("x", 1);
+        assert_eq!(rec.counters(), vec![("x".to_string(), 2)]);
+    }
+
+    #[test]
+    fn span_times_into_counter_and_event() {
+        let rec = Recorder::enabled();
+        {
+            let _span = rec.span("ingest");
+        }
+        let counters = rec.counters();
+        assert_eq!(counters.len(), 1);
+        assert!(counters[0].0 == "time_ns.ingest");
+        let phases = rec.events_of("phase");
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].str_field("phase"), Some("ingest"));
+        assert!(phases[0].u64_field("ns").is_some());
+    }
+
+    #[test]
+    fn events_are_sequenced_in_emission_order() {
+        let rec = Recorder::enabled();
+        rec.event("a", &[]);
+        rec.event("b", &[("k", "v".into())]);
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!((events[0].seq, events[0].kind.as_str()), (0, "a"));
+        assert_eq!((events[1].seq, events[1].kind.as_str()), (1, "b"));
+    }
+
+    #[test]
+    fn ndjson_lines_parse_and_round_trip() {
+        let rec = Recorder::enabled();
+        rec.event(
+            "lane",
+            &[
+                ("lane", 3usize.into()),
+                ("estimate", 12.5f64.into()),
+                ("winner", "LargeSet".into()),
+                ("qualifying", true.into()),
+                ("delta", Value::I64(-4)),
+            ],
+        );
+        rec.incr("edges", 7);
+        rec.gauge("alpha", 4.0);
+        let mut buf = Vec::new();
+        rec.write_ndjson(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let parsed = json::Json::parse(line).expect("valid JSON line");
+            assert!(parsed.get("kind").is_some(), "{line}");
+            assert!(parsed.get("seq").is_some(), "{line}");
+        }
+        let lane = json::Json::parse(lines[0]).unwrap();
+        assert_eq!(lane.get("lane").and_then(json::Json::as_f64), Some(3.0));
+        assert_eq!(lane.get("estimate").and_then(json::Json::as_f64), Some(12.5));
+        assert_eq!(
+            lane.get("winner").and_then(json::Json::as_str),
+            Some("LargeSet")
+        );
+        assert_eq!(lane.get("delta").and_then(json::Json::as_f64), Some(-4.0));
+    }
+
+    #[test]
+    fn string_escaping_survives_the_parser() {
+        let rec = Recorder::enabled();
+        rec.event("e", &[("s", "a\"b\\c\nd\te\u{1}".into())]);
+        let mut buf = Vec::new();
+        rec.write_ndjson(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed = json::Json::parse(text.trim()).unwrap();
+        assert_eq!(
+            parsed.get("s").and_then(json::Json::as_str),
+            Some("a\"b\\c\nd\te\u{1}")
+        );
+    }
+
+    #[test]
+    fn sketch_stats_absorb_adds_everything() {
+        let mut a = SketchStats {
+            updates: 1,
+            fill: 2,
+            capacity: 3,
+            evictions: 4,
+            prunes: 5,
+            merges: 6,
+        };
+        a.absorb(SketchStats {
+            updates: 10,
+            fill: 20,
+            capacity: 30,
+            evictions: 40,
+            prunes: 50,
+            merges: 60,
+        });
+        assert_eq!(
+            a,
+            SketchStats {
+                updates: 11,
+                fill: 22,
+                capacity: 33,
+                evictions: 44,
+                prunes: 55,
+                merges: 66,
+            }
+        );
+    }
+
+    #[test]
+    fn sketch_event_carries_all_stat_fields() {
+        let rec = Recorder::enabled();
+        rec.sketch(
+            "lane0.large_set",
+            "f2hh",
+            SketchStats {
+                updates: 9,
+                fill: 4,
+                capacity: 8,
+                evictions: 1,
+                prunes: 2,
+                merges: 3,
+            },
+        );
+        let events = rec.events_of("sketch");
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.str_field("scope"), Some("lane0.large_set"));
+        assert_eq!(e.str_field("sketch"), Some("f2hh"));
+        assert_eq!(e.u64_field("updates"), Some(9));
+        assert_eq!(e.u64_field("fill"), Some(4));
+        assert_eq!(e.u64_field("capacity"), Some(8));
+        assert_eq!(e.u64_field("evictions"), Some(1));
+        assert_eq!(e.u64_field("prunes"), Some(2));
+        assert_eq!(e.u64_field("merges"), Some(3));
+    }
+
+    #[test]
+    fn summary_table_lists_counters_gauges_and_census() {
+        let rec = Recorder::enabled();
+        rec.incr("edges", 3);
+        rec.gauge("estimate", 7.5);
+        rec.event("lane", &[]);
+        rec.event("lane", &[]);
+        let table = rec.summary_table();
+        assert!(table.contains("edges"), "{table}");
+        assert!(table.contains("estimate"), "{table}");
+        assert!(table.contains("lane"), "{table}");
+        assert!(table.contains('2'), "{table}");
+    }
+
+    #[test]
+    fn non_finite_gauges_render_as_null() {
+        let rec = Recorder::enabled();
+        rec.gauge("bad", f64::NAN);
+        let mut buf = Vec::new();
+        rec.write_ndjson(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed = json::Json::parse(text.trim()).unwrap();
+        assert!(matches!(parsed.get("value"), Some(json::Json::Null)));
+    }
+}

@@ -12,6 +12,7 @@
 //! the success probability (median-of-means).
 
 use kcov_hash::{SeedSequence, SignHash};
+use kcov_obs::SketchStats;
 
 use crate::space::SpaceUsage;
 
@@ -22,6 +23,8 @@ pub struct AmsF2 {
     cols: usize,
     signs: Vec<SignHash>,
     counters: Vec<i64>,
+    /// Telemetry: merge invocations absorbed.
+    merges: u64,
 }
 
 impl AmsF2 {
@@ -36,6 +39,7 @@ impl AmsF2 {
             cols,
             signs: (0..rows * cols).map(|_| SignHash::new(seq.next_seed())).collect(),
             counters: vec![0i64; rows * cols],
+            merges: 0,
         }
     }
 
@@ -126,6 +130,7 @@ impl AmsF2 {
             cols,
             signs,
             counters,
+            merges: 0,
         })
     }
 
@@ -145,6 +150,19 @@ impl AmsF2 {
         );
         for (a, &b) in self.counters.iter_mut().zip(&other.counters) {
             *a += b;
+        }
+        self.merges += 1 + other.merges;
+    }
+
+    /// Telemetry snapshot (fixed table: fill = capacity = cells).
+    pub fn stats(&self) -> SketchStats {
+        SketchStats {
+            updates: 0,
+            fill: self.counters.len() as u64,
+            capacity: self.counters.len() as u64,
+            evictions: 0,
+            prunes: 0,
+            merges: self.merges,
         }
     }
 }

@@ -13,6 +13,7 @@
 use std::collections::HashSet;
 
 use kcov_hash::{pairwise, KWise, RangeHash};
+use kcov_obs::SketchStats;
 
 use crate::space::SpaceUsage;
 
@@ -26,6 +27,10 @@ pub struct Bjkst {
     buffer: HashSet<u64>,
     /// Overflow bound: relative error is `O(1/√capacity)`.
     capacity: usize,
+    /// Telemetry: level rises (each halves the expected survivors).
+    level_rises: u64,
+    /// Telemetry: merge invocations absorbed.
+    merges: u64,
 }
 
 impl Bjkst {
@@ -37,6 +42,8 @@ impl Bjkst {
             level: 0,
             buffer: HashSet::with_capacity(capacity + 1),
             capacity,
+            level_rises: 0,
+            merges: 0,
         }
     }
 
@@ -47,6 +54,7 @@ impl Bjkst {
             self.buffer.insert(h);
             while self.buffer.len() > self.capacity {
                 self.level += 1;
+                self.level_rises += 1;
                 let level = self.level;
                 self.buffer.retain(|&v| v.trailing_zeros() >= level);
             }
@@ -103,6 +111,8 @@ impl Bjkst {
             level,
             buffer: values.into_iter().collect(),
             capacity,
+            level_rises: 0,
+            merges: 0,
         })
     }
 
@@ -131,8 +141,24 @@ impl Bjkst {
         }
         while self.buffer.len() > self.capacity {
             self.level += 1;
+            self.level_rises += 1;
             let level = self.level;
             self.buffer.retain(|&v| v.trailing_zeros() >= level);
+        }
+        self.merges += 1 + other.merges;
+        self.level_rises += other.level_rises;
+    }
+
+    /// Telemetry snapshot (fill, capacity, level rises as prunes,
+    /// merges).
+    pub fn stats(&self) -> SketchStats {
+        SketchStats {
+            updates: 0,
+            fill: self.buffer.len() as u64,
+            capacity: self.capacity as u64,
+            evictions: 0,
+            prunes: self.level_rises,
+            merges: self.merges,
         }
     }
 }
@@ -242,6 +268,21 @@ mod tests {
         assert_eq!(b.estimate(), back.estimate());
         assert!(Bjkst::from_parts(4, 0, b.hash().clone(), Vec::new()).is_err());
         assert!(Bjkst::from_parts(8, 3, b.hash().clone(), vec![1]).is_err());
+    }
+
+    #[test]
+    fn stats_track_level_rises_and_merges() {
+        let mut b = Bjkst::new(16, 3);
+        for i in 0..10_000u64 {
+            b.insert(i);
+        }
+        let st = b.stats();
+        assert_eq!(st.capacity, 16);
+        assert!(st.fill <= 16);
+        assert_eq!(st.prunes, u64::from(b.level()));
+        let other = Bjkst::new(16, 3);
+        b.merge(&other);
+        assert_eq!(b.stats().merges, 1);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! frequencies, in `Õ(1/γ)` space.
 
 use kcov_hash::{log_wise, KWise, RangeHash, SeedSequence};
+use kcov_obs::SketchStats;
 
 use crate::heavy_hitter::{F2HeavyHitter, HeavyHitterConfig, HeavyItem};
 use crate::space::SpaceUsage;
@@ -267,6 +268,16 @@ impl F2Contributing {
             a.hh.merge(&b.hh);
         }
     }
+
+    /// Telemetry snapshot aggregated over the per-level heavy hitters'
+    /// candidate trackers.
+    pub fn stats(&self) -> SketchStats {
+        let mut agg = SketchStats::default();
+        for level in &self.levels {
+            agg.absorb(level.hh.stats());
+        }
+        agg
+    }
 }
 
 impl SpaceUsage for F2Contributing {
@@ -436,6 +447,17 @@ mod tests {
         let mut a = F2Contributing::new(ContributingConfig::new(0.5, 16), 100, 100, 1);
         let b = F2Contributing::new(ContributingConfig::new(0.5, 256), 100, 100, 1);
         a.merge(&b);
+    }
+
+    #[test]
+    fn stats_aggregate_over_levels() {
+        let mut fc = F2Contributing::new(ContributingConfig::new(0.25, 64), 1000, 1000, 19);
+        feed(&mut fc, &[(4, 128), (9, 40)]);
+        let st = fc.stats();
+        // Level 0 is unsampled, so it alone sees the whole stream.
+        assert!(st.updates >= 168);
+        assert!(st.capacity > 0);
+        assert_eq!(st.merges, 0);
     }
 
     #[test]

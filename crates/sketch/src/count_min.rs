@@ -4,6 +4,7 @@
 //! streaming baselines and handy for workload diagnostics.
 
 use kcov_hash::{pairwise, KWise, RangeHash, SeedSequence};
+use kcov_obs::SketchStats;
 
 use crate::space::SpaceUsage;
 
@@ -14,6 +15,8 @@ pub struct CountMin {
     width: usize,
     hashes: Vec<KWise>,
     table: Vec<u64>,
+    /// Telemetry: merge invocations absorbed.
+    merges: u64,
 }
 
 impl CountMin {
@@ -29,6 +32,7 @@ impl CountMin {
             width,
             hashes: (0..rows).map(|_| pairwise(seq.next_seed())).collect(),
             table: vec![0u64; rows * width],
+            merges: 0,
         }
     }
 
@@ -74,6 +78,7 @@ impl CountMin {
             width,
             hashes,
             table,
+            merges: 0,
         })
     }
 
@@ -93,6 +98,19 @@ impl CountMin {
         );
         for (a, &b) in self.table.iter_mut().zip(&other.table) {
             *a += b;
+        }
+        self.merges += 1 + other.merges;
+    }
+
+    /// Telemetry snapshot (fixed table: fill = capacity = cells).
+    pub fn stats(&self) -> SketchStats {
+        SketchStats {
+            updates: 0,
+            fill: self.table.len() as u64,
+            capacity: self.table.len() as u64,
+            evictions: 0,
+            prunes: 0,
+            merges: self.merges,
         }
     }
 

@@ -11,6 +11,7 @@
 //! `(1 ± 1/2)` factor.
 
 use kcov_hash::{four_wise, pairwise, KWise, RangeHash, SeedSequence, SignHash};
+use kcov_obs::SketchStats;
 
 use crate::space::SpaceUsage;
 
@@ -22,6 +23,8 @@ pub struct CountSketch {
     buckets: Vec<KWise>,
     signs: Vec<SignHash>,
     table: Vec<i64>,
+    /// Telemetry: merge invocations absorbed.
+    merges: u64,
 }
 
 impl CountSketch {
@@ -41,6 +44,7 @@ impl CountSketch {
                 })
                 .collect(),
             table: vec![0i64; rows * width],
+            merges: 0,
         }
     }
 
@@ -136,6 +140,19 @@ impl CountSketch {
         for (a, &b) in self.table.iter_mut().zip(&other.table) {
             *a += b;
         }
+        self.merges += 1 + other.merges;
+    }
+
+    /// Telemetry snapshot (fixed table: fill = capacity = cells).
+    pub fn stats(&self) -> SketchStats {
+        SketchStats {
+            updates: 0,
+            fill: self.table.len() as u64,
+            capacity: self.table.len() as u64,
+            evictions: 0,
+            prunes: 0,
+            merges: self.merges,
+        }
     }
 
     /// Number of rows.
@@ -183,6 +200,7 @@ impl CountSketch {
             buckets,
             signs,
             table,
+            merges: 0,
         })
     }
 }

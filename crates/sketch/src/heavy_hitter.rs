@@ -16,6 +16,8 @@
 
 use std::collections::HashMap;
 
+use kcov_obs::SketchStats;
+
 use crate::ams_f2::AmsF2;
 use crate::count_sketch::CountSketch;
 use crate::space::SpaceUsage;
@@ -77,6 +79,13 @@ pub struct F2HeavyHitter {
     candidates: HashMap<u64, (i64, i64)>,
     capacity: usize,
     items_seen: u64,
+    /// Telemetry: pruning rounds fired (not state — merged by addition,
+    /// zeroed by wire reconstruction, never compared).
+    prunes: u64,
+    /// Telemetry: candidate entries dropped by pruning.
+    evictions: u64,
+    /// Telemetry: merge invocations absorbed.
+    merges: u64,
 }
 
 impl F2HeavyHitter {
@@ -94,6 +103,9 @@ impl F2HeavyHitter {
             capacity,
             config,
             items_seen: 0,
+            prunes: 0,
+            evictions: 0,
+            merges: 0,
         }
     }
 
@@ -136,6 +148,8 @@ impl F2HeavyHitter {
     /// bit-identical-state guarantee breaks.
     fn prune(&mut self) {
         let keep = self.capacity;
+        self.prunes += 1;
+        let before = self.candidates.len();
         let mut ests: Vec<i64> = self.candidates.values().map(|&(b, c)| b + c).collect();
         // k-th largest value as the cut (a value, so order-independent).
         let cut_idx = ests.len() - keep;
@@ -152,6 +166,7 @@ impl F2HeavyHitter {
         tied.truncate(keep.saturating_sub(above));
         self.candidates
             .retain(|item, &mut (b, c)| b + c > cut || tied.binary_search(item).is_ok());
+        self.evictions += (before - self.candidates.len()) as u64;
     }
 
     /// Estimate of `F2` of the full stream.
@@ -249,6 +264,9 @@ impl F2HeavyHitter {
             candidates: candidates.into_iter().map(|(item, b, c)| (item, (b, c))).collect(),
             capacity,
             items_seen,
+            prunes: 0,
+            evictions: 0,
+            merges: 0,
         })
     }
 
@@ -296,6 +314,23 @@ impl F2HeavyHitter {
         }
         if self.candidates.len() > self.capacity + self.capacity / 2 {
             self.prune();
+        }
+        self.merges += 1 + other.merges;
+        self.prunes += other.prunes;
+        self.evictions += other.evictions;
+    }
+
+    /// Telemetry snapshot for the candidate tracker (fill/capacity are
+    /// the candidate list, not the linear substructures — those have
+    /// their own [`CountSketch::stats`]/[`AmsF2::stats`]).
+    pub fn stats(&self) -> SketchStats {
+        SketchStats {
+            updates: self.items_seen,
+            fill: self.candidates.len() as u64,
+            capacity: self.capacity as u64,
+            evictions: self.evictions,
+            prunes: self.prunes,
+            merges: self.merges,
         }
     }
 }
@@ -512,6 +547,33 @@ mod tests {
             0,
         )
         .is_err());
+    }
+
+    #[test]
+    fn stats_track_candidate_churn() {
+        let mut hh = F2HeavyHitter::for_phi(0.1, 3);
+        for i in 0..50_000u64 {
+            hh.insert(i);
+        }
+        let st = hh.stats();
+        assert_eq!(st.updates, 50_000);
+        assert!(st.prunes > 0, "distinct-heavy stream must prune");
+        assert!(st.evictions >= st.prunes * st.capacity / 2);
+        assert!(st.fill <= st.capacity + st.capacity / 2);
+        let other = F2HeavyHitter::for_phi(0.1, 3);
+        hh.merge(&other);
+        assert_eq!(hh.stats().merges, 1);
+        // Wire reconstruction starts telemetry from zero.
+        let back = F2HeavyHitter::from_parts(
+            hh.config().clone(),
+            hh.sketch().clone(),
+            hh.f2_sketch().clone(),
+            hh.candidate_entries(),
+            hh.items_seen(),
+        )
+        .unwrap();
+        assert_eq!(back.stats().prunes, 0);
+        assert_eq!(back.stats().updates, 50_000);
     }
 
     #[test]

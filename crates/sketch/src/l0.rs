@@ -16,6 +16,7 @@
 use std::collections::BTreeSet;
 
 use kcov_hash::{pairwise, KWise, RangeHash, SeedSequence, MERSENNE_P};
+use kcov_obs::SketchStats;
 
 use crate::space::SpaceUsage;
 
@@ -26,6 +27,11 @@ pub struct Kmv {
     hash: KWise,
     /// The k smallest distinct hash values seen so far.
     smallest: BTreeSet<u64>,
+    /// Telemetry: values displaced after saturation (not state — merged
+    /// by addition, zeroed by wire reconstruction, never compared).
+    evictions: u64,
+    /// Telemetry: merge invocations absorbed.
+    merges: u64,
 }
 
 impl Kmv {
@@ -37,6 +43,8 @@ impl Kmv {
             k,
             hash: pairwise(seed),
             smallest: BTreeSet::new(),
+            evictions: 0,
+            merges: 0,
         }
     }
 
@@ -51,6 +59,7 @@ impl Kmv {
             let max = *self.smallest.iter().next_back().expect("non-empty");
             if h < max && self.smallest.insert(h) {
                 self.smallest.remove(&max);
+                self.evictions += 1;
             }
         }
     }
@@ -76,6 +85,7 @@ impl Kmv {
             let h = self.hash.hash(item);
             if h < max && self.smallest.insert(h) {
                 self.smallest.remove(&max);
+                self.evictions += 1;
                 max = *self.smallest.iter().next_back().expect("non-empty");
             }
         }
@@ -127,6 +137,8 @@ impl Kmv {
             k,
             hash,
             smallest: values.into_iter().collect(),
+            evictions: 0,
+            merges: 0,
         })
     }
 
@@ -147,6 +159,21 @@ impl Kmv {
         while self.smallest.len() > self.k {
             let max = *self.smallest.iter().next_back().expect("non-empty");
             self.smallest.remove(&max);
+            self.evictions += 1;
+        }
+        self.merges += 1 + other.merges;
+        self.evictions += other.evictions;
+    }
+
+    /// Telemetry snapshot (fill, capacity, evictions, merges).
+    pub fn stats(&self) -> SketchStats {
+        SketchStats {
+            updates: 0,
+            fill: self.smallest.len() as u64,
+            capacity: self.k as u64,
+            evictions: self.evictions,
+            prunes: 0,
+            merges: self.merges,
         }
     }
 }
@@ -222,6 +249,15 @@ impl L0Estimator {
     /// The underlying KMV repetitions (wire serialization).
     pub fn repetitions(&self) -> &[Kmv] {
         &self.reps
+    }
+
+    /// Aggregate telemetry snapshot over all repetitions.
+    pub fn stats(&self) -> SketchStats {
+        let mut agg = SketchStats::default();
+        for r in &self.reps {
+            agg.absorb(r.stats());
+        }
+        agg
     }
 
     /// Rebuild from parts (inverse of [`L0Estimator::repetitions`]).
@@ -400,6 +436,26 @@ mod tests {
         assert!(L0Estimator::from_parts(Vec::new()).is_err());
         let mixed = vec![Kmv::new(8, 1), Kmv::new(16, 1)];
         assert!(L0Estimator::from_parts(mixed).is_err());
+    }
+
+    #[test]
+    fn stats_track_fill_evictions_and_merges() {
+        let mut kmv = Kmv::new(8, 3);
+        for i in 0..100u64 {
+            kmv.insert(i);
+        }
+        let st = kmv.stats();
+        assert_eq!(st.fill, 8);
+        assert_eq!(st.capacity, 8);
+        assert!(st.evictions > 0, "saturated summary must have evicted");
+        assert_eq!(st.merges, 0);
+        let other = Kmv::new(8, 3);
+        kmv.merge(&other);
+        assert_eq!(kmv.stats().merges, 1);
+        // Telemetry is not state: wire reconstruction starts clean.
+        let back = Kmv::from_parts(kmv.k(), kmv.hash().clone(), kmv.kept_values()).unwrap();
+        assert_eq!(back.stats().evictions, 0);
+        assert_eq!(back.stats().fill, 8);
     }
 
     #[test]

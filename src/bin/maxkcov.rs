@@ -21,6 +21,13 @@
 //! the *stream* across `S` full estimator replicas (scoped threads)
 //! merged at finalize — estimates are identical to the serial pass up
 //! to the merge contract of DESIGN.md §8.
+//!
+//! Observability: `--metrics` appends a human summary (counters,
+//! gauges, per-subroutine estimates) after the normal output, and
+//! `--trace FILE` writes the full structured NDJSON event log. Both
+//! only *add* output — estimates and the default output lines are
+//! byte-identical with or without them. Unknown flags are rejected
+//! per subcommand rather than silently ignored.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -29,6 +36,7 @@ use std::process::ExitCode;
 
 use kcov_baselines::{greedy_max_cover, max_cover_exact};
 use kcov_core::{EstimatorConfig, MaxCoverEstimator, MaxCoverReporter, ParamMode};
+use kcov_obs::Recorder;
 use kcov_sketch::SpaceUsage;
 use kcov_stream::gen;
 use kcov_stream::{
@@ -55,33 +63,127 @@ const USAGE: &str = "usage:
   maxkcov greedy   --input FILE --k K
   maxkcov exact    --input FILE --k K
   maxkcov estimate --input FILE --k K --alpha A [--seed S] [--order ORDER] [--mode paper|practical]
-                   [--threads T] [--batch B] [--shards S]
+                   [--threads T] [--batch B] [--shards S] [--metrics] [--trace FILE]
   maxkcov report   --input FILE --k K --alpha A [--seed S] [--order ORDER] [--mode paper|practical]
-                   [--threads T] [--batch B] [--shards S]
+                   [--threads T] [--batch B] [--shards S] [--metrics] [--trace FILE]
   maxkcov twopass  --input FILE --k K --alpha A [--seed S] [--order ORDER] [--threads T] [--batch B]
-                   [--shards S]
+                   [--shards S] [--metrics] [--trace FILE]
   maxkcov setcover --input FILE [--fraction F]
   maxkcov budget   --input FILE --k K --words W [--seed S] [--order ORDER] [--threads T] [--batch B]
-                   [--shards S]
+                   [--shards S] [--metrics] [--trace FILE]
 KIND: uniform | zipf | planted | common | few-large | many-small
 ORDER: set | element | roundrobin | shuffle:SEED (default shuffle:0)
 --batch B ingests B edges per observe_batch call (default: per-edge observe);
 --threads T shards lanes across T threads. Results are bit-identical either way.
 --shards S partitions the stream across S estimator replicas merged at
-finalize; estimates are identical to the serial pass (DESIGN.md sec. 8).";
+finalize; estimates are identical to the serial pass (DESIGN.md sec. 8).
+--metrics prints a counters/gauges/subroutine summary after the normal output;
+--trace FILE writes the structured NDJSON event log. Neither changes estimates.";
 
-/// Parse `--key value` flags after the subcommand.
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+/// Per-subcommand flag allowlists: (flags taking a value, boolean flags).
+fn allowed_flags(cmd: &str) -> (&'static [&'static str], &'static [&'static str]) {
+    const OBS_BOOL: &[&str] = &["metrics"];
+    match cmd {
+        "gen" => (&["kind", "n", "m", "k", "seed", "out"], &[]),
+        "stats" => (&["input"], &[]),
+        "greedy" | "exact" => (&["input", "k"], &[]),
+        "estimate" | "report" | "twopass" => (
+            &[
+                "input", "k", "alpha", "seed", "order", "mode", "threads", "batch", "shards",
+                "trace",
+            ],
+            OBS_BOOL,
+        ),
+        "budget" => (
+            &[
+                "input", "k", "words", "seed", "order", "mode", "threads", "batch", "shards",
+                "trace",
+            ],
+            OBS_BOOL,
+        ),
+        "setcover" => (&["input", "fraction"], &[]),
+        _ => (&[], &[]),
+    }
+}
+
+/// Parse `--key value` (and bare boolean `--key`) flags after the
+/// subcommand, rejecting flags the subcommand does not accept.
+fn parse_flags(cmd: &str, args: &[String]) -> Result<HashMap<String, String>, String> {
+    let (value_flags, bool_flags) = allowed_flags(cmd);
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let key = a
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got '{a}'"))?;
-        let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
-        flags.insert(key.to_string(), val.clone());
+        if flags.contains_key(key) {
+            return Err(format!("duplicate flag --{key}"));
+        }
+        if bool_flags.contains(&key) {
+            flags.insert(key.to_string(), "true".to_string());
+        } else if value_flags.contains(&key) {
+            let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            flags.insert(key.to_string(), val.clone());
+        } else {
+            return Err(format!("unknown flag --{key} for subcommand '{cmd}'"));
+        }
     }
     Ok(flags)
+}
+
+/// `--trace FILE` / `--metrics` — the CLI observability surface.
+struct ObsOpts {
+    trace: Option<String>,
+    metrics: bool,
+}
+
+impl ObsOpts {
+    fn parse(flags: &HashMap<String, String>) -> ObsOpts {
+        ObsOpts {
+            trace: flags.get("trace").cloned(),
+            metrics: flags.contains_key("metrics"),
+        }
+    }
+
+    /// A live recorder only when some output was requested, so the
+    /// default path keeps the zero-cost disabled handle.
+    fn recorder(&self) -> Recorder {
+        if self.trace.is_some() || self.metrics {
+            Recorder::enabled()
+        } else {
+            Recorder::disabled()
+        }
+    }
+
+    /// Append metrics/trace output *after* the normal result lines
+    /// (default stdout stays byte-identical when neither is requested).
+    fn emit(&self, rec: &Recorder) -> Result<(), String> {
+        if self.metrics {
+            print!("{}", rec.summary_table());
+            let subs = rec.events_of("subroutine");
+            if !subs.is_empty() {
+                println!("subroutine                                estimate      space");
+                for ev in &subs {
+                    let lane = ev.u64_field("lane").unwrap_or(0);
+                    let name = ev.str_field("name").unwrap_or("?");
+                    let est = ev.f64_field("estimate").unwrap_or(f64::NAN);
+                    let words = ev.u64_field("space_words").unwrap_or(0);
+                    let est = if est.is_finite() {
+                        format!("{est:.1}")
+                    } else {
+                        "-".to_string()
+                    };
+                    println!("  lane{lane:<3} {name:<30}  {est:>10}  {words:>9}");
+                }
+            }
+        }
+        if let Some(path) = &self.trace {
+            let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            rec.write_ndjson(BufWriter::new(file))
+                .map_err(|e| format!("write {path}: {e}"))?;
+        }
+        Ok(())
+    }
 }
 
 fn req<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
@@ -157,7 +259,14 @@ fn run(args: &[String]) -> Result<(), String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err("no subcommand".into());
     };
-    let flags = parse_flags(rest)?;
+    if !matches!(
+        cmd.as_str(),
+        "gen" | "stats" | "greedy" | "exact" | "estimate" | "report" | "twopass" | "setcover"
+            | "budget"
+    ) {
+        return Err(format!("unknown subcommand '{cmd}'"));
+    }
+    let flags = parse_flags(cmd, rest)?;
     match cmd.as_str() {
         "gen" => cmd_gen(&flags),
         "stats" => cmd_stats(&flags),
@@ -246,10 +355,14 @@ fn cmd_estimate(flags: &HashMap<String, String>) -> Result<(), String> {
     let k: usize = parse_num(req(flags, "k")?, "k")?;
     let alpha: f64 = parse_num(req(flags, "alpha")?, "alpha")?;
     let order = parse_order(flags)?;
-    let config = parse_config(flags)?;
+    let mut config = parse_config(flags)?;
+    let obs = ObsOpts::parse(flags);
+    let rec = obs.recorder();
+    config.recorder = rec.clone();
     let batch = parse_batch(flags)?;
     let edges = edge_stream(&system, order);
     let mut est = MaxCoverEstimator::new(system.num_elements(), system.num_sets(), k, alpha, &config);
+    let span = rec.span("ingest");
     if config.shards > 1 {
         est.ingest_sharded(&edges, config.shards, batch.unwrap_or(1024));
     } else {
@@ -266,6 +379,7 @@ fn cmd_estimate(flags: &HashMap<String, String>) -> Result<(), String> {
             }
         }
     }
+    span.finish();
     let out = est.finalize();
     println!("estimate      = {:.1}", out.estimate);
     println!("winning z     = {}", out.winning_z);
@@ -273,7 +387,7 @@ fn cmd_estimate(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("trivial       = {}", out.trivial);
     println!("space (words) = {}", est.space_words());
     println!("stream edges  = {}", edges.len());
-    Ok(())
+    obs.emit(&rec)
 }
 
 fn cmd_twopass(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -281,7 +395,10 @@ fn cmd_twopass(flags: &HashMap<String, String>) -> Result<(), String> {
     let k: usize = parse_num(req(flags, "k")?, "k")?;
     let alpha: f64 = parse_num(req(flags, "alpha")?, "alpha")?;
     let order = parse_order(flags)?;
-    let config = parse_config(flags)?;
+    let mut config = parse_config(flags)?;
+    let obs = ObsOpts::parse(flags);
+    let rec = obs.recorder();
+    config.recorder = rec.clone();
     let batch = parse_batch(flags)?;
     let edges = edge_stream(&system, order);
     let (n, m) = (system.num_elements(), system.num_sets());
@@ -292,13 +409,17 @@ fn cmd_twopass(flags: &HashMap<String, String>) -> Result<(), String> {
             None => kcov_core::run_two_pass(n, m, k, alpha, &config, &edges),
             Some(b) => {
                 let mut first = kcov_core::TwoPassFirst::new(n, m, k, alpha, &config);
+                let span = rec.span("pass1");
                 for chunk in edges.chunks(b) {
                     first.observe_batch(chunk);
                 }
+                span.finish();
                 let mut second = first.into_second_pass();
+                let span = rec.span("pass2");
                 for chunk in edges.chunks(b) {
                     second.observe_batch(chunk);
                 }
+                span.finish();
                 second.finalize()
             }
         }
@@ -309,7 +430,7 @@ fn cmd_twopass(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("estimate       = {:.1}", cover.estimate);
     println!("winner         = {:?}", cover.winner);
     println!("space (words)  = {} (pass 2)", cover.space_words);
-    Ok(())
+    obs.emit(&rec)
 }
 
 fn cmd_budget(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -317,7 +438,10 @@ fn cmd_budget(flags: &HashMap<String, String>) -> Result<(), String> {
     let k: usize = parse_num(req(flags, "k")?, "k")?;
     let words: usize = parse_num(req(flags, "words")?, "words (space budget)")?;
     let order = parse_order(flags)?;
-    let config = parse_config(flags)?;
+    let mut config = parse_config(flags)?;
+    let obs = ObsOpts::parse(flags);
+    let rec = obs.recorder();
+    config.recorder = rec.clone();
     let (n, m) = (system.num_elements(), system.num_sets());
     let Some(mut fit) = kcov_core::fit_alpha_to_budget(n, m, k, words, &config) else {
         return Err(format!(
@@ -330,6 +454,7 @@ fn cmd_budget(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("predicted max  = {} words", fit.predicted_words);
     let batch = parse_batch(flags)?;
     let edges = edge_stream(&system, order);
+    let span = rec.span("ingest");
     if config.shards > 1 {
         fit.estimator
             .ingest_sharded(&edges, config.shards, batch.unwrap_or(1024));
@@ -347,10 +472,11 @@ fn cmd_budget(flags: &HashMap<String, String>) -> Result<(), String> {
             }
         }
     }
+    span.finish();
     let out = fit.estimator.finalize();
     println!("estimate       = {:.1}", out.estimate);
     println!("actual space   = {} words", fit.estimator.space_words());
-    Ok(())
+    obs.emit(&rec)
 }
 
 fn cmd_setcover(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -376,10 +502,14 @@ fn cmd_report(flags: &HashMap<String, String>) -> Result<(), String> {
     let k: usize = parse_num(req(flags, "k")?, "k")?;
     let alpha: f64 = parse_num(req(flags, "alpha")?, "alpha")?;
     let order = parse_order(flags)?;
-    let config = parse_config(flags)?;
+    let mut config = parse_config(flags)?;
+    let obs = ObsOpts::parse(flags);
+    let rec = obs.recorder();
+    config.recorder = rec.clone();
     let batch = parse_batch(flags)?;
     let edges = edge_stream(&system, order);
     let mut rep = MaxCoverReporter::new(system.num_elements(), system.num_sets(), k, alpha, &config);
+    let span = rec.span("ingest");
     if config.shards > 1 {
         rep.ingest_sharded(&edges, config.shards, batch.unwrap_or(1024));
     } else {
@@ -396,6 +526,7 @@ fn cmd_report(flags: &HashMap<String, String>) -> Result<(), String> {
             }
         }
     }
+    span.finish();
     let cover = rep.finalize();
     let chosen: Vec<usize> = cover.sets.iter().map(|&s| s as usize).collect();
     println!("reported sets  = {:?}", cover.sets);
@@ -403,5 +534,5 @@ fn cmd_report(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("estimate       = {:.1}", cover.estimate);
     println!("winner         = {:?}", cover.winner);
     println!("space (words)  = {}", cover.space_words);
-    Ok(())
+    obs.emit(&rec)
 }

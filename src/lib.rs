@@ -45,5 +45,6 @@ pub use kcov_baselines as baselines;
 pub use kcov_core as core;
 pub use kcov_hash as hash;
 pub use kcov_lowerbound as lowerbound;
+pub use kcov_obs as obs;
 pub use kcov_sketch as sketch;
 pub use kcov_stream as stream;

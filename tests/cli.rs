@@ -232,6 +232,133 @@ fn bad_usage_fails_with_usage_message() {
 }
 
 #[test]
+fn unknown_flags_are_rejected_per_subcommand() {
+    let path = tmp_file("flags.txt");
+    let path_s = path.to_str().unwrap();
+    let out = run(&[
+        "gen", "--kind", "planted", "--n", "400", "--m", "60", "--k", "5", "--seed", "1",
+        "--out", path_s,
+    ]);
+    assert!(out.status.success());
+
+    // A typo'd flag fails loudly instead of being silently ignored…
+    let out = run(&[
+        "estimate", "--input", path_s, "--k", "5", "--alpha", "4", "--allpha", "9",
+    ]);
+    assert!(!out.status.success(), "typo'd flag must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag --allpha"), "{err}");
+    assert!(err.contains("'estimate'"), "{err}");
+
+    // …flags valid elsewhere are rejected where they make no sense…
+    let out = run(&["stats", "--input", path_s, "--alpha", "4"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag --alpha"));
+    let out = run(&["gen", "--kind", "planted", "--n", "10", "--m", "5", "--out", path_s,
+        "--metrics"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag --metrics"));
+
+    // …and repeating a flag is an error, not a silent overwrite.
+    let out = run(&[
+        "estimate", "--input", path_s, "--k", "5", "--alpha", "4", "--alpha", "8",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("duplicate flag --alpha"));
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn trace_and_metrics_add_output_without_changing_estimates() {
+    let path = tmp_file("obs.txt");
+    let path_s = path.to_str().unwrap();
+    let trace = tmp_file("obs.ndjson");
+    let trace_s = trace.to_str().unwrap();
+    let out = run(&[
+        "gen", "--kind", "planted", "--n", "800", "--m", "120", "--k", "8", "--seed", "5",
+        "--out", path_s,
+    ]);
+    assert!(out.status.success());
+
+    let base = &["estimate", "--input", path_s, "--k", "8", "--alpha", "4", "--seed", "3"][..];
+    let plain = run(base);
+    assert!(plain.status.success());
+
+    // --trace alone: stdout byte-identical to the plain run.
+    let mut args = base.to_vec();
+    args.extend(["--trace", trace_s]);
+    let traced = run(&args);
+    assert!(traced.status.success(), "{}", String::from_utf8_lossy(&traced.stderr));
+    assert_eq!(plain.stdout, traced.stdout, "--trace must not change stdout");
+
+    // The trace file is line-delimited JSON with the required records,
+    // and its accounting matches the stream and the reported space.
+    let ndjson = std::fs::read_to_string(&trace).expect("trace file written");
+    let mut lanes = 0u64;
+    let mut sub_space = 0u64;
+    let mut summary_space = None;
+    let mut summary_edges = None;
+    let mut phases = Vec::new();
+    for line in ndjson.lines() {
+        let doc = maxkcov::obs::json::Json::parse(line)
+            .unwrap_or_else(|e| panic!("invalid NDJSON line: {e}\n{line}"));
+        let kind = doc.get("kind").and_then(|k| k.as_str()).expect("kind key").to_string();
+        assert!(doc.get("seq").and_then(|s| s.as_f64()).is_some(), "seq key: {line}");
+        match kind.as_str() {
+            "lane" => lanes += 1,
+            "subroutine" => {
+                sub_space += doc.get("space_words").and_then(|v| v.as_f64()).unwrap() as u64;
+            }
+            "summary" => {
+                summary_space = doc.get("space_words").and_then(|v| v.as_f64());
+                summary_edges = doc.get("edges").and_then(|v| v.as_f64());
+            }
+            "phase" => {
+                phases.push(doc.get("phase").and_then(|p| p.as_str()).unwrap().to_string());
+            }
+            _ => {}
+        }
+    }
+    assert!(lanes > 0, "per-lane records present");
+    let summary_space = summary_space.expect("summary record") as u64;
+    assert_eq!(sub_space, summary_space, "subroutine snapshots sum to the total");
+    assert!(phases.contains(&"ingest".to_string()));
+    assert!(phases.contains(&"finalize".to_string()));
+
+    // The reported space and edge count agree with the normal output.
+    let text = String::from_utf8_lossy(&plain.stdout);
+    let stdout_space: u64 = text
+        .lines()
+        .find(|l| l.starts_with("space (words)"))
+        .and_then(|l| l.split('=').nth(1))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("space line");
+    assert_eq!(summary_space, stdout_space);
+    let stdout_edges: f64 = text
+        .lines()
+        .find(|l| l.starts_with("stream edges"))
+        .and_then(|l| l.split('=').nth(1))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("edges line");
+    assert_eq!(summary_edges.unwrap(), stdout_edges);
+
+    // --metrics: the plain lines come first, then the summary table.
+    let mut args = base.to_vec();
+    args.push("--metrics");
+    let metrics = run(&args);
+    assert!(metrics.status.success());
+    let mtext = String::from_utf8_lossy(&metrics.stdout);
+    assert!(mtext.starts_with(&*String::from_utf8_lossy(&plain.stdout)),
+        "normal output must be an unchanged prefix:\n{mtext}");
+    assert!(mtext.contains("edges.total"), "{mtext}");
+    assert!(mtext.contains("large_common"), "subroutine diagnostics shown: {mtext}");
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
 fn malformed_input_reports_line() {
     let path = tmp_file("bad.txt");
     std::fs::write(&path, "4 2\n9 9\n").unwrap();

@@ -194,6 +194,100 @@ fn reporter_sharded_matches_serial() {
     }
 }
 
+/// The documented space divergence (DESIGN.md §8): merging rebuilds
+/// every heavy-hitter candidate list canonically and re-prunes, so a
+/// merged estimator's `space_words` sits at or below the serial
+/// state's post-prune fill on these workloads — never above — while
+/// the outcome stays identical. Everything here is seeded, so this is
+/// a deterministic regression pin, not a statistical claim.
+#[test]
+fn merged_space_never_exceeds_serial_on_zoo() {
+    let mut diverged = false;
+    for seed in [1u64, 42] {
+        for (name, system) in generator_zoo(seed) {
+            let n = system.num_elements();
+            let m = system.num_sets();
+            let config = fast_config(seed ^ 0x5ACE, n);
+            let edges = edge_stream(&system, ArrivalOrder::Shuffled(3));
+            let serial = MaxCoverEstimator::run(n, m, 4, 3.0, &config, &edges);
+            for shards in [2usize, 4] {
+                let config = config.clone().with_shards(shards);
+                let sharded = MaxCoverEstimator::run_sharded(n, m, 4, 3.0, &config, &edges, 64);
+                assert_outcomes_equivalent(
+                    &serial,
+                    &sharded,
+                    &format!("{name} seed={seed} shards={shards}"),
+                );
+                assert!(
+                    sharded.space_words <= serial.space_words,
+                    "{name} seed={seed} shards={shards}: merged {} > serial {}",
+                    sharded.space_words,
+                    serial.space_words
+                );
+                diverged |= sharded.space_words < serial.space_words;
+            }
+        }
+    }
+    assert!(
+        diverged,
+        "expected at least one workload where the canonical merge rebuild \
+         shrinks the candidate lists below the serial post-prune fill"
+    );
+}
+
+/// The divergence mechanism in isolation: feed `1.5·capacity + 80`
+/// distinct items. Serially the list overflows its high-water mark
+/// once, prunes down to ≈ capacity, then refills with the remaining
+/// items — ending well *above* capacity. Split into two sub-threshold
+/// shards (no shard ever prunes), the merged union exceeds the
+/// high-water mark, so the canonical rebuild prunes to ≤ capacity:
+/// strictly below the serial post-prune fill.
+#[test]
+fn merge_rebuild_prunes_below_serial_candidate_fill() {
+    use maxkcov::sketch::F2HeavyHitter;
+    let mut serial = F2HeavyHitter::for_phi(0.05, 9);
+    let capacity = serial.stats().capacity;
+    let hi_water = capacity + capacity / 2;
+    let distinct = hi_water + capacity / 2;
+    for item in 0..distinct {
+        serial.insert(item);
+    }
+    let st = serial.stats();
+    assert_eq!(st.prunes, 1, "serial run must overflow exactly once");
+    assert!(
+        st.fill > capacity,
+        "serial post-prune refill must end above capacity: fill {} <= {}",
+        st.fill,
+        capacity
+    );
+
+    let mut left = F2HeavyHitter::for_phi(0.05, 9);
+    let mut right = F2HeavyHitter::for_phi(0.05, 9);
+    for item in 0..distinct / 2 {
+        left.insert(item);
+    }
+    for item in distinct / 2..distinct {
+        right.insert(item);
+    }
+    assert_eq!(left.stats().prunes, 0, "shards must stay below the prune threshold");
+    assert_eq!(right.stats().prunes, 0);
+    left.merge(&right);
+    let merged = left.stats();
+    assert!(
+        merged.fill <= capacity,
+        "canonical rebuild must prune the union to capacity: fill {} > {}",
+        merged.fill,
+        capacity
+    );
+    assert!(
+        merged.fill < st.fill,
+        "merged fill {} must diverge strictly below serial fill {}",
+        merged.fill,
+        st.fill
+    );
+    assert_eq!(merged.updates, st.updates, "items_seen merges by addition");
+}
+
 /// The trivial regime (`k·α ≥ m`) merges bit-exactly — every group and
 /// the total are union-merged L0 sketches, so even the space accounting
 /// agrees.
