@@ -12,7 +12,7 @@
 use std::time::Instant;
 
 use kcov_baselines::{MvEdgeArrival, SketchedGreedy};
-use kcov_bench::{coarse_config, fmt, print_table};
+use kcov_bench::{bench_out_path, bench_smoke, coarse_config, fmt, print_table};
 use kcov_core::{EstimatorConfig, MaxCoverEstimator};
 use kcov_obs::json::Json;
 use kcov_stream::gen::{rmat_incidence, uniform_fixed_size, RmatParams};
@@ -28,8 +28,19 @@ fn throughput<F: FnMut(Edge)>(edges: &[Edge], mut observe: F) -> f64 {
 
 fn main() {
     println!("E9: per-edge throughput of the streaming algorithms");
-    let (n, m, k) = (50_000usize, 5_000usize, 64usize);
-    let system = uniform_fixed_size(n, m, 100, 1);
+    // KCOV_BENCH_SMOKE shrinks every workload to a seconds-scale fixed
+    // instance for the CI regression gate; the JSON schema is unchanged
+    // so bench_compare can diff smoke runs against a smoke baseline.
+    let smoke = bench_smoke();
+    if smoke {
+        println!("(KCOV_BENCH_SMOKE: reduced workloads)");
+    }
+    let (n, m, k) = if smoke {
+        (5_000usize, 500usize, 16usize)
+    } else {
+        (50_000usize, 5_000usize, 64usize)
+    };
+    let system = uniform_fixed_size(n, m, if smoke { 40 } else { 100 }, 1);
     let edges = edge_stream(&system, ArrivalOrder::Shuffled(9));
     println!("workload: n={n} m={m} k={k}, {} edges", edges.len());
 
@@ -83,8 +94,18 @@ fn main() {
     // workload. Every cell must produce the bit-identical estimate of
     // the serial per-edge pass (the engine's determinism contract).
     println!("\nE9b: batched ingestion engine, threads x batch size (rmat workload)");
-    let (bn, bm, bk, balpha) = (50_000usize, 4_000usize, 64usize, 8.0f64);
-    let bsystem = rmat_incidence(bn, bm, 600_000, RmatParams::default(), 11);
+    let (bn, bm, bk, balpha) = if smoke {
+        (5_000usize, 400usize, 16usize, 8.0f64)
+    } else {
+        (50_000usize, 4_000usize, 64usize, 8.0f64)
+    };
+    let bsystem = rmat_incidence(
+        bn,
+        bm,
+        if smoke { 60_000 } else { 600_000 },
+        RmatParams::default(),
+        11,
+    );
     let bedges = edge_stream(&bsystem, ArrivalOrder::Shuffled(5));
     let bconfig = coarse_config(3, bn, 2);
     println!("workload: n={bn} m={bm} k={bk} alpha={balpha}, {} edges", bedges.len());
@@ -101,8 +122,10 @@ fn main() {
         format!("{:.1}", reference.estimate),
     ]];
     let mut json_batched = Vec::new();
-    for &threads in &[1usize, 2, 4, 8] {
-        for &batch in &[1024usize, 16_384] {
+    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let batch_sizes: &[usize] = if smoke { &[1024] } else { &[1024, 16_384] };
+    for &threads in thread_counts {
+        for &batch in batch_sizes {
             let config = bconfig.clone().with_threads(threads);
             let t0 = Instant::now();
             let out = MaxCoverEstimator::run_batched(bn, bm, bk, balpha, &config, &bedges, batch);
@@ -149,8 +172,9 @@ fn main() {
         format!("{:.1}", reference.estimate),
     ]];
     let mut json_sharded = Vec::new();
-    for &shards in &[1usize, 2, 4, 8] {
-        for &batch in &[1024usize, 16_384] {
+    let shard_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    for &shards in shard_counts {
+        for &batch in batch_sizes {
             let config = bconfig.clone().with_shards(shards);
             let t0 = Instant::now();
             let out = MaxCoverEstimator::run_sharded(bn, bm, bk, balpha, &config, &bedges, batch);
@@ -216,7 +240,8 @@ fn main() {
         ("batched", Json::Arr(json_batched)),
         ("sharded", Json::Arr(json_sharded)),
     ]);
-    let path = "results/BENCH_throughput.json";
+    let path = bench_out_path("results/BENCH_throughput.json");
+    let path = path.as_str();
     match std::fs::write(path, doc.render_pretty(2)) {
         Ok(()) => eprintln!("wrote {path}"),
         Err(e) => eprintln!("warning: could not write {path}: {e}"),

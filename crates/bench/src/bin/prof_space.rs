@@ -9,7 +9,7 @@
 //! cargo run --release -p kcov-bench --bin prof_space
 //! ```
 
-use kcov_bench::log_log_slope;
+use kcov_bench::{bench_out_path, log_log_slope};
 use kcov_core::*;
 use kcov_obs::json::Json;
 use kcov_sketch::SpaceUsage;
@@ -84,7 +84,11 @@ fn main() {
         ("sweep", Json::Arr(sweep)),
         ("loglog_slope_estimator_words_vs_alpha", Json::Num(slope)),
     ]);
-    let path = "results/BENCH_space.json";
+    // The breakdown is a deterministic function of the parameters, so
+    // there is no smoke variant: a fresh run on any host must reproduce
+    // the committed baseline word-for-word.
+    let path = bench_out_path("results/BENCH_space.json");
+    let path = path.as_str();
     match std::fs::write(path, doc.render_pretty(2)) {
         Ok(()) => eprintln!("wrote {path}"),
         Err(e) => eprintln!("warning: could not write {path}: {e}"),

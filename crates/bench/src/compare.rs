@@ -1,0 +1,217 @@
+//! Regression comparison of two `BENCH_*.json` documents (a committed
+//! baseline under `results/baseline/` vs a freshly generated file).
+//!
+//! The two documents must have the identical shape — the same keys in
+//! the same order, the same array lengths — and every numeric leaf is
+//! classified by its key name:
+//!
+//! * keys ending in `edges_per_s` are **throughput**: the fresh value
+//!   may not fall more than `tolerance` (fractionally) below baseline,
+//! * keys ending in `words` are **space**: any increase is a failure
+//!   (space here is a deterministic function of the parameters, so
+//!   there is no noise to tolerate),
+//! * keys ending in `speedup` or containing `slope` are informational
+//!   ratios of other leaves and are not checked,
+//! * every other leaf is **identity** (workload shape: `n`, `m`, `k`,
+//!   `alpha`, `edges`, `lanes`, names, …) and must match exactly — a
+//!   mismatch means the two files describe different experiments and
+//!   the throughput/space verdicts would be meaningless.
+
+use kcov_obs::json::Json;
+
+/// Outcome of [`compare_bench`]: how many leaves were checked, the
+/// regressions/mismatches found, and informational notes (throughput
+/// ratios) for the log.
+#[derive(Debug, Default)]
+pub struct CompareReport {
+    /// Leaves checked under any rule (identity, throughput, space).
+    pub checked: usize,
+    /// Human-readable failure descriptions; empty means pass.
+    pub failures: Vec<String>,
+    /// Per-throughput-leaf ratio lines, for context in CI logs.
+    pub notes: Vec<String>,
+}
+
+impl CompareReport {
+    /// True when no regression or shape mismatch was found.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+enum Rule {
+    Throughput,
+    Space,
+    Identity,
+    Informational,
+}
+
+fn rule_for(key: &str) -> Rule {
+    if key.ends_with("edges_per_s") {
+        Rule::Throughput
+    } else if key.ends_with("words") {
+        Rule::Space
+    } else if key.ends_with("speedup") || key.contains("slope") {
+        Rule::Informational
+    } else {
+        Rule::Identity
+    }
+}
+
+/// Compare `fresh` against `baseline` with the given fractional
+/// throughput `tolerance` (0.25 = fail when fresh throughput drops more
+/// than 25% below baseline).
+pub fn compare_bench(baseline: &Json, fresh: &Json, tolerance: f64) -> CompareReport {
+    let mut report = CompareReport::default();
+    walk(baseline, fresh, "$", tolerance, &mut report);
+    report
+}
+
+fn walk(base: &Json, fresh: &Json, path: &str, tol: f64, report: &mut CompareReport) {
+    match (base, fresh) {
+        (Json::Obj(b), Json::Obj(f)) => {
+            for (key, bv) in b {
+                match f.iter().find(|(k, _)| k == key) {
+                    Some((_, fv)) => walk(bv, fv, &format!("{path}.{key}"), tol, report),
+                    None => report
+                        .failures
+                        .push(format!("{path}.{key}: present in baseline, missing in fresh")),
+                }
+            }
+            for (key, _) in f {
+                if !b.iter().any(|(k, _)| k == key) {
+                    report
+                        .failures
+                        .push(format!("{path}.{key}: present in fresh, missing in baseline"));
+                }
+            }
+        }
+        (Json::Arr(b), Json::Arr(f)) => {
+            if b.len() != f.len() {
+                report.failures.push(format!(
+                    "{path}: array length {} in baseline vs {} in fresh",
+                    b.len(),
+                    f.len()
+                ));
+                return;
+            }
+            for (i, (bv, fv)) in b.iter().zip(f).enumerate() {
+                walk(bv, fv, &format!("{path}[{i}]"), tol, report);
+            }
+        }
+        (Json::Num(b), Json::Num(f)) => {
+            let key = path.rsplit('.').next().unwrap_or(path);
+            let key = key.split('[').next().unwrap_or(key);
+            match rule_for(key) {
+                Rule::Informational => {}
+                Rule::Identity => {
+                    report.checked += 1;
+                    if b != f {
+                        report.failures.push(format!(
+                            "{path}: workload identity changed, baseline {b} vs fresh {f}"
+                        ));
+                    }
+                }
+                Rule::Space => {
+                    report.checked += 1;
+                    if f > b {
+                        report.failures.push(format!(
+                            "{path}: space regression, baseline {b} words vs fresh {f} words"
+                        ));
+                    }
+                }
+                Rule::Throughput => {
+                    report.checked += 1;
+                    let floor = b * (1.0 - tol);
+                    let ratio = if *b > 0.0 { f / b } else { f64::NAN };
+                    report
+                        .notes
+                        .push(format!("{path}: {ratio:.2}x baseline ({f:.0} vs {b:.0} edges/s)"));
+                    if *f < floor {
+                        report.failures.push(format!(
+                            "{path}: throughput regression, fresh {f:.0} edges/s is {:.0}% below \
+                             baseline {b:.0} (tolerance {:.0}%)",
+                            (1.0 - ratio) * 100.0,
+                            tol * 100.0
+                        ));
+                    }
+                }
+            }
+        }
+        (b, f) => {
+            report.checked += 1;
+            if b != f {
+                report
+                    .failures
+                    .push(format!("{path}: baseline {} vs fresh {}", b.render(), f.render()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(text: &str) -> Json {
+        Json::parse(text).expect("test doc")
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let d = doc(r#"{"n": 100, "rows": [{"alpha": 2, "edges_per_s": 1000.0, "estimator_words": 50}]}"#);
+        let r = compare_bench(&d, &d, 0.25);
+        assert!(r.passed(), "{:?}", r.failures);
+        assert_eq!(r.checked, 4);
+    }
+
+    #[test]
+    fn throughput_within_tolerance_passes_beyond_fails() {
+        let base = doc(r#"{"edges_per_s": 1000.0}"#);
+        let ok = doc(r#"{"edges_per_s": 800.0}"#);
+        assert!(compare_bench(&base, &ok, 0.25).passed());
+        let faster = doc(r#"{"edges_per_s": 5000.0}"#);
+        assert!(compare_bench(&base, &faster, 0.25).passed());
+        let slow = doc(r#"{"edges_per_s": 700.0}"#);
+        let r = compare_bench(&base, &slow, 0.25);
+        assert!(!r.passed());
+        assert!(r.failures[0].contains("throughput regression"), "{:?}", r.failures);
+    }
+
+    #[test]
+    fn any_space_increase_fails() {
+        let base = doc(r#"{"oracle_words": 100}"#);
+        let r = compare_bench(&base, &doc(r#"{"oracle_words": 101}"#), 0.25);
+        assert!(!r.passed());
+        assert!(r.failures[0].contains("space regression"), "{:?}", r.failures);
+        assert!(compare_bench(&base, &doc(r#"{"oracle_words": 99}"#), 0.25).passed());
+        assert!(compare_bench(&base, &doc(r#"{"oracle_words": 100}"#), 0.25).passed());
+    }
+
+    #[test]
+    fn identity_leaves_must_match_exactly() {
+        let base = doc(r#"{"workload": {"n": 100, "name": "x"}}"#);
+        let r = compare_bench(&base, &doc(r#"{"workload": {"n": 101, "name": "x"}}"#), 0.25);
+        assert!(!r.passed());
+        assert!(r.failures[0].contains("identity"), "{:?}", r.failures);
+        let r = compare_bench(&base, &doc(r#"{"workload": {"n": 100, "name": "y"}}"#), 0.25);
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn shape_drift_fails() {
+        let base = doc(r#"{"rows": [{"a": 1}, {"a": 2}]}"#);
+        let r = compare_bench(&base, &doc(r#"{"rows": [{"a": 1}]}"#), 0.25);
+        assert!(!r.passed());
+        assert!(r.failures[0].contains("array length"), "{:?}", r.failures);
+        let r = compare_bench(&base, &doc(r#"{"rows": [{"a": 1}, {"b": 2}]}"#), 0.25);
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn speedup_and_slope_are_informational() {
+        let base = doc(r#"{"speedup": 2.0, "loglog_slope_estimator_words_vs_alpha": -2.0}"#);
+        let fresh = doc(r#"{"speedup": 0.5, "loglog_slope_estimator_words_vs_alpha": -1.0}"#);
+        assert!(compare_bench(&base, &fresh, 0.25).passed());
+    }
+}

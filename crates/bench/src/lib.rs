@@ -9,6 +9,22 @@
 
 use std::time::Instant;
 
+pub mod compare;
+
+/// True when `KCOV_BENCH_SMOKE` is set (non-empty, not `"0"`): the
+/// experiment binaries shrink to a seconds-scale fixed workload meant
+/// for the CI regression gate, keeping the JSON schema unchanged.
+pub fn bench_smoke() -> bool {
+    std::env::var("KCOV_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Output path for a `BENCH_*.json` file: `KCOV_BENCH_OUT` overrides
+/// `default` so CI can write fresh results next to (not on top of) the
+/// committed ones.
+pub fn bench_out_path(default: &str) -> String {
+    std::env::var("KCOV_BENCH_OUT").unwrap_or_else(|_| default.to_string())
+}
+
 /// Median nanoseconds per call of `op` (one logical element per call).
 /// Calibrates the batch size until one batch takes ≥ `min_batch_ms`,
 /// then reports the median over `runs` batches — the standard defense

@@ -13,12 +13,13 @@
 
 use std::time::Instant;
 
-use kcov_obs::{Recorder, Value};
+use kcov_obs::{Recorder, SketchStats, Value};
 use kcov_sketch::SpaceUsage;
 use kcov_stream::Edge;
 
 use crate::oracle::{Oracle, OracleOutput, SubroutineKind};
 use crate::params::{ParamMode, Params};
+use crate::telemetry::{self, HeartbeatSnap, IngestHists, LaneBeat};
 use crate::universe::UniverseReducer;
 use crate::Witness;
 
@@ -57,6 +58,14 @@ pub struct EstimatorConfig {
     /// and merge contracts are untouched either way (events are emitted
     /// only from the coordinating thread, never from ingestion workers).
     pub recorder: Recorder,
+    /// In-flight heartbeat cadence, in edges: capture a per-lane fill
+    /// snapshot at the first observation boundary at or after every
+    /// multiple of this many (shard-local) edges, emitted as
+    /// `"heartbeat"` events at finalize. Cadenced by edge count only —
+    /// never wall-clock — so estimates are bit-identical with
+    /// heartbeats on or off (DESIGN.md §10). `None` (the default)
+    /// disables capture; ignored while the recorder is disabled.
+    pub heartbeat_every: Option<u64>,
 }
 
 impl EstimatorConfig {
@@ -71,6 +80,7 @@ impl EstimatorConfig {
             threads: 1,
             shards: 1,
             recorder: Recorder::disabled(),
+            heartbeat_every: None,
         }
     }
 
@@ -90,6 +100,23 @@ impl EstimatorConfig {
     pub fn with_recorder(mut self, recorder: Recorder) -> Self {
         self.recorder = recorder;
         self
+    }
+
+    /// Builder-style heartbeat cadence (in edges).
+    pub fn with_heartbeat(mut self, every: u64) -> Self {
+        self.heartbeat_every = (every > 0).then_some(every);
+        self
+    }
+
+    /// The effective heartbeat cadence: 0 (off) unless both a cadence
+    /// is configured and the recorder is enabled — capture without a
+    /// sink would be pure overhead.
+    pub(crate) fn effective_heartbeat(&self) -> u64 {
+        if self.recorder.is_enabled() {
+            self.heartbeat_every.unwrap_or(0)
+        } else {
+            0
+        }
     }
 }
 
@@ -240,6 +267,20 @@ pub struct MaxCoverEstimator {
     /// Stream edges ingested (telemetry: merged by addition; every lane
     /// consumes every edge, so this is also each lane's edge count).
     edges_seen: u64,
+    /// Heartbeat cadence in edges (0 = off; see
+    /// [`EstimatorConfig::heartbeat_every`]).
+    heartbeat_every: u64,
+    /// Which stream shard this replica ingests (0 = coordinator);
+    /// stamped onto buffered heartbeats for deterministic emission.
+    shard_id: u64,
+    /// Buffered heartbeat snapshots, plain data — never emitted from
+    /// ingestion threads; concatenated on merge, sorted and emitted at
+    /// finalize.
+    heartbeats: Vec<HeartbeatSnap>,
+    /// Ingestion histograms (batch sizes/nanos, heartbeat deltas).
+    hists: IngestHists,
+    /// Aggregate sketch stats at the previous heartbeat (delta base).
+    last_stats: SketchStats,
 }
 
 impl MaxCoverEstimator {
@@ -260,6 +301,11 @@ impl MaxCoverEstimator {
                 lanes: Vec::new(),
                 rec: config.recorder.clone(),
                 edges_seen: 0,
+                heartbeat_every: config.effective_heartbeat(),
+                shard_id: 0,
+                heartbeats: Vec::new(),
+                hists: IngestHists::default(),
+                last_stats: SketchStats::default(),
             };
         }
         let mut seq = kcov_hash::SeedSequence::labeled(config.seed, "estimate-max-cover");
@@ -297,6 +343,11 @@ impl MaxCoverEstimator {
             lanes,
             rec: config.recorder.clone(),
             edges_seen: 0,
+            heartbeat_every: config.effective_heartbeat(),
+            shard_id: 0,
+            heartbeats: Vec::new(),
+            hists: IngestHists::default(),
+            last_stats: SketchStats::default(),
         }
     }
 
@@ -305,11 +356,16 @@ impl MaxCoverEstimator {
         self.edges_seen += 1;
         if let Some(t) = &mut self.trivial {
             t.observe(edge);
-            return;
+        } else {
+            for lane in &mut self.lanes {
+                let reduced = Edge::new(edge.set, lane.reducer.map(edge.elem as u64) as u32);
+                lane.oracle.observe(reduced);
+            }
         }
-        for lane in &mut self.lanes {
-            let reduced = Edge::new(edge.set, lane.reducer.map(edge.elem as u64) as u32);
-            lane.oracle.observe(reduced);
+        // Heartbeat cadence: edge count only, no clocks. Off (0) means
+        // one branch of overhead per edge.
+        if self.heartbeat_every != 0 && self.edges_seen.is_multiple_of(self.heartbeat_every) {
+            self.capture_heartbeat();
         }
     }
 
@@ -326,7 +382,27 @@ impl MaxCoverEstimator {
         if edges.is_empty() {
             return;
         }
+        // Batch telemetry: one clock read per *batch* (never per edge),
+        // recorded into replica-local histograms — no sink access here,
+        // so this path stays safe on ingestion worker threads.
+        let start = self.rec.is_enabled().then(Instant::now);
+        let seen_before = self.edges_seen;
         self.edges_seen += edges.len() as u64;
+        self.dispatch_batch(edges);
+        if let Some(start) = start {
+            self.hists.batch_edges.record(edges.len() as u64);
+            self.hists.batch_ns.record(start.elapsed().as_nanos() as u64);
+        }
+        // Capture at the first batch boundary at or after each multiple
+        // of the cadence (one snapshot per batch even when a big batch
+        // crosses several multiples) — a pure function of the chunking.
+        if telemetry::crosses_beat(seen_before, edges.len() as u64, self.heartbeat_every) {
+            self.capture_heartbeat();
+        }
+    }
+
+    /// The batched ingestion engine behind [`MaxCoverEstimator::observe_batch`].
+    fn dispatch_batch(&mut self, edges: &[Edge]) {
         if let Some(t) = &mut self.trivial {
             t.observe_batch(edges);
             return;
@@ -352,6 +428,48 @@ impl MaxCoverEstimator {
         });
     }
 
+    /// Snapshot every lane's fill state into the replica-local
+    /// heartbeat buffer (plain data — the recorder sink is never
+    /// touched here, so capture is safe on sharded worker threads).
+    fn capture_heartbeat(&mut self) {
+        let mut lanes = Vec::with_capacity(self.lanes.len().max(1));
+        let mut total = SketchStats::default();
+        if let Some(t) = &self.trivial {
+            lanes.push(LaneBeat {
+                lane: 0,
+                z: 0,
+                lc_fill: 0,
+                ls_fill: 0,
+                ss_fill: 0,
+                evictions: 0,
+                space_words: t.space_words() as u64,
+            });
+        }
+        for (i, lane) in self.lanes.iter().enumerate() {
+            let (lc, ls, ss) = lane.oracle.heartbeat_stats();
+            let ss = ss.unwrap_or_default();
+            let mut agg = lc;
+            agg.absorb(ls);
+            agg.absorb(ss);
+            lanes.push(LaneBeat {
+                lane: i as u64,
+                z: lane.z,
+                lc_fill: lc.fill,
+                ls_fill: ls.fill,
+                ss_fill: ss.fill,
+                evictions: agg.evictions,
+                space_words: (lane.oracle.space_words() + lane.reducer.space_words()) as u64,
+            });
+            total.absorb(agg);
+        }
+        self.hists.record_beat_delta(total, &mut self.last_stats);
+        self.heartbeats.push(HeartbeatSnap {
+            shard: self.shard_id,
+            at_edges: self.edges_seen,
+            lanes,
+        });
+    }
+
     /// Merge another estimator built from the same instance shape,
     /// configuration and seed, as if this estimator had also observed
     /// every edge `other` observed.
@@ -373,6 +491,9 @@ impl MaxCoverEstimator {
             "MaxCoverEstimator merge requires identical configuration (instance shape)"
         );
         self.edges_seen += other.edges_seen;
+        self.heartbeats.extend(other.heartbeats.iter().cloned());
+        self.hists.merge(&other.hists);
+        self.last_stats.absorb(other.last_stats);
         match (&mut self.trivial, &other.trivial) {
             (Some(a), Some(b)) => {
                 a.merge(b);
@@ -420,8 +541,12 @@ impl MaxCoverEstimator {
         let mut own_ns = 0u64;
         std::thread::scope(|s| {
             let handles: Vec<_> = parts
-                .map(|part| {
+                .enumerate()
+                .map(|(i, part)| {
                     let mut replica = self.clone();
+                    // Stamp the replica's heartbeats with its shard id so
+                    // finalize can emit them in deterministic order.
+                    replica.shard_id = i as u64 + 1;
                     s.spawn(move || {
                         let start = timed.then(Instant::now);
                         for chunk in part.chunks(batch.max(1)) {
@@ -540,6 +665,8 @@ impl MaxCoverEstimator {
     /// stream state.
     fn record_snapshot(&self, outcome: &EstimateOutcome) {
         let rec = &self.rec;
+        telemetry::emit_heartbeats(rec, "estimate", &self.heartbeats);
+        self.hists.emit(rec, "ingest");
         if let Some(t) = &self.trivial {
             rec.event(
                 "subroutine",

@@ -66,6 +66,7 @@ pub mod paper_map;
 pub mod params;
 pub mod report;
 pub mod small_set;
+pub(crate) mod telemetry;
 pub mod two_pass;
 pub mod universe;
 

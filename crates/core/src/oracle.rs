@@ -15,7 +15,7 @@
 //! least `|U|/η` then with good probability the output is at least
 //! `|C(OPT)|/Õ(α)`; and the output never exceeds `|C(OPT)|` (w.h.p.).
 
-use kcov_obs::{Recorder, Value};
+use kcov_obs::{Recorder, SketchStats, Value};
 use kcov_sketch::SpaceUsage;
 use kcov_stream::Edge;
 
@@ -232,6 +232,19 @@ impl Oracle {
         if let Some(ss) = &self.small_set {
             rec.sketch(&scope("small_set"), "edge_store", ss.sketch_stats());
         }
+    }
+
+    /// Cheap per-subroutine fill snapshot for heartbeat telemetry:
+    /// `(large_common, large_set, small_set)` sketch stats, harvested
+    /// from the plain counters the subroutines already maintain (no
+    /// finalize, no estimate extraction — safe to call mid-stream at
+    /// heartbeat cadence).
+    pub fn heartbeat_stats(&self) -> (SketchStats, SketchStats, Option<SketchStats>) {
+        (
+            self.large_common.sketch_stats(),
+            self.large_set.sketch_stats(),
+            self.small_set.as_ref().map(SmallSet::sketch_stats),
+        )
     }
 
     /// Merge an oracle built with the same parameters and seed over a

@@ -1,0 +1,192 @@
+//! In-flight heartbeat telemetry shared by the estimator and the
+//! two-pass refinement.
+//!
+//! Determinism contract (DESIGN.md §10): heartbeats are cadenced by
+//! **edge count only** — a snapshot is captured at the first
+//! observation boundary at or after every multiple of
+//! `heartbeat_every` edges, so the set of snapshots is a pure function
+//! of the stream split, never of wall-clock or scheduling. Snapshots
+//! are *buffered* as plain data in the owning (replica-local) state —
+//! ingestion workers never touch the recorder sink — carried through
+//! [`merge`](crate::MaxCoverEstimator::merge) by concatenation, and
+//! emitted once at finalize, sorted by `(shard, at_edges, lane)`.
+//! Wall-clock appears only in event *payloads* (`*_ns` histograms),
+//! never in cadence decisions, so estimates are bit-identical with
+//! heartbeats on or off across `--threads`/`--shards`/`--batch`.
+
+use kcov_obs::{Histogram, Recorder, SketchStats, Value};
+
+/// One lane's fill state at a heartbeat: per-subroutine resident
+/// entries plus the lane's total resident space.
+#[derive(Debug, Clone)]
+pub(crate) struct LaneBeat {
+    /// Lane index within the owning estimator / pass.
+    pub lane: u64,
+    /// The lane's `z` guess (0 in the trivial regime and pass 2).
+    pub z: u64,
+    /// `LargeCommon` resident entries.
+    pub lc_fill: u64,
+    /// `LargeSet` resident entries.
+    pub ls_fill: u64,
+    /// `SmallSet` resident entries (0 when inactive).
+    pub ss_fill: u64,
+    /// Evictions so far across the lane's sketches.
+    pub evictions: u64,
+    /// Lane resident space in words.
+    pub space_words: u64,
+}
+
+/// One heartbeat: where in the (shard-local) stream it was captured
+/// plus every lane's [`LaneBeat`].
+#[derive(Debug, Clone)]
+pub(crate) struct HeartbeatSnap {
+    /// Shard id of the replica that captured it (0 = the coordinating
+    /// estimator's own chunk, or the whole stream when unsharded).
+    pub shard: u64,
+    /// Shard-local edges ingested when the snapshot was taken.
+    pub at_edges: u64,
+    /// Per-lane fill state, in lane order.
+    pub lanes: Vec<LaneBeat>,
+}
+
+/// The ingestion histograms riding along with heartbeat state:
+/// deterministic shape metrics (batch sizes, per-heartbeat fill and
+/// eviction deltas) plus the wall-clock payload (`batch_ns`). Merged
+/// exactly like the estimator state they are attached to.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct IngestHists {
+    /// Edges per `observe_batch` call.
+    pub batch_edges: Histogram,
+    /// Nanoseconds per `observe_batch` call (wall-clock payload — the
+    /// `_ns` suffix marks it nondeterministic for trace diffing).
+    pub batch_ns: Histogram,
+    /// Fill growth between consecutive heartbeats.
+    pub fill_delta: Histogram,
+    /// Evictions between consecutive heartbeats.
+    pub eviction_delta: Histogram,
+}
+
+impl IngestHists {
+    /// Fold a replica's histograms into this one.
+    pub fn merge(&mut self, other: &IngestHists) {
+        self.batch_edges.merge(&other.batch_edges);
+        self.batch_ns.merge(&other.batch_ns);
+        self.fill_delta.merge(&other.fill_delta);
+        self.eviction_delta.merge(&other.eviction_delta);
+    }
+
+    /// Record the per-heartbeat sketch delta.
+    pub fn record_beat_delta(&mut self, current: SketchStats, last: &mut SketchStats) {
+        let delta = current.delta_since(last);
+        self.fill_delta.record(delta.fill);
+        self.eviction_delta.record(delta.evictions);
+        *last = current;
+    }
+
+    /// Emit every non-empty histogram under `<prefix>.<name>`.
+    pub fn emit(&self, rec: &Recorder, prefix: &str) {
+        for (name, hist) in [
+            ("batch_edges", &self.batch_edges),
+            ("batch_ns", &self.batch_ns),
+            ("fill_delta", &self.fill_delta),
+            ("eviction_delta", &self.eviction_delta),
+        ] {
+            if !hist.is_empty() {
+                rec.histogram(&format!("{prefix}.{name}"), hist);
+            }
+        }
+    }
+}
+
+/// Emit buffered heartbeats as `"heartbeat"` events — one per lane per
+/// snapshot, tagged with `stage` — sorted by `(shard, at_edges, lane)`
+/// so sharded and threaded runs produce identical event order.
+pub(crate) fn emit_heartbeats(rec: &Recorder, stage: &str, snaps: &[HeartbeatSnap]) {
+    if snaps.is_empty() || !rec.is_enabled() {
+        return;
+    }
+    let mut order: Vec<&HeartbeatSnap> = snaps.iter().collect();
+    order.sort_by_key(|s| (s.shard, s.at_edges));
+    for snap in order {
+        for beat in &snap.lanes {
+            rec.event(
+                "heartbeat",
+                &[
+                    ("stage", Value::from(stage)),
+                    ("shard", Value::from(snap.shard)),
+                    ("at_edges", Value::from(snap.at_edges)),
+                    ("lane", Value::from(beat.lane)),
+                    ("z", Value::from(beat.z)),
+                    ("lc_fill", Value::from(beat.lc_fill)),
+                    ("ls_fill", Value::from(beat.ls_fill)),
+                    ("ss_fill", Value::from(beat.ss_fill)),
+                    ("evictions", Value::from(beat.evictions)),
+                    ("space_words", Value::from(beat.space_words)),
+                ],
+            );
+        }
+    }
+}
+
+/// Whether ingesting `added` more edges after `seen_before` crosses a
+/// multiple of `every` (the batched-path cadence test: capture at the
+/// first observation boundary at or after each multiple).
+pub(crate) fn crosses_beat(seen_before: u64, added: u64, every: u64) -> bool {
+    every > 0 && added > 0 && (seen_before + added) / every > seen_before / every
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crosses_beat_fires_on_each_multiple() {
+        assert!(!crosses_beat(0, 99, 100));
+        assert!(crosses_beat(0, 100, 100));
+        assert!(crosses_beat(99, 1, 100));
+        assert!(!crosses_beat(100, 99, 100));
+        assert!(crosses_beat(100, 100, 100));
+        // A big batch crossing several multiples still fires (once —
+        // the caller captures a single snapshot at the batch end).
+        assert!(crosses_beat(0, 1000, 100));
+        // Disabled cadence never fires.
+        assert!(!crosses_beat(0, 1000, 0));
+        assert!(!crosses_beat(50, 0, 100));
+    }
+
+    #[test]
+    fn heartbeats_emit_sorted_by_shard_then_position() {
+        let rec = Recorder::enabled();
+        let beat = |lane| LaneBeat {
+            lane,
+            z: 8,
+            lc_fill: 1,
+            ls_fill: 2,
+            ss_fill: 3,
+            evictions: 0,
+            space_words: 10,
+        };
+        let snaps = vec![
+            HeartbeatSnap { shard: 1, at_edges: 200, lanes: vec![beat(0)] },
+            HeartbeatSnap { shard: 0, at_edges: 100, lanes: vec![beat(0), beat(1)] },
+            HeartbeatSnap { shard: 1, at_edges: 100, lanes: vec![beat(0)] },
+        ];
+        emit_heartbeats(&rec, "estimate", &snaps);
+        let events = rec.events_of("heartbeat");
+        let keys: Vec<(u64, u64, u64)> = events
+            .iter()
+            .map(|e| {
+                (
+                    e.u64_field("shard").unwrap(),
+                    e.u64_field("at_edges").unwrap(),
+                    e.u64_field("lane").unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            keys,
+            vec![(0, 100, 0), (0, 100, 1), (1, 100, 0), (1, 200, 0)]
+        );
+        assert!(events.iter().all(|e| e.str_field("stage") == Some("estimate")));
+    }
+}

@@ -15,6 +15,9 @@
 //! Space drops from `Õ(log n · m/α²)` to `Õ(m/α²)` per pass, and the
 //! lone oracle can afford more repetitions for the same footprint.
 
+use std::time::Instant;
+
+use kcov_obs::{Recorder, SketchStats};
 use kcov_sketch::SpaceUsage;
 use kcov_stream::Edge;
 
@@ -22,6 +25,7 @@ use crate::estimate::{EstimatorConfig, MaxCoverEstimator};
 use crate::oracle::Oracle;
 use crate::params::{ParamMode, Params};
 use crate::report::ReportedCover;
+use crate::telemetry::{self, HeartbeatSnap, IngestHists, LaneBeat};
 use crate::universe::UniverseReducer;
 
 /// Pass 1: estimate the optimal coverage size.
@@ -122,6 +126,13 @@ impl TwoPassFirst {
             z,
             pass1_estimate: out.estimate,
             lanes,
+            rec: self.config.recorder.clone(),
+            edges_seen: 0,
+            heartbeat_every: self.config.effective_heartbeat(),
+            shard_id: 0,
+            heartbeats: Vec::new(),
+            hists: IngestHists::default(),
+            last_stats: SketchStats::default(),
         }
     }
 }
@@ -133,6 +144,15 @@ pub struct TwoPassSecond {
     z: u64,
     pass1_estimate: f64,
     lanes: Vec<(UniverseReducer, Oracle)>,
+    rec: Recorder,
+    edges_seen: u64,
+    /// Heartbeat cadence in shard-local edges (0 = off); same contract
+    /// as the single-pass estimator (see `telemetry` module docs).
+    heartbeat_every: u64,
+    shard_id: u64,
+    heartbeats: Vec<HeartbeatSnap>,
+    hists: IngestHists,
+    last_stats: SketchStats,
 }
 
 impl TwoPassSecond {
@@ -143,8 +163,12 @@ impl TwoPassSecond {
 
     /// Observe one edge of pass 2.
     pub fn observe(&mut self, edge: Edge) {
+        self.edges_seen += 1;
         for (reducer, oracle) in &mut self.lanes {
             oracle.observe(Edge::new(edge.set, reducer.map(edge.elem as u64) as u32));
+        }
+        if self.heartbeat_every != 0 && self.edges_seen.is_multiple_of(self.heartbeat_every) {
+            self.capture_heartbeat();
         }
     }
 
@@ -152,11 +176,56 @@ impl TwoPassSecond {
     /// consumes the chunk in arrival order (bit-identical to repeated
     /// [`TwoPassSecond::observe`]).
     pub fn observe_batch(&mut self, edges: &[Edge]) {
+        if edges.is_empty() {
+            return;
+        }
+        let start = self.rec.is_enabled().then(Instant::now);
+        let seen_before = self.edges_seen;
+        self.edges_seen += edges.len() as u64;
         let mut scratch = Vec::with_capacity(edges.len());
         for (reducer, oracle) in &mut self.lanes {
             reducer.map_batch(edges, &mut scratch);
             oracle.observe_batch(&scratch);
         }
+        if let Some(start) = start {
+            self.hists.batch_edges.record(edges.len() as u64);
+            self.hists.batch_ns.record(start.elapsed().as_nanos() as u64);
+        }
+        if telemetry::crosses_beat(seen_before, edges.len() as u64, self.heartbeat_every) {
+            self.capture_heartbeat();
+        }
+    }
+
+    /// Snapshot every repetition lane's fill state into the
+    /// replica-local heartbeat buffer (same contract as
+    /// `MaxCoverEstimator::capture_heartbeat`; `z` reports the tuned
+    /// pseudo-universe shared by all lanes).
+    fn capture_heartbeat(&mut self) {
+        let mut lanes = Vec::with_capacity(self.lanes.len());
+        let mut total = SketchStats::default();
+        for (i, (reducer, oracle)) in self.lanes.iter().enumerate() {
+            let (lc, ls, ss) = oracle.heartbeat_stats();
+            let ss = ss.unwrap_or_default();
+            let mut agg = lc;
+            agg.absorb(ls);
+            agg.absorb(ss);
+            lanes.push(LaneBeat {
+                lane: i as u64,
+                z: self.z,
+                lc_fill: lc.fill,
+                ls_fill: ls.fill,
+                ss_fill: ss.fill,
+                evictions: agg.evictions,
+                space_words: (oracle.space_words() + reducer.space_words()) as u64,
+            });
+            total.absorb(agg);
+        }
+        self.hists.record_beat_delta(total, &mut self.last_stats);
+        self.heartbeats.push(HeartbeatSnap {
+            shard: self.shard_id,
+            at_edges: self.edges_seen,
+            lanes,
+        });
     }
 
     /// Merge another pass-2 state derived from the same pass-1 guess
@@ -168,6 +237,10 @@ impl TwoPassSecond {
             (other.k, other.z, other.lanes.len(), other.pass1_estimate.to_bits()),
             "TwoPassSecond merge requires identical configuration (pass-1 guess)"
         );
+        self.edges_seen += other.edges_seen;
+        self.heartbeats.extend(other.heartbeats.iter().cloned());
+        self.hists.merge(&other.hists);
+        self.last_stats.absorb(other.last_stats);
         for ((reducer, oracle), (other_reducer, other_oracle)) in
             self.lanes.iter_mut().zip(&other.lanes)
         {
@@ -196,8 +269,10 @@ impl TwoPassSecond {
         let mut replicas: Vec<TwoPassSecond> = Vec::new();
         std::thread::scope(|s| {
             let handles: Vec<_> = parts
-                .map(|part| {
+                .enumerate()
+                .map(|(i, part)| {
                     let mut replica = self.clone();
+                    replica.shard_id = i as u64 + 1;
                     s.spawn(move || {
                         for chunk in part.chunks(batch.max(1)) {
                             replica.observe_batch(chunk);
@@ -319,6 +394,8 @@ fn record_two_pass(rec: &kcov_obs::Recorder, second: &TwoPassSecond, cover: &Rep
     if !rec.is_enabled() {
         return;
     }
+    telemetry::emit_heartbeats(rec, "pass2", &second.heartbeats);
+    second.hists.emit(rec, "pass2.ingest");
     rec.event(
         "twopass",
         &[

@@ -149,6 +149,162 @@ fn disabled_recorder_emits_nothing() {
 }
 
 #[test]
+fn heartbeats_fire_on_edge_count_cadence() {
+    let (n, m, edges) = workload();
+    let rec = Recorder::enabled();
+    let mut config = fast_config(23, n).with_heartbeat(500);
+    config.recorder = rec.clone();
+    let mut est = MaxCoverEstimator::new(n, m, 8, 4.0, &config);
+    for &e in &edges {
+        est.observe(e);
+    }
+    est.finalize();
+
+    let beats = rec.events_of("heartbeat");
+    assert!(!beats.is_empty(), "expected heartbeats on a {}-edge stream", edges.len());
+    // Per-edge ingestion captures at exact multiples of the cadence,
+    // one event per lane per snapshot.
+    let expected_snaps = edges.len() as u64 / 500;
+    assert_eq!(beats.len() as u64, expected_snaps * est.num_lanes() as u64);
+    for b in &beats {
+        assert_eq!(b.u64_field("at_edges").unwrap() % 500, 0);
+        assert_eq!(b.str_field("stage"), Some("estimate"));
+        assert_eq!(b.u64_field("shard"), Some(0));
+        assert!(b.field("lc_fill").is_some());
+        assert!(b.field("space_words").is_some());
+    }
+    // Fill trajectories are non-decreasing per lane in this workload's
+    // early phase — at minimum the last snapshot's space must be
+    // positive and lane ids must cycle 0..num_lanes.
+    let lanes: Vec<u64> = beats.iter().map(|b| b.u64_field("lane").unwrap()).collect();
+    for (i, &l) in lanes.iter().enumerate() {
+        assert_eq!(l, i as u64 % est.num_lanes() as u64, "lane order within each beat");
+    }
+    // The per-heartbeat delta histograms rode along.
+    let hists = rec.events_of("histogram");
+    assert!(hists
+        .iter()
+        .any(|h| h.str_field("name") == Some("ingest.fill_delta")));
+}
+
+#[test]
+fn heartbeats_are_bit_neutral_across_seeds_shards_threads() {
+    let (n, m, edges) = workload();
+    for seed in [3u64, 29] {
+        for (shards, threads) in [(1usize, 1usize), (1, 4), (3, 2)] {
+            let plain = fast_config(seed, n).with_shards(shards).with_threads(threads);
+            let mut beating = plain.clone().with_heartbeat(300);
+            beating.recorder = Recorder::enabled();
+            let a = MaxCoverEstimator::run_sharded(n, m, 8, 4.0, &plain, &edges, 128);
+            let b = MaxCoverEstimator::run_sharded(n, m, 8, 4.0, &beating, &edges, 128);
+            assert_eq!(
+                a.estimate.to_bits(),
+                b.estimate.to_bits(),
+                "seed {seed} shards {shards} threads {threads}"
+            );
+            assert_eq!(a.winning_z, b.winning_z);
+            assert_eq!(a.winner, b.winner);
+            assert_eq!(a.space_words, b.space_words);
+        }
+    }
+}
+
+#[test]
+fn sharded_heartbeats_are_sorted_and_deterministic() {
+    let (n, m, edges) = workload();
+    let run = || {
+        let rec = Recorder::enabled();
+        let mut config = fast_config(31, n).with_shards(3).with_heartbeat(400);
+        config.recorder = rec.clone();
+        MaxCoverEstimator::run_sharded(n, m, 8, 4.0, &config, &edges, 128);
+        rec.events_of("heartbeat")
+    };
+    let beats = run();
+    assert!(!beats.is_empty());
+    // Emission order is sorted by (shard, at_edges, lane) regardless of
+    // worker scheduling.
+    let keys: Vec<(u64, u64, u64)> = beats
+        .iter()
+        .map(|b| {
+            (
+                b.u64_field("shard").unwrap(),
+                b.u64_field("at_edges").unwrap(),
+                b.u64_field("lane").unwrap(),
+            )
+        })
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(keys, sorted, "heartbeats must emit in deterministic order");
+    assert!(keys.iter().any(|k| k.0 > 0), "replica shards must contribute beats");
+    // And the full heartbeat payload is identical across two runs.
+    let again = run();
+    let lines: Vec<String> = beats.iter().map(|b| b.to_json_line()).collect();
+    let lines2: Vec<String> = again.iter().map(|b| b.to_json_line()).collect();
+    assert_eq!(lines, lines2, "heartbeat events must be byte-identical across runs");
+}
+
+#[test]
+fn heartbeat_without_recorder_captures_nothing() {
+    let (n, m, edges) = workload();
+    let config = fast_config(37, n).with_heartbeat(100);
+    assert!(!config.recorder.is_enabled());
+    // No sink → no capture; outputs still match a heartbeat-free run.
+    let out = MaxCoverEstimator::run(n, m, 8, 4.0, &config, &edges);
+    let base = MaxCoverEstimator::run(n, m, 8, 4.0, &fast_config(37, n), &edges);
+    assert_eq!(out.estimate.to_bits(), base.estimate.to_bits());
+}
+
+#[test]
+fn two_pass_heartbeats_tag_both_stages() {
+    let (n, m, edges) = workload();
+    let rec = Recorder::enabled();
+    let mut config = fast_config(41, n).with_heartbeat(400);
+    config.recorder = rec.clone();
+    let cover = kcov_core::run_two_pass(n, m, 8, 4.0, &config, &edges);
+    // Heartbeat neutrality on the reported cover too.
+    let plain = fast_config(41, n);
+    let base = kcov_core::run_two_pass(n, m, 8, 4.0, &plain, &edges);
+    assert_eq!(cover.sets, base.sets);
+    assert_eq!(cover.estimate.to_bits(), base.estimate.to_bits());
+    let stages: std::collections::BTreeSet<String> = rec
+        .events_of("heartbeat")
+        .iter()
+        .map(|b| b.str_field("stage").unwrap().to_string())
+        .collect();
+    assert!(stages.contains("estimate"), "pass-1 heartbeats present: {stages:?}");
+    assert!(stages.contains("pass2"), "pass-2 heartbeats present: {stages:?}");
+}
+
+#[test]
+fn batched_ingestion_records_batch_histograms() {
+    let (n, m, edges) = workload();
+    let rec = Recorder::enabled();
+    let mut config = fast_config(43, n);
+    config.recorder = rec.clone();
+    let batched = MaxCoverEstimator::run_batched(n, m, 8, 4.0, &config, &edges, 256);
+    let serial = MaxCoverEstimator::run(n, m, 8, 4.0, &fast_config(43, n), &edges);
+    assert_eq!(batched.estimate.to_bits(), serial.estimate.to_bits());
+    let hists = rec.events_of("histogram");
+    let batch_hist = hists
+        .iter()
+        .find(|h| h.str_field("name") == Some("ingest.batch_edges"))
+        .expect("batch-size histogram present");
+    assert_eq!(
+        batch_hist.u64_field("sum").unwrap(),
+        edges.len() as u64,
+        "batch sizes sum to the stream length"
+    );
+    assert_eq!(
+        batch_hist.u64_field("count").unwrap(),
+        edges.len().div_ceil(256) as u64
+    );
+    assert!(hists
+        .iter()
+        .any(|h| h.str_field("name") == Some("ingest.batch_ns")));
+}
+
+#[test]
 fn trivial_regime_snapshot_accounts_exactly() {
     // k·α ≥ m → the trivial branch; its single subroutine snapshot is
     // the whole space.

@@ -312,6 +312,36 @@ impl Recorder {
         );
     }
 
+    /// Record a [`Histogram`] as one `"histogram"` event. Non-empty
+    /// buckets are emitted as flat `b<i>` fields (events carry scalar
+    /// values only), alongside the `count`/`sum`/`min`/`max` envelope —
+    /// enough for [`Histogram::from_parts`] to rebuild the histogram
+    /// from the NDJSON line.
+    pub fn histogram(&self, name: &str, hist: &Histogram) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut fields: Vec<(String, Value)> = vec![
+            ("name".to_string(), name.into()),
+            ("count".to_string(), hist.count().into()),
+            ("sum".to_string(), hist.sum().into()),
+            ("min".to_string(), hist.min().unwrap_or(0).into()),
+            ("max".to_string(), hist.max().unwrap_or(0).into()),
+        ];
+        for (i, c) in hist.nonzero_buckets() {
+            fields.push((format!("b{i}"), c.into()));
+        }
+        if let Some(mut st) = self.state() {
+            let seq = st.seq;
+            st.seq += 1;
+            st.events.push(Event {
+                seq,
+                kind: "histogram".to_string(),
+                fields,
+            });
+        }
+    }
+
     /// Snapshot of all counters, sorted by key.
     pub fn counters(&self) -> Vec<(String, u64)> {
         self.state()
@@ -466,6 +496,209 @@ impl SketchStats {
         self.evictions += other.evictions;
         self.prunes += other.prunes;
         self.merges += other.merges;
+    }
+
+    /// The change since `baseline`, saturating at zero per field — the
+    /// delta-harvesting hook behind in-flight heartbeat snapshots.
+    /// Monotone counters (updates, evictions, prunes, merges) yield the
+    /// exact increment; `fill` can legitimately shrink between
+    /// snapshots (prunes, level rises), in which case its delta
+    /// saturates to zero and the shrink shows up in `prunes` instead.
+    pub fn delta_since(&self, baseline: &SketchStats) -> SketchStats {
+        SketchStats {
+            updates: self.updates.saturating_sub(baseline.updates),
+            fill: self.fill.saturating_sub(baseline.fill),
+            capacity: self.capacity.saturating_sub(baseline.capacity),
+            evictions: self.evictions.saturating_sub(baseline.evictions),
+            prunes: self.prunes.saturating_sub(baseline.prunes),
+            merges: self.merges.saturating_sub(baseline.merges),
+        }
+    }
+}
+
+/// Number of log₂ buckets in a [`Histogram`]: bucket 0 holds the value
+/// `0`, bucket `i ∈ [1, 64]` holds values `v` with `2^(i-1) ≤ v < 2^i`
+/// (i.e. `v.bits() == i`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A mergeable log₂-bucket histogram of `u64` samples.
+///
+/// The workhorse of in-flight streaming telemetry: batch sizes,
+/// per-batch ingest nanoseconds, and per-heartbeat sketch fill /
+/// eviction deltas are all recorded here. Design constraints:
+///
+/// * **Cheap on hot paths** — [`Histogram::record`] is a leading-zeros
+///   instruction plus four adds; no allocation, no lock, no clock.
+/// * **Mergeable** — [`Histogram::merge`] adds bucket counts and sums
+///   and takes min/max envelopes, so stream-sharded replicas fold their
+///   histograms exactly like the estimator state they ride on
+///   (commutative, associative, `Histogram::new()` is the identity).
+/// * **Wire-encodable** — `kcov-sketch`'s `WireEncode` ships histograms
+///   with checkpointed sketch state (impl lives there to keep this
+///   crate dependency-free).
+///
+/// Percentiles are resolved to the *upper bound* of the containing
+/// bucket, clamped to the observed `[min, max]` envelope — an
+/// overestimate by at most 2× by construction, which is the standard
+/// precision contract for log-bucket telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (the merge identity).
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index of `v`: 0 for 0, else `64 - v.leading_zeros()`
+    /// (the bit length of `v`).
+    pub fn bucket_index(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// The inclusive value range `[lo, hi]` of bucket `i`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < HISTOGRAM_BUCKETS, "bucket index {i} out of range");
+        if i == 0 {
+            (0, 0)
+        } else if i == 64 {
+            (1u64 << 63, u64::MAX)
+        } else {
+            (1u64 << (i - 1), (1u64 << i) - 1)
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Whether any sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`) resolved to the upper bound of
+    /// its bucket, clamped to the observed `[min, max]`. Returns `None`
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based: ceil(q · count), at least 1.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_bounds(i).1.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Bucket counts, dense (length [`HISTOGRAM_BUCKETS`]).
+    pub fn bucket_counts(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.counts
+    }
+
+    /// Non-empty buckets as `(bucket index, count)` in index order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Rebuild a histogram from its parts (the inverse of the
+    /// `histogram` event encoding and the wire format): sparse
+    /// `(bucket, count)` pairs plus the `sum`/`min`/`max` envelope.
+    /// Returns `None` on an out-of-range bucket index or an envelope
+    /// inconsistent with the buckets (empty buckets with a non-zero
+    /// envelope, or min > max).
+    pub fn from_parts(buckets: &[(usize, u64)], sum: u64, min: u64, max: u64) -> Option<Histogram> {
+        let mut h = Histogram::new();
+        for &(i, c) in buckets {
+            if i >= HISTOGRAM_BUCKETS {
+                return None;
+            }
+            h.counts[i] += c;
+            h.count += c;
+        }
+        if h.count == 0 {
+            return (sum == 0 && max == 0).then_some(Histogram::new());
+        }
+        if min > max {
+            return None;
+        }
+        h.sum = sum;
+        h.min = min;
+        h.max = max;
+        Some(h)
     }
 }
 
@@ -657,6 +890,132 @@ mod tests {
         assert!(table.contains("estimate"), "{table}");
         assert!(table.contains("lane"), "{table}");
         assert!(table.contains('2'), "{table}");
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_powers_of_two() {
+        // Bucket 0 is exactly {0}; bucket i covers [2^(i-1), 2^i - 1].
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert!(lo <= hi);
+            assert_eq!(Histogram::bucket_index(lo), i, "lo of bucket {i}");
+            assert_eq!(Histogram::bucket_index(hi), i, "hi of bucket {i}");
+            if lo > 0 {
+                assert_eq!(Histogram::bucket_index(lo - 1), i - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_envelope_and_quantiles() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        for v in [0u64, 1, 5, 9, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1115);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        assert!((h.mean() - 1115.0 / 6.0).abs() < 1e-12);
+        // Quantiles resolve to bucket upper bounds, clamped to [min, max]:
+        // p0 → bucket of the smallest sample; p100 → exactly max.
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(1000));
+        // Median (rank 3 of 6) lands in bucket 3 ([4,7]) → upper bound 7.
+        assert_eq!(h.quantile(0.5), Some(7));
+        // A log-bucket quantile never undershoots the true value by
+        // construction: check against the sorted samples.
+        let sorted = [0u64, 1, 5, 9, 100, 1000];
+        for (idx, &v) in sorted.iter().enumerate() {
+            let q = (idx + 1) as f64 / sorted.len() as f64;
+            assert!(h.quantile(q).unwrap() >= v, "q={q} under {v}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge_is_additive_and_has_identity() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in [3u64, 17, 0, 255] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [1u64, 1, 4096] {
+            b.record(v);
+            whole.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, whole);
+        // Commutative.
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ba, whole);
+        // Identity.
+        let mut id = a.clone();
+        id.merge(&Histogram::new());
+        assert_eq!(id, a);
+        let mut id2 = Histogram::new();
+        id2.merge(&a);
+        assert_eq!(id2, a);
+    }
+
+    #[test]
+    fn histogram_event_round_trips_through_from_parts() {
+        let mut h = Histogram::new();
+        for v in [0u64, 2, 2, 9, 70000] {
+            h.record(v);
+        }
+        let rec = Recorder::enabled();
+        rec.histogram("batch_edges", &h);
+        let events = rec.events_of("histogram");
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.str_field("name"), Some("batch_edges"));
+        assert_eq!(e.u64_field("count"), Some(5));
+        assert_eq!(e.u64_field("sum"), Some(70013));
+        assert_eq!(e.u64_field("min"), Some(0));
+        assert_eq!(e.u64_field("max"), Some(70000));
+        // Rebuild from the sparse b<i> fields.
+        let buckets: Vec<(usize, u64)> = e
+            .fields
+            .iter()
+            .filter_map(|(k, v)| {
+                let i: usize = k.strip_prefix('b')?.parse().ok()?;
+                match v {
+                    Value::U64(c) => Some((i, *c)),
+                    _ => None,
+                }
+            })
+            .collect();
+        let back = Histogram::from_parts(
+            &buckets,
+            e.u64_field("sum").unwrap(),
+            e.u64_field("min").unwrap(),
+            e.u64_field("max").unwrap(),
+        )
+        .expect("reconstructible");
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn histogram_from_parts_rejects_inconsistent_inputs() {
+        // Out-of-range bucket index.
+        assert!(Histogram::from_parts(&[(65, 1)], 1, 1, 1).is_none());
+        // min > max with samples present.
+        assert!(Histogram::from_parts(&[(1, 1)], 1, 5, 2).is_none());
+        // Empty buckets demand a zero envelope.
+        assert!(Histogram::from_parts(&[], 3, 0, 0).is_none());
+        assert_eq!(Histogram::from_parts(&[], 0, 0, 0), Some(Histogram::new()));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! equivalent.
 
 use kcov_hash::{KWise, SignHash};
+use kcov_obs::Histogram;
 
 use crate::ams_f2::AmsF2;
 use crate::bjkst::Bjkst;
@@ -150,6 +151,7 @@ const TAG_L0: u64 = 0x4c30; // "L0"
 const TAG_BJKST: u64 = 0x424a4b5354; // "BJKST"
 const TAG_HH: u64 = 0x4848; // "HH"
 const TAG_FC: u64 = 0x4643; // "FC"
+const TAG_HIST: u64 = 0x48495354; // "HIST"
 
 impl WireEncode for Kmv {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -381,6 +383,41 @@ impl WireEncode for F2Contributing {
     }
 }
 
+impl WireEncode for Histogram {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, TAG_HIST);
+        put_u64(out, self.sum());
+        put_u64(out, self.min().unwrap_or(0));
+        put_u64(out, self.max().unwrap_or(0));
+        // Sparse bucket list: the dense array is 65 words but telemetry
+        // histograms typically occupy a handful of buckets.
+        let buckets: Vec<(usize, u64)> = self.nonzero_buckets().collect();
+        put_u64(out, buckets.len() as u64);
+        for (i, c) in buckets {
+            put_u64(out, i as u64);
+            put_u64(out, c);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        if take_u64(input)? != TAG_HIST {
+            return Err(err("bad Histogram tag"));
+        }
+        let sum = take_u64(input)?;
+        let min = take_u64(input)?;
+        let max = take_u64(input)?;
+        let n = take_u64(input)? as usize;
+        if input.len() < 16 * n {
+            return Err(err(format!("truncated histogram bucket list of {n} entries")));
+        }
+        let buckets = (0..n)
+            .map(|_| Ok((take_u64(input)? as usize, take_u64(input)?)))
+            .collect::<Result<Vec<_>, WireError>>()?;
+        Histogram::from_parts(&buckets, sum, min, max)
+            .ok_or_else(|| err("inconsistent histogram parts"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -562,6 +599,54 @@ mod tests {
         bytes.push(0);
         let e = Kmv::from_bytes(&bytes).unwrap_err();
         assert!(e.message.contains("trailing"));
+    }
+
+    #[test]
+    fn histogram_roundtrip_preserves_everything() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 3, 3, 300, 70_000, u64::MAX] {
+            h.record(v);
+        }
+        let back = Histogram::from_bytes(&h.to_bytes()).unwrap();
+        assert_eq!(back, h);
+        // Merge after the round trip behaves like merge before it.
+        let mut extra = Histogram::new();
+        extra.record(42);
+        let mut a = h.clone();
+        a.merge(&extra);
+        let mut b = back;
+        b.merge(&extra);
+        assert_eq!(a, b);
+        // Empty histogram round-trips to the identity.
+        let empty = Histogram::from_bytes(&Histogram::new().to_bytes()).unwrap();
+        assert_eq!(empty, Histogram::new());
+    }
+
+    #[test]
+    fn histogram_truncation_and_corruption_rejected() {
+        let mut h = Histogram::new();
+        for v in [1u64, 5, 9, 1000] {
+            h.record(v);
+        }
+        let bytes = h.to_bytes();
+        for cut in [0usize, 1, 7, 8, 31, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Histogram::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(Histogram::from_bytes(&trailing).is_err());
+        // Wrong tag.
+        let kmv = Kmv::new(8, 1);
+        assert!(Histogram::from_bytes(&kmv.to_bytes()).is_err());
+        // Out-of-range bucket index: patch the first bucket entry.
+        let mut corrupt = bytes.clone();
+        let first_bucket_at = 8 * 5; // tag, sum, min, max, len
+        corrupt[first_bucket_at..first_bucket_at + 8].copy_from_slice(&99u64.to_le_bytes());
+        assert!(Histogram::from_bytes(&corrupt).is_err());
+        // Inconsistent envelope: min > max.
+        let mut bad_env = bytes;
+        bad_env[16..24].copy_from_slice(&u64::MAX.to_le_bytes()); // min field
+        assert!(Histogram::from_bytes(&bad_env).is_err());
     }
 
     #[test]

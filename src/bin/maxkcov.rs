@@ -24,19 +24,30 @@
 //!
 //! Observability: `--metrics` appends a human summary (counters,
 //! gauges, per-subroutine estimates) after the normal output, and
-//! `--trace FILE` writes the full structured NDJSON event log. Both
-//! only *add* output — estimates and the default output lines are
-//! byte-identical with or without them. Unknown flags are rejected
-//! per subcommand rather than silently ignored.
+//! `--trace FILE` writes the full structured NDJSON event log. With
+//! either enabled, `--heartbeat N` additionally captures a per-lane
+//! fill snapshot every `N` (shard-local) edges — cadenced by edge
+//! count only, never wall-clock, so estimates stay bit-identical
+//! (DESIGN.md §10). All of these only *add* output — estimates and the
+//! default output lines are byte-identical with or without them.
+//! Unknown flags are rejected per subcommand rather than silently
+//! ignored; every flag is registered exactly once in [`FLAG_SPECS`].
+//!
+//! `maxkcov trace-summarize FILE` renders an NDJSON trace written by
+//! `--trace`: aggregate phase timings, heartbeat fill trajectories,
+//! and histogram percentiles, and re-checks the trace's accounting
+//! invariants (phase event nanos vs `time_ns.*` counters, subroutine
+//! space vs the summary total), failing on violation.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufRead, BufReader, BufWriter};
 use std::process::ExitCode;
 
 use kcov_baselines::{greedy_max_cover, max_cover_exact};
 use kcov_core::{EstimatorConfig, MaxCoverEstimator, MaxCoverReporter, ParamMode};
-use kcov_obs::Recorder;
+use kcov_obs::json::Json;
+use kcov_obs::{Histogram, Recorder};
 use kcov_sketch::SpaceUsage;
 use kcov_stream::gen;
 use kcov_stream::{
@@ -63,14 +74,15 @@ const USAGE: &str = "usage:
   maxkcov greedy   --input FILE --k K
   maxkcov exact    --input FILE --k K
   maxkcov estimate --input FILE --k K --alpha A [--seed S] [--order ORDER] [--mode paper|practical]
-                   [--threads T] [--batch B] [--shards S] [--metrics] [--trace FILE]
+                   [--threads T] [--batch B] [--shards S] [--metrics] [--trace FILE] [--heartbeat N]
   maxkcov report   --input FILE --k K --alpha A [--seed S] [--order ORDER] [--mode paper|practical]
-                   [--threads T] [--batch B] [--shards S] [--metrics] [--trace FILE]
+                   [--threads T] [--batch B] [--shards S] [--metrics] [--trace FILE] [--heartbeat N]
   maxkcov twopass  --input FILE --k K --alpha A [--seed S] [--order ORDER] [--threads T] [--batch B]
-                   [--shards S] [--metrics] [--trace FILE]
+                   [--shards S] [--metrics] [--trace FILE] [--heartbeat N]
   maxkcov setcover --input FILE [--fraction F]
   maxkcov budget   --input FILE --k K --words W [--seed S] [--order ORDER] [--threads T] [--batch B]
-                   [--shards S] [--metrics] [--trace FILE]
+                   [--shards S] [--metrics] [--trace FILE] [--heartbeat N]
+  maxkcov trace-summarize FILE
 KIND: uniform | zipf | planted | common | few-large | many-small
 ORDER: set | element | roundrobin | shuffle:SEED (default shuffle:0)
 --batch B ingests B edges per observe_batch call (default: per-edge observe);
@@ -78,38 +90,81 @@ ORDER: set | element | roundrobin | shuffle:SEED (default shuffle:0)
 --shards S partitions the stream across S estimator replicas merged at
 finalize; estimates are identical to the serial pass (DESIGN.md sec. 8).
 --metrics prints a counters/gauges/subroutine summary after the normal output;
---trace FILE writes the structured NDJSON event log. Neither changes estimates.";
+--trace FILE writes the structured NDJSON event log; --heartbeat N (with either)
+snapshots per-lane fills every N edges into the event log. None changes estimates.
+trace-summarize renders phase timings, heartbeat trajectories, and histogram
+percentiles from a --trace file and re-checks its accounting invariants.";
 
-/// Per-subcommand flag allowlists: (flags taking a value, boolean flags).
-fn allowed_flags(cmd: &str) -> (&'static [&'static str], &'static [&'static str]) {
-    const OBS_BOOL: &[&str] = &["metrics"];
-    match cmd {
-        "gen" => (&["kind", "n", "m", "k", "seed", "out"], &[]),
-        "stats" => (&["input"], &[]),
-        "greedy" | "exact" => (&["input", "k"], &[]),
-        "estimate" | "report" | "twopass" => (
-            &[
-                "input", "k", "alpha", "seed", "order", "mode", "threads", "batch", "shards",
-                "trace",
-            ],
-            OBS_BOOL,
-        ),
-        "budget" => (
-            &[
-                "input", "k", "words", "seed", "order", "mode", "threads", "batch", "shards",
-                "trace",
-            ],
-            OBS_BOOL,
-        ),
-        "setcover" => (&["input", "fraction"], &[]),
-        _ => (&[], &[]),
-    }
+/// Whether a flag takes a value or is a bare boolean.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FlagKind {
+    Value,
+    Bool,
+}
+
+/// One CLI flag: registered in [`FLAG_SPECS`] exactly once, with the
+/// subcommands that accept it. Adding a flag means adding one row here
+/// (plus the USAGE string) — nothing else to keep in sync.
+struct FlagSpec {
+    name: &'static str,
+    kind: FlagKind,
+    commands: &'static [&'static str],
+}
+
+/// The streaming subcommands: everything that ingests an edge stream
+/// through an estimator and therefore shares the ingestion/observability
+/// flag set.
+const STREAM_CMDS: &[&str] = &["estimate", "report", "twopass", "budget"];
+
+const FLAG_SPECS: &[FlagSpec] = &[
+    FlagSpec { name: "kind", kind: FlagKind::Value, commands: &["gen"] },
+    FlagSpec { name: "n", kind: FlagKind::Value, commands: &["gen"] },
+    FlagSpec { name: "m", kind: FlagKind::Value, commands: &["gen"] },
+    FlagSpec { name: "out", kind: FlagKind::Value, commands: &["gen"] },
+    FlagSpec {
+        name: "k",
+        kind: FlagKind::Value,
+        commands: &["gen", "greedy", "exact", "estimate", "report", "twopass", "budget"],
+    },
+    FlagSpec {
+        name: "seed",
+        kind: FlagKind::Value,
+        commands: &["gen", "estimate", "report", "twopass", "budget"],
+    },
+    FlagSpec {
+        name: "input",
+        kind: FlagKind::Value,
+        commands: &[
+            "stats", "greedy", "exact", "setcover", "estimate", "report", "twopass", "budget",
+        ],
+    },
+    FlagSpec {
+        name: "alpha",
+        kind: FlagKind::Value,
+        commands: &["estimate", "report", "twopass"],
+    },
+    FlagSpec { name: "words", kind: FlagKind::Value, commands: &["budget"] },
+    FlagSpec { name: "fraction", kind: FlagKind::Value, commands: &["setcover"] },
+    FlagSpec { name: "order", kind: FlagKind::Value, commands: STREAM_CMDS },
+    FlagSpec { name: "mode", kind: FlagKind::Value, commands: STREAM_CMDS },
+    FlagSpec { name: "threads", kind: FlagKind::Value, commands: STREAM_CMDS },
+    FlagSpec { name: "batch", kind: FlagKind::Value, commands: STREAM_CMDS },
+    FlagSpec { name: "shards", kind: FlagKind::Value, commands: STREAM_CMDS },
+    FlagSpec { name: "trace", kind: FlagKind::Value, commands: STREAM_CMDS },
+    FlagSpec { name: "heartbeat", kind: FlagKind::Value, commands: STREAM_CMDS },
+    FlagSpec { name: "metrics", kind: FlagKind::Bool, commands: STREAM_CMDS },
+];
+
+/// Look up a flag for a subcommand in [`FLAG_SPECS`].
+fn flag_spec(cmd: &str, key: &str) -> Option<&'static FlagSpec> {
+    FLAG_SPECS
+        .iter()
+        .find(|s| s.name == key && s.commands.contains(&cmd))
 }
 
 /// Parse `--key value` (and bare boolean `--key`) flags after the
 /// subcommand, rejecting flags the subcommand does not accept.
 fn parse_flags(cmd: &str, args: &[String]) -> Result<HashMap<String, String>, String> {
-    let (value_flags, bool_flags) = allowed_flags(cmd);
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -119,30 +174,49 @@ fn parse_flags(cmd: &str, args: &[String]) -> Result<HashMap<String, String>, St
         if flags.contains_key(key) {
             return Err(format!("duplicate flag --{key}"));
         }
-        if bool_flags.contains(&key) {
-            flags.insert(key.to_string(), "true".to_string());
-        } else if value_flags.contains(&key) {
-            let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
-            flags.insert(key.to_string(), val.clone());
-        } else {
-            return Err(format!("unknown flag --{key} for subcommand '{cmd}'"));
+        let spec = flag_spec(cmd, key)
+            .ok_or_else(|| format!("unknown flag --{key} for subcommand '{cmd}'"))?;
+        match spec.kind {
+            FlagKind::Bool => {
+                flags.insert(key.to_string(), "true".to_string());
+            }
+            FlagKind::Value => {
+                let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+                flags.insert(key.to_string(), val.clone());
+            }
         }
     }
     Ok(flags)
 }
 
-/// `--trace FILE` / `--metrics` — the CLI observability surface.
+/// `--trace FILE` / `--metrics` / `--heartbeat N` — the CLI
+/// observability surface.
 struct ObsOpts {
     trace: Option<String>,
     metrics: bool,
+    heartbeat: Option<u64>,
 }
 
 impl ObsOpts {
-    fn parse(flags: &HashMap<String, String>) -> ObsOpts {
-        ObsOpts {
+    fn parse(flags: &HashMap<String, String>) -> Result<ObsOpts, String> {
+        let opts = ObsOpts {
             trace: flags.get("trace").cloned(),
             metrics: flags.contains_key("metrics"),
+            heartbeat: match flags.get("heartbeat") {
+                None => None,
+                Some(s) => {
+                    let every: u64 = parse_num(s, "heartbeat")?;
+                    if every == 0 {
+                        return Err("--heartbeat must be >= 1".into());
+                    }
+                    Some(every)
+                }
+            },
+        };
+        if opts.heartbeat.is_some() && opts.trace.is_none() && !opts.metrics {
+            return Err("--heartbeat requires --trace or --metrics (heartbeats go to the event log)".into());
         }
+        Ok(opts)
     }
 
     /// A live recorder only when some output was requested, so the
@@ -153,6 +227,15 @@ impl ObsOpts {
         } else {
             Recorder::disabled()
         }
+    }
+
+    /// Wire the recorder and heartbeat cadence into the estimator
+    /// config, returning the recorder handle for spans/emission.
+    fn configure(&self, config: &mut EstimatorConfig) -> Recorder {
+        let rec = self.recorder();
+        config.recorder = rec.clone();
+        config.heartbeat_every = self.heartbeat;
+        rec
     }
 
     /// Append metrics/trace output *after* the normal result lines
@@ -259,6 +342,13 @@ fn run(args: &[String]) -> Result<(), String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err("no subcommand".into());
     };
+    if cmd == "trace-summarize" {
+        // Takes a positional FILE argument instead of --flags.
+        let [path] = rest else {
+            return Err("trace-summarize takes exactly one argument: the trace file".into());
+        };
+        return cmd_trace_summarize(path);
+    }
     if !matches!(
         cmd.as_str(),
         "gen" | "stats" | "greedy" | "exact" | "estimate" | "report" | "twopass" | "setcover"
@@ -356,9 +446,8 @@ fn cmd_estimate(flags: &HashMap<String, String>) -> Result<(), String> {
     let alpha: f64 = parse_num(req(flags, "alpha")?, "alpha")?;
     let order = parse_order(flags)?;
     let mut config = parse_config(flags)?;
-    let obs = ObsOpts::parse(flags);
-    let rec = obs.recorder();
-    config.recorder = rec.clone();
+    let obs = ObsOpts::parse(flags)?;
+    let rec = obs.configure(&mut config);
     let batch = parse_batch(flags)?;
     let edges = edge_stream(&system, order);
     let mut est = MaxCoverEstimator::new(system.num_elements(), system.num_sets(), k, alpha, &config);
@@ -396,9 +485,8 @@ fn cmd_twopass(flags: &HashMap<String, String>) -> Result<(), String> {
     let alpha: f64 = parse_num(req(flags, "alpha")?, "alpha")?;
     let order = parse_order(flags)?;
     let mut config = parse_config(flags)?;
-    let obs = ObsOpts::parse(flags);
-    let rec = obs.recorder();
-    config.recorder = rec.clone();
+    let obs = ObsOpts::parse(flags)?;
+    let rec = obs.configure(&mut config);
     let batch = parse_batch(flags)?;
     let edges = edge_stream(&system, order);
     let (n, m) = (system.num_elements(), system.num_sets());
@@ -439,9 +527,8 @@ fn cmd_budget(flags: &HashMap<String, String>) -> Result<(), String> {
     let words: usize = parse_num(req(flags, "words")?, "words (space budget)")?;
     let order = parse_order(flags)?;
     let mut config = parse_config(flags)?;
-    let obs = ObsOpts::parse(flags);
-    let rec = obs.recorder();
-    config.recorder = rec.clone();
+    let obs = ObsOpts::parse(flags)?;
+    let rec = obs.configure(&mut config);
     let (n, m) = (system.num_elements(), system.num_sets());
     let Some(mut fit) = kcov_core::fit_alpha_to_budget(n, m, k, words, &config) else {
         return Err(format!(
@@ -479,6 +566,252 @@ fn cmd_budget(flags: &HashMap<String, String>) -> Result<(), String> {
     obs.emit(&rec)
 }
 
+/// Fields accumulated per `(stage, shard, at_edges)` heartbeat row.
+#[derive(Default)]
+struct BeatRow {
+    lanes: u64,
+    lc_fill: u64,
+    ls_fill: u64,
+    ss_fill: u64,
+    evictions: u64,
+    space_words: u64,
+}
+
+/// Everything `trace-summarize` extracts from one NDJSON trace.
+#[derive(Default)]
+struct TraceSummary {
+    lines: usize,
+    /// phase name → (calls, total ns) from `"phase"` events.
+    phases: BTreeMap<String, (u64, u64)>,
+    /// `"counter"` lines, keyed as written (includes `time_ns.*`).
+    counters: BTreeMap<String, u64>,
+    /// Sum of `"subroutine"` `space_words` and how many contributed.
+    subroutine_space: u64,
+    subroutines: u64,
+    /// `(estimate, space_words, edges)` from the `"summary"` event.
+    summary: Option<(f64, u64, u64)>,
+    /// `(stage, shard, at_edges)` → per-row aggregate over lanes.
+    beats: BTreeMap<(String, u64, u64), BeatRow>,
+    /// Reconstructed `"histogram"` events, in emission order.
+    histograms: Vec<(String, Histogram)>,
+}
+
+fn json_u64(doc: &Json, key: &str) -> Option<u64> {
+    doc.get(key).and_then(Json::as_f64).map(|v| v as u64)
+}
+
+fn parse_trace(path: &str) -> Result<TraceSummary, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let mut out = TraceSummary::default();
+    for (i, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| format!("read {path}: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.lines += 1;
+        let lineno = i + 1;
+        let doc = Json::parse(&line).map_err(|e| format!("{path}:{lineno}: {e}"))?;
+        let kind = doc
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}:{lineno}: missing \"kind\""))?;
+        let bad = |field: &str| format!("{path}:{lineno}: {kind} event missing \"{field}\"");
+        match kind {
+            "phase" => {
+                let name = doc
+                    .get("phase")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("phase"))?;
+                let ns = json_u64(&doc, "ns").ok_or_else(|| bad("ns"))?;
+                let e = out.phases.entry(name.to_string()).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += ns;
+            }
+            "counter" => {
+                let key = doc
+                    .get("key")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("key"))?;
+                let value = json_u64(&doc, "value").ok_or_else(|| bad("value"))?;
+                out.counters.insert(key.to_string(), value);
+            }
+            "subroutine" => {
+                out.subroutine_space += json_u64(&doc, "space_words").ok_or_else(|| bad("space_words"))?;
+                out.subroutines += 1;
+            }
+            "summary" => {
+                let est = doc
+                    .get("estimate")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| bad("estimate"))?;
+                let words = json_u64(&doc, "space_words").ok_or_else(|| bad("space_words"))?;
+                let edges = json_u64(&doc, "edges").ok_or_else(|| bad("edges"))?;
+                out.summary = Some((est, words, edges));
+            }
+            "heartbeat" => {
+                let stage = doc
+                    .get("stage")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("stage"))?;
+                let shard = json_u64(&doc, "shard").ok_or_else(|| bad("shard"))?;
+                let at = json_u64(&doc, "at_edges").ok_or_else(|| bad("at_edges"))?;
+                let row = out
+                    .beats
+                    .entry((stage.to_string(), shard, at))
+                    .or_default();
+                row.lanes += 1;
+                row.lc_fill += json_u64(&doc, "lc_fill").unwrap_or(0);
+                row.ls_fill += json_u64(&doc, "ls_fill").unwrap_or(0);
+                row.ss_fill += json_u64(&doc, "ss_fill").unwrap_or(0);
+                row.evictions += json_u64(&doc, "evictions").unwrap_or(0);
+                row.space_words += json_u64(&doc, "space_words").unwrap_or(0);
+            }
+            "histogram" => {
+                let name = doc
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("name"))?;
+                let sum = json_u64(&doc, "sum").ok_or_else(|| bad("sum"))?;
+                let min = json_u64(&doc, "min").ok_or_else(|| bad("min"))?;
+                let max = json_u64(&doc, "max").ok_or_else(|| bad("max"))?;
+                let mut buckets: Vec<(usize, u64)> = Vec::new();
+                if let Json::Obj(entries) = &doc {
+                    for (k, v) in entries {
+                        if let Some(idx) =
+                            k.strip_prefix('b').and_then(|s| s.parse::<usize>().ok())
+                        {
+                            buckets.push((idx, v.as_f64().unwrap_or(0.0) as u64));
+                        }
+                    }
+                }
+                let hist = Histogram::from_parts(&buckets, sum, min, max).ok_or_else(|| {
+                    format!("{path}:{lineno}: inconsistent histogram '{name}'")
+                })?;
+                let count = json_u64(&doc, "count").ok_or_else(|| bad("count"))?;
+                if hist.count() != count {
+                    return Err(format!(
+                        "{path}:{lineno}: histogram '{name}' says count={count} but buckets sum to {}",
+                        hist.count()
+                    ));
+                }
+                out.histograms.push((name.to_string(), hist));
+            }
+            // Other kinds (lane, sketch, shard, twopass, gauge, …) are
+            // valid trace content but carry nothing this summary needs.
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+/// Re-check the accounting invariants a well-formed trace satisfies:
+/// phase event nanos sum to the matching `time_ns.*` counter in both
+/// directions, and per-subroutine resident space sums to the summary
+/// total. Returns all violations rather than stopping at the first.
+fn trace_invariant_violations(t: &TraceSummary) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (name, &(_, total_ns)) in &t.phases {
+        match t.counters.get(&format!("time_ns.{name}")) {
+            Some(&c) if c == total_ns => {}
+            Some(&c) => violations.push(format!(
+                "phase '{name}': events sum to {total_ns} ns but counter time_ns.{name} = {c}"
+            )),
+            None => violations.push(format!(
+                "phase '{name}': {total_ns} ns of events but no time_ns.{name} counter"
+            )),
+        }
+    }
+    for (key, &value) in &t.counters {
+        if let Some(name) = key.strip_prefix("time_ns.") {
+            if !t.phases.contains_key(name) {
+                violations
+                    .push(format!("counter {key} = {value} has no matching phase events"));
+            }
+        }
+    }
+    if let Some((_, summary_words, _)) = t.summary {
+        if t.subroutines > 0 && t.subroutine_space != summary_words {
+            violations.push(format!(
+                "subroutine space_words sum to {} but summary reports {summary_words}",
+                t.subroutine_space
+            ));
+        }
+    }
+    violations
+}
+
+fn cmd_trace_summarize(path: &str) -> Result<(), String> {
+    let t = parse_trace(path)?;
+    println!("trace          = {path}");
+    println!("events         = {}", t.lines);
+    if !t.phases.is_empty() {
+        println!();
+        println!("phase                    calls      total ns");
+        for (name, (calls, ns)) in &t.phases {
+            println!("  {name:<22} {calls:>5}  {ns:>12}");
+        }
+    }
+    if let Some((est, words, edges)) = t.summary {
+        println!();
+        println!("summary estimate         = {est:.1}");
+        println!("summary space (words)    = {words}");
+        println!("summary edges            = {edges}");
+        if t.subroutines > 0 {
+            println!(
+                "subroutine space (words) = {} across {} subroutines",
+                t.subroutine_space, t.subroutines
+            );
+        }
+    }
+    if !t.beats.is_empty() {
+        println!();
+        println!("heartbeats (fills summed over lanes)");
+        println!("  stage     shard    at_edges  lanes   lc_fill   ls_fill   ss_fill  evictions     space");
+        for ((stage, shard, at), row) in &t.beats {
+            println!(
+                "  {stage:<8} {shard:>6}  {at:>10}  {lanes:>5}  {lc:>8}  {ls:>8}  {ss:>8}  {ev:>9}  {sp:>8}",
+                lanes = row.lanes,
+                lc = row.lc_fill,
+                ls = row.ls_fill,
+                ss = row.ss_fill,
+                ev = row.evictions,
+                sp = row.space_words,
+            );
+        }
+    }
+    if !t.histograms.is_empty() {
+        println!();
+        println!("histogram                   count         sum        mean       p50       p90       p99       max");
+        for (name, h) in &t.histograms {
+            let q = |p: f64| h.quantile(p).unwrap_or(0);
+            println!(
+                "  {name:<24} {count:>8}  {sum:>10}  {mean:>10.1}  {p50:>8}  {p90:>8}  {p99:>8}  {max:>8}",
+                count = h.count(),
+                sum = h.sum(),
+                mean = h.mean(),
+                p50 = q(0.5),
+                p90 = q(0.9),
+                p99 = q(0.99),
+                max = h.max().unwrap_or(0),
+            );
+        }
+    }
+    let violations = trace_invariant_violations(&t);
+    println!();
+    if violations.is_empty() {
+        println!("invariants OK");
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("invariant violated: {v}");
+        }
+        Err(format!(
+            "{} trace invariant(s) violated in {path}",
+            violations.len()
+        ))
+    }
+}
+
 fn cmd_setcover(flags: &HashMap<String, String>) -> Result<(), String> {
     let system = load(flags)?;
     let fraction: f64 = match flags.get("fraction") {
@@ -503,9 +836,8 @@ fn cmd_report(flags: &HashMap<String, String>) -> Result<(), String> {
     let alpha: f64 = parse_num(req(flags, "alpha")?, "alpha")?;
     let order = parse_order(flags)?;
     let mut config = parse_config(flags)?;
-    let obs = ObsOpts::parse(flags);
-    let rec = obs.recorder();
-    config.recorder = rec.clone();
+    let obs = ObsOpts::parse(flags)?;
+    let rec = obs.configure(&mut config);
     let batch = parse_batch(flags)?;
     let edges = edge_stream(&system, order);
     let mut rep = MaxCoverReporter::new(system.num_elements(), system.num_sets(), k, alpha, &config);

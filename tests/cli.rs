@@ -359,6 +359,166 @@ fn trace_and_metrics_add_output_without_changing_estimates() {
 }
 
 #[test]
+fn heartbeat_flag_is_validated() {
+    let path = tmp_file("hb-validate.txt");
+    let path_s = path.to_str().unwrap();
+    let out = run(&[
+        "gen", "--kind", "planted", "--n", "300", "--m", "40", "--k", "4", "--seed", "2",
+        "--out", path_s,
+    ]);
+    assert!(out.status.success());
+
+    // Zero cadence is rejected.
+    let out = run(&[
+        "estimate", "--input", path_s, "--k", "4", "--alpha", "4", "--heartbeat", "0",
+        "--metrics",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--heartbeat must be >= 1"));
+
+    // Heartbeats land in the event log, so a sink must be requested.
+    let out = run(&[
+        "estimate", "--input", path_s, "--k", "4", "--alpha", "4", "--heartbeat", "100",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--heartbeat requires --trace or --metrics"));
+
+    // Non-streaming subcommands do not take the flag at all.
+    let out = run(&["stats", "--input", path_s, "--heartbeat", "100"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag --heartbeat"));
+
+    std::fs::remove_file(&path).ok();
+}
+
+/// A trace file reduced to its deterministic content: wall-clock
+/// payloads are dropped (`ns` fields, `*_ns` histograms, `time_ns.*`
+/// counters) and every surviving line must be byte-identical across
+/// identical runs — the heartbeat determinism contract of DESIGN.md §10.
+fn normalized_trace(path: &std::path::Path) -> Vec<String> {
+    use maxkcov::obs::json::Json;
+    let text = std::fs::read_to_string(path).expect("trace file");
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let doc = Json::parse(line).unwrap_or_else(|e| panic!("bad NDJSON: {e}\n{line}"));
+        let kind = doc.get("kind").and_then(Json::as_str).expect("kind").to_string();
+        let str_of = |key: &str| doc.get(key).and_then(Json::as_str).map(str::to_string);
+        if kind == "counter" && str_of("key").is_some_and(|k| k.starts_with("time_ns.")) {
+            continue;
+        }
+        if kind == "histogram" && str_of("name").is_some_and(|n| n.ends_with("_ns")) {
+            continue;
+        }
+        let Json::Obj(entries) = doc else { panic!("non-object line: {line}") };
+        let kept: Vec<_> = entries.into_iter().filter(|(k, _)| k != "ns").collect();
+        out.push(Json::Obj(kept).render());
+    }
+    out
+}
+
+#[test]
+fn heartbeat_keeps_stdout_identical_and_traces_deterministic() {
+    let path = tmp_file("hb-det.txt");
+    let path_s = path.to_str().unwrap();
+    let out = run(&[
+        "gen", "--kind", "planted", "--n", "900", "--m", "130", "--k", "8", "--seed", "11",
+        "--out", path_s,
+    ]);
+    assert!(out.status.success());
+
+    // Heartbeats must not perturb any estimate/report output line.
+    for cmd in ["estimate", "report", "twopass"] {
+        let base = &[cmd, "--input", path_s, "--k", "8", "--alpha", "4", "--seed", "6"][..];
+        let plain = run(base);
+        assert!(plain.status.success(), "{cmd} plain run failed");
+        let trace = tmp_file(&format!("hb-det-{cmd}.ndjson"));
+        let mut args = base.to_vec();
+        args.extend(["--heartbeat", "400", "--trace", trace.to_str().unwrap()]);
+        let beating = run(&args);
+        assert!(beating.status.success(), "{cmd} heartbeat run failed");
+        assert_eq!(
+            plain.stdout, beating.stdout,
+            "--heartbeat must not change {cmd} stdout"
+        );
+        std::fs::remove_file(&trace).ok();
+    }
+
+    // Two identical sharded + threaded + batched traced runs agree
+    // byte-for-byte once wall-clock payloads are stripped.
+    let t1 = tmp_file("hb-det-1.ndjson");
+    let t2 = tmp_file("hb-det-2.ndjson");
+    for t in [&t1, &t2] {
+        let out = run(&[
+            "estimate", "--input", path_s, "--k", "8", "--alpha", "4", "--seed", "6",
+            "--shards", "3", "--threads", "2", "--batch", "128", "--heartbeat", "400",
+            "--trace", t.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+    let (n1, n2) = (normalized_trace(&t1), normalized_trace(&t2));
+    assert!(!n1.is_empty());
+    assert_eq!(n1, n2, "identical runs must produce identical traces modulo wall-clock");
+    assert!(
+        n1.iter().any(|l| l.contains("\"kind\":\"heartbeat\"")),
+        "sharded trace carries heartbeat events"
+    );
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&t1).ok();
+    std::fs::remove_file(&t2).ok();
+}
+
+#[test]
+fn trace_summarize_renders_and_checks_a_trace() {
+    let path = tmp_file("ts.txt");
+    let path_s = path.to_str().unwrap();
+    let trace = tmp_file("ts.ndjson");
+    let trace_s = trace.to_str().unwrap();
+    let out = run(&[
+        "gen", "--kind", "planted", "--n", "700", "--m", "110", "--k", "7", "--seed", "9",
+        "--out", path_s,
+    ]);
+    assert!(out.status.success());
+    let out = run(&[
+        "estimate", "--input", path_s, "--k", "7", "--alpha", "4", "--seed", "4",
+        "--batch", "256", "--heartbeat", "500", "--trace", trace_s,
+    ]);
+    assert!(out.status.success());
+
+    // The summary renders phases, heartbeats, histograms, and the
+    // invariant verdict, and exits zero on a healthy trace.
+    let out = run(&["trace-summarize", trace_s]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "phase", "ingest", "finalize", "summary estimate", "heartbeats",
+        "ingest.batch_edges", "invariants OK",
+    ] {
+        assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
+    }
+
+    // An orphan time_ns counter (no matching phase events) trips the
+    // invariant check: non-zero exit, violation named on stderr.
+    let mut ndjson = std::fs::read_to_string(&trace).unwrap();
+    ndjson.push_str("{\"seq\":99999,\"kind\":\"counter\",\"key\":\"time_ns.bogus\",\"value\":5}\n");
+    std::fs::write(&trace, &ndjson).unwrap();
+    let out = run(&["trace-summarize", trace_s]);
+    assert!(!out.status.success(), "corrupt trace must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("time_ns.bogus"), "{err}");
+
+    // Arity and I/O errors are reported, not panicked.
+    let out = run(&["trace-summarize"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exactly one argument"));
+    let out = run(&["trace-summarize", "/nonexistent/trace.ndjson"]);
+    assert!(!out.status.success());
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
 fn malformed_input_reports_line() {
     let path = tmp_file("bad.txt");
     std::fs::write(&path, "4 2\n9 9\n").unwrap();
