@@ -47,6 +47,12 @@ fn run() -> Result<(), String> {
     let baseline = load(baseline_path)?;
     let fresh = load(fresh_path)?;
     let report = compare_bench(&baseline, &fresh, tolerance);
+    if !report.gated_anything() {
+        return Err(format!(
+            "baseline {baseline_path} has no throughput (*edges_per_s) or space (*words) \
+             leaves — nothing to gate, refusing to report a vacuous pass"
+        ));
+    }
     println!(
         "bench_compare: {} vs {} (throughput tolerance {:.0}%)",
         baseline_path,

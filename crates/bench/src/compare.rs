@@ -26,6 +26,10 @@ use kcov_obs::json::Json;
 pub struct CompareReport {
     /// Leaves checked under any rule (identity, throughput, space).
     pub checked: usize,
+    /// Leaves checked under the throughput rule (`*edges_per_s`).
+    pub throughput_leaves: usize,
+    /// Leaves checked under the space rule (`*words`).
+    pub space_leaves: usize,
     /// Human-readable failure descriptions; empty means pass.
     pub failures: Vec<String>,
     /// Per-throughput-leaf ratio lines, for context in CI logs.
@@ -36,6 +40,14 @@ impl CompareReport {
     /// True when no regression or shape mismatch was found.
     pub fn passed(&self) -> bool {
         self.failures.is_empty()
+    }
+
+    /// True when at least one throughput or space leaf was actually
+    /// gated. A baseline with none of the tracked suffix keys
+    /// (`*edges_per_s`, `*words`) compares vacuously — the caller
+    /// should treat that as an error, not a pass.
+    pub fn gated_anything(&self) -> bool {
+        self.throughput_leaves + self.space_leaves > 0
     }
 }
 
@@ -114,6 +126,7 @@ fn walk(base: &Json, fresh: &Json, path: &str, tol: f64, report: &mut CompareRep
                 }
                 Rule::Space => {
                     report.checked += 1;
+                    report.space_leaves += 1;
                     if f > b {
                         report.failures.push(format!(
                             "{path}: space regression, baseline {b} words vs fresh {f} words"
@@ -122,6 +135,7 @@ fn walk(base: &Json, fresh: &Json, path: &str, tol: f64, report: &mut CompareRep
                 }
                 Rule::Throughput => {
                     report.checked += 1;
+                    report.throughput_leaves += 1;
                     let floor = b * (1.0 - tol);
                     let ratio = if *b > 0.0 { f / b } else { f64::NAN };
                     report
@@ -186,6 +200,21 @@ mod tests {
         assert!(r.failures[0].contains("space regression"), "{:?}", r.failures);
         assert!(compare_bench(&base, &doc(r#"{"oracle_words": 99}"#), 0.25).passed());
         assert!(compare_bench(&base, &doc(r#"{"oracle_words": 100}"#), 0.25).passed());
+    }
+
+    #[test]
+    fn gated_leaf_counts_distinguish_vacuous_passes() {
+        let d = doc(r#"{"n": 100, "rows": [{"edges_per_s": 1000.0, "estimator_words": 50}]}"#);
+        let r = compare_bench(&d, &d, 0.25);
+        assert_eq!(r.throughput_leaves, 1);
+        assert_eq!(r.space_leaves, 1);
+        assert!(r.gated_anything());
+
+        // Identity-only documents pass but gate nothing.
+        let identity_only = doc(r#"{"n": 100, "name": "x", "k": 5}"#);
+        let r = compare_bench(&identity_only, &identity_only, 0.25);
+        assert!(r.passed());
+        assert!(!r.gated_anything(), "{r:?}");
     }
 
     #[test]

@@ -807,14 +807,215 @@ impl MaxCoverEstimator {
         self.lanes.len()
     }
 
+    /// Attach an observability recorder after wire reconstruction (the
+    /// recorder is process-local and never serialized; a decoded replica
+    /// wakes up with a disabled one).
+    pub fn attach_recorder(&mut self, rec: &Recorder) {
+        self.rec = rec.clone();
+    }
+
+    /// Stamp this replica with its stream-shard id so buffered
+    /// heartbeats sort deterministically at finalize. Worker processes
+    /// call this with their shard index; in-process sharding does the
+    /// equivalent internally.
+    pub fn set_shard(&mut self, shard_id: u64) {
+        self.shard_id = shard_id;
+    }
+
     /// Total stream edges ingested (telemetry).
     pub fn edges_seen(&self) -> u64 {
         self.edges_seen
     }
 
+    /// The stream-shard id stamped by [`MaxCoverEstimator::set_shard`].
+    pub fn shard(&self) -> u64 {
+        self.shard_id
+    }
+
     /// The instance shape this estimator was built for.
     pub fn shape(&self) -> (usize, usize, usize, f64) {
         (self.n, self.m, self.k, self.alpha)
+    }
+}
+
+// ---- wire format ----------------------------------------------------
+//
+// The estimator is the root of the full-state format: a versioned
+// header (magic, version, payload tag) followed by length-prefixed
+// sections, so `merge-from` can reject foreign or stale replica files
+// before decoding anything and a corrupt section length cannot walk
+// into a neighbor. Inner types reuse the plain tagged encodings.
+
+const TAG_TRIVIAL: u64 = 0x5456; // "TV"
+const TAG_LANE: u64 = 0x4c4e; // "LN"
+/// Payload tag of a full `MaxCoverEstimator` replica.
+pub const TAG_ESTIMATOR: u64 = 0x4553_5449_4d41_5445; // "ESTIMATE"
+const SEC_SHAPE: u64 = 0x0053_4841_5045; // "SHAPE"
+const SEC_STATE: u64 = 0x0053_5441_5445; // "STATE"
+const SEC_TELEMETRY: u64 = 0x0054_454c_454d; // "TELEM"
+
+impl kcov_sketch::WireEncode for TrivialState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use kcov_sketch::wire::{put_l0_full, put_u64};
+        put_u64(out, TAG_TRIVIAL);
+        put_u64(out, self.k as u64);
+        put_u64(out, self.groups.len() as u64);
+        for g in &self.groups {
+            put_l0_full(out, g);
+        }
+        put_l0_full(out, &self.total);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, kcov_sketch::WireError> {
+        use kcov_sketch::wire::{err, take_l0_full, take_u64};
+        if take_u64(input)? != TAG_TRIVIAL {
+            return Err(err("bad TrivialState tag"));
+        }
+        let k = take_u64(input)? as usize;
+        let n = take_u64(input)? as usize;
+        if n > input.len() {
+            return Err(err("TrivialState group count exceeds input"));
+        }
+        let groups = (0..n).map(|_| take_l0_full(input)).collect::<Result<Vec<_>, _>>()?;
+        if groups.is_empty() {
+            // `observe` indexes `groups.len() - 1`.
+            return Err(err("TrivialState needs at least one group"));
+        }
+        let total = take_l0_full(input)?;
+        Ok(TrivialState { k, groups, total })
+    }
+}
+
+impl kcov_sketch::WireEncode for Lane {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use kcov_sketch::wire::put_u64;
+        put_u64(out, TAG_LANE);
+        put_u64(out, self.z);
+        self.reducer.encode(out);
+        self.oracle.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, kcov_sketch::WireError> {
+        use kcov_sketch::wire::{err, take_u64};
+        if take_u64(input)? != TAG_LANE {
+            return Err(err("bad Lane tag"));
+        }
+        let z = take_u64(input)?;
+        let reducer = UniverseReducer::decode(input)?;
+        if reducer.z() != z {
+            return Err(err(format!(
+                "Lane z {z} disagrees with its reducer's range {}",
+                reducer.z()
+            )));
+        }
+        let oracle = Oracle::decode(input)?;
+        Ok(Lane { z, reducer, oracle })
+    }
+}
+
+impl kcov_sketch::WireEncode for MaxCoverEstimator {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use kcov_sketch::wire::{put_f64, put_header, put_section, put_u64};
+        put_header(out, TAG_ESTIMATOR);
+        put_section(out, SEC_SHAPE, |out| {
+            put_u64(out, self.n as u64);
+            put_u64(out, self.m as u64);
+            put_u64(out, self.k as u64);
+            put_f64(out, self.alpha);
+            put_u64(out, self.threads as u64);
+            put_u64(out, self.edges_seen);
+            put_u64(out, self.heartbeat_every);
+            put_u64(out, self.shard_id);
+        });
+        put_section(out, SEC_STATE, |out| match &self.trivial {
+            Some(t) => {
+                put_u64(out, 1);
+                t.encode(out);
+            }
+            None => {
+                put_u64(out, 0);
+                put_u64(out, self.lanes.len() as u64);
+                for lane in &self.lanes {
+                    lane.encode(out);
+                }
+            }
+        });
+        put_section(out, SEC_TELEMETRY, |out| {
+            put_u64(out, self.heartbeats.len() as u64);
+            for snap in &self.heartbeats {
+                snap.encode(out);
+            }
+            self.hists.encode(out);
+            self.last_stats.encode(out);
+        });
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, kcov_sketch::WireError> {
+        use kcov_sketch::wire::{
+            err, expect_section_end, take_f64, take_header, take_section, take_u64,
+        };
+        take_header(input, TAG_ESTIMATOR)?;
+
+        let mut shape = take_section(input, SEC_SHAPE)?;
+        let n = take_u64(&mut shape)? as usize;
+        let m = take_u64(&mut shape)? as usize;
+        let k = take_u64(&mut shape)? as usize;
+        let alpha = take_f64(&mut shape)?;
+        let threads = take_u64(&mut shape)? as usize;
+        let edges_seen = take_u64(&mut shape)?;
+        let heartbeat_every = take_u64(&mut shape)?;
+        let shard_id = take_u64(&mut shape)?;
+        expect_section_end(SEC_SHAPE, shape)?;
+        if n < 1 || m < 1 || k < 1 {
+            return Err(err("estimator shape needs n, m, k >= 1"));
+        }
+        if alpha.is_nan() || alpha < 1.0 {
+            return Err(err("estimator alpha must be >= 1"));
+        }
+
+        let mut state = take_section(input, SEC_STATE)?;
+        let (trivial, lanes) = match take_u64(&mut state)? {
+            1 => (Some(TrivialState::decode(&mut state)?), Vec::new()),
+            0 => {
+                let num = take_u64(&mut state)? as usize;
+                if num > state.len() {
+                    return Err(err("estimator lane count exceeds input"));
+                }
+                let lanes = (0..num).map(|_| Lane::decode(&mut state)).collect::<Result<Vec<_>, _>>()?;
+                (None, lanes)
+            }
+            flag => return Err(err(format!("bad estimator regime flag {flag}"))),
+        };
+        expect_section_end(SEC_STATE, state)?;
+
+        let mut telem = take_section(input, SEC_TELEMETRY)?;
+        let num_snaps = take_u64(&mut telem)? as usize;
+        if num_snaps > telem.len() {
+            return Err(err("estimator heartbeat count exceeds input"));
+        }
+        let heartbeats = (0..num_snaps)
+            .map(|_| HeartbeatSnap::decode(&mut telem))
+            .collect::<Result<Vec<_>, _>>()?;
+        let hists = IngestHists::decode(&mut telem)?;
+        let last_stats = SketchStats::decode(&mut telem)?;
+        expect_section_end(SEC_TELEMETRY, telem)?;
+
+        Ok(MaxCoverEstimator {
+            n,
+            m,
+            k,
+            alpha,
+            threads: threads.max(1),
+            trivial,
+            lanes,
+            rec: Recorder::disabled(),
+            edges_seen,
+            heartbeat_every,
+            shard_id,
+            heartbeats,
+            hists,
+            last_stats,
+        })
     }
 }
 

@@ -290,6 +290,87 @@ impl LargeCommon {
     }
 }
 
+// ---- wire format ----------------------------------------------------
+
+const TAG_LC: u64 = 0x4c43; // "LC"
+
+impl kcov_sketch::WireEncode for LargeCommon {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use kcov_sketch::wire::{put_f64, put_kwise, put_l0_full, put_u64};
+        put_u64(out, TAG_LC);
+        put_u64(out, self.u as u64);
+        put_u64(out, self.m as u64);
+        put_u64(out, self.k as u64);
+        put_f64(out, self.alpha);
+        put_f64(out, self.sigma);
+        put_kwise(out, &self.set_hash);
+        put_u64(out, self.lanes.len() as u64);
+        for lane in &self.lanes {
+            put_f64(out, lane.beta);
+            put_u64(out, lane.buckets);
+            put_l0_full(out, &lane.de);
+            match &lane.groups {
+                None => put_u64(out, 0),
+                Some(g) => {
+                    put_u64(out, 1);
+                    put_kwise(out, &g.hash);
+                    put_u64(out, g.counters.len() as u64);
+                    for c in &g.counters {
+                        put_l0_full(out, c);
+                    }
+                }
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, kcov_sketch::WireError> {
+        use kcov_sketch::wire::{err, take_f64, take_kwise, take_l0_full, take_u64};
+        if take_u64(input)? != TAG_LC {
+            return Err(err("bad LargeCommon tag"));
+        }
+        let u = take_u64(input)? as usize;
+        let m = take_u64(input)? as usize;
+        let k = take_u64(input)? as usize;
+        let alpha = take_f64(input)?;
+        let sigma = take_f64(input)?;
+        let set_hash = take_kwise(input)?;
+        let num_lanes = take_u64(input)? as usize;
+        if num_lanes > input.len() {
+            return Err(err("LargeCommon lane count exceeds input"));
+        }
+        let mut lanes = Vec::with_capacity(num_lanes);
+        for _ in 0..num_lanes {
+            let beta = take_f64(input)?;
+            let buckets = take_u64(input)?;
+            if buckets < 1 || !buckets.is_power_of_two() {
+                return Err(err(format!("LargeCommon lane buckets {buckets} not a positive power of two")));
+            }
+            let de = take_l0_full(input)?;
+            let groups = match take_u64(input)? {
+                0 => None,
+                1 => {
+                    let hash = take_kwise(input)?;
+                    let n = take_u64(input)? as usize;
+                    if n > input.len() {
+                        return Err(err("LargeCommon group count exceeds input"));
+                    }
+                    let counters = (0..n).map(|_| take_l0_full(input)).collect::<Result<Vec<_>, _>>()?;
+                    if counters.is_empty() {
+                        return Err(err("LargeCommon reporting lane has no groups"));
+                    }
+                    Some(GroupTracker { hash, counters })
+                }
+                flag => return Err(err(format!("bad LargeCommon group flag {flag}"))),
+            };
+            lanes.push(BetaLane { beta, buckets, de, groups });
+        }
+        if lanes.is_empty() {
+            return Err(err("LargeCommon has no lanes"));
+        }
+        Ok(LargeCommon { u, m, k, alpha, sigma, set_hash, lanes })
+    }
+}
+
 impl SpaceUsage for LargeCommon {
     fn space_words(&self) -> usize {
         self.set_hash.space_words()

@@ -364,6 +364,129 @@ impl LargeSet {
     }
 }
 
+// ---- wire format ----------------------------------------------------
+
+const TAG_LS: u64 = 0x4c53; // "LS"
+
+impl kcov_sketch::WireEncode for LargeSet {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use kcov_sketch::wire::{put_f64, put_fc_full, put_kwise, put_l0_full, put_u64};
+        put_u64(out, TAG_LS);
+        put_u64(out, self.u as u64);
+        put_u64(out, self.m as u64);
+        put_f64(out, self.alpha);
+        put_f64(out, self.eta);
+        put_f64(out, self.s_alpha);
+        put_f64(out, self.f);
+        put_f64(out, self.l_expected);
+        put_f64(out, self.rho);
+        put_f64(out, self.w);
+        put_u64(out, self.k as u64);
+        put_u64(out, self.reps.len() as u64);
+        for rep in &self.reps {
+            put_kwise(out, &rep.ehash);
+            put_u64(out, rep.keep_below);
+            put_kwise(out, &rep.shash);
+            put_u64(out, rep.num_supersets);
+            put_fc_full(out, &rep.cntr_small);
+            put_fc_full(out, &rep.cntr_large);
+            put_u64(out, rep.ssel_buckets);
+            put_kwise(out, &rep.ssel_hash);
+            put_u64(out, rep.sample_seed);
+            // Sampled supersets in ascending id order: the encoding of a
+            // state is unique, so replica files are comparable bytewise.
+            let mut sids: Vec<u64> = rep.sampled.keys().copied().collect();
+            sids.sort_unstable();
+            put_u64(out, sids.len() as u64);
+            for sid in sids {
+                put_u64(out, sid);
+                put_l0_full(out, &rep.sampled[&sid]);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, kcov_sketch::WireError> {
+        use kcov_sketch::wire::{err, take_f64, take_fc_full, take_kwise, take_l0_full, take_u64};
+        if take_u64(input)? != TAG_LS {
+            return Err(err("bad LargeSet tag"));
+        }
+        let u = take_u64(input)? as usize;
+        let m = take_u64(input)? as usize;
+        let alpha = take_f64(input)?;
+        let eta = take_f64(input)?;
+        let s_alpha = take_f64(input)?;
+        let f = take_f64(input)?;
+        let l_expected = take_f64(input)?;
+        let rho = take_f64(input)?;
+        let w = take_f64(input)?;
+        let k = take_u64(input)? as usize;
+        let num_reps = take_u64(input)? as usize;
+        if num_reps > input.len() {
+            return Err(err("LargeSet repetition count exceeds input"));
+        }
+        let mut reps = Vec::with_capacity(num_reps);
+        for _ in 0..num_reps {
+            let ehash = take_kwise(input)?;
+            let keep_below = take_u64(input)?;
+            let shash = take_kwise(input)?;
+            let num_supersets = take_u64(input)?;
+            if num_supersets < 1 {
+                return Err(err("LargeSet superset count must be positive"));
+            }
+            let cntr_small = take_fc_full(input)?;
+            let cntr_large = take_fc_full(input)?;
+            let ssel_buckets = take_u64(input)?;
+            if ssel_buckets < 1 {
+                return Err(err("LargeSet ssel bucket count must be positive"));
+            }
+            let ssel_hash = take_kwise(input)?;
+            let sample_seed = take_u64(input)?;
+            let n = take_u64(input)? as usize;
+            if n > input.len() {
+                return Err(err("LargeSet sampled-superset count exceeds input"));
+            }
+            let mut sampled = HashMap::with_capacity(n);
+            let mut last: Option<u64> = None;
+            for _ in 0..n {
+                let sid = take_u64(input)?;
+                if last.is_some_and(|p| sid <= p) {
+                    return Err(err("LargeSet sampled supersets not strictly ascending"));
+                }
+                last = Some(sid);
+                sampled.insert(sid, take_l0_full(input)?);
+            }
+            reps.push(Rep {
+                ehash,
+                keep_below,
+                shash,
+                num_supersets,
+                cntr_small,
+                cntr_large,
+                ssel_buckets,
+                ssel_hash,
+                sampled,
+                sample_seed,
+            });
+        }
+        if reps.is_empty() {
+            return Err(err("LargeSet has no repetitions"));
+        }
+        Ok(LargeSet {
+            u,
+            m,
+            alpha,
+            eta,
+            s_alpha,
+            f,
+            l_expected,
+            rho,
+            w,
+            k,
+            reps,
+        })
+    }
+}
+
 impl SpaceUsage for LargeSet {
     fn space_words(&self) -> usize {
         self.reps

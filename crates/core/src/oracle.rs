@@ -278,6 +278,48 @@ impl Oracle {
     }
 }
 
+// ---- wire format ----------------------------------------------------
+
+const TAG_ORACLE: u64 = 0x4f52_4143_4c45; // "ORACLE"
+
+impl kcov_sketch::WireEncode for Oracle {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use kcov_sketch::wire::put_u64;
+        put_u64(out, TAG_ORACLE);
+        put_u64(out, self.u as u64);
+        self.large_common.encode(out);
+        self.large_set.encode(out);
+        match &self.small_set {
+            None => put_u64(out, 0),
+            Some(ss) => {
+                put_u64(out, 1);
+                ss.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, kcov_sketch::WireError> {
+        use kcov_sketch::wire::{err, take_u64};
+        if take_u64(input)? != TAG_ORACLE {
+            return Err(err("bad Oracle tag"));
+        }
+        let u = take_u64(input)? as usize;
+        let large_common = LargeCommon::decode(input)?;
+        let large_set = LargeSet::decode(input)?;
+        let small_set = match take_u64(input)? {
+            0 => None,
+            1 => Some(SmallSet::decode(input)?),
+            flag => return Err(err(format!("bad Oracle SmallSet flag {flag}"))),
+        };
+        Ok(Oracle {
+            u,
+            large_common,
+            large_set,
+            small_set,
+        })
+    }
+}
+
 impl SpaceUsage for Oracle {
     fn space_words(&self) -> usize {
         self.large_common.space_words()

@@ -262,6 +262,127 @@ impl SmallSet {
     }
 }
 
+// ---- wire format ----------------------------------------------------
+
+const TAG_SS: u64 = 0x5353; // "SS"
+
+impl kcov_sketch::WireEncode for SmallSet {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use kcov_sketch::wire::{put_f64, put_kwise, put_u64};
+        put_u64(out, TAG_SS);
+        put_u64(out, self.u as u64);
+        put_u64(out, self.m as u64);
+        put_u64(out, self.k_sub as u64);
+        put_u64(out, self.m_buckets);
+        put_u64(out, self.edge_cap as u64);
+        put_u64(out, self.reps.len() as u64);
+        for rep in &self.reps {
+            put_kwise(out, &rep.mhash);
+            put_kwise(out, &rep.ehash);
+            put_u64(out, rep.lanes.len() as u64);
+            for lane in &rep.lanes {
+                put_f64(out, lane.gamma);
+                put_u64(out, lane.e_keep);
+                put_f64(out, lane.p_elem);
+                put_u64(out, u64::from(lane.overflowed));
+                put_u64(out, lane.edges.len() as u64);
+                for e in &lane.edges {
+                    put_u64(out, (u64::from(e.set) << 32) | u64::from(e.elem));
+                }
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, kcov_sketch::WireError> {
+        use kcov_sketch::wire::{err, take_f64, take_kwise, take_u64};
+        if take_u64(input)? != TAG_SS {
+            return Err(err("bad SmallSet tag"));
+        }
+        let u = take_u64(input)? as usize;
+        let m = take_u64(input)? as usize;
+        let k_sub = take_u64(input)? as usize;
+        let m_buckets = take_u64(input)?;
+        if m_buckets < 1 {
+            return Err(err("SmallSet set-bucket count must be positive"));
+        }
+        let edge_cap = take_u64(input)? as usize;
+        let num_reps = take_u64(input)? as usize;
+        if num_reps > input.len() {
+            return Err(err("SmallSet repetition count exceeds input"));
+        }
+        let mut reps = Vec::with_capacity(num_reps);
+        let mut lanes_per_rep: Option<usize> = None;
+        for _ in 0..num_reps {
+            let mhash = take_kwise(input)?;
+            let ehash = take_kwise(input)?;
+            let num_lanes = take_u64(input)? as usize;
+            if num_lanes > input.len() {
+                return Err(err("SmallSet lane count exceeds input"));
+            }
+            if *lanes_per_rep.get_or_insert(num_lanes) != num_lanes {
+                return Err(err("SmallSet repetitions disagree on lane count"));
+            }
+            let mut lanes = Vec::with_capacity(num_lanes);
+            for _ in 0..num_lanes {
+                let gamma = take_f64(input)?;
+                let e_keep = take_u64(input)?;
+                let p_elem = take_f64(input)?;
+                let overflowed = match take_u64(input)? {
+                    0 => false,
+                    1 => true,
+                    flag => return Err(err(format!("bad SmallSet overflow flag {flag}"))),
+                };
+                let n = take_u64(input)? as usize;
+                if n > input.len() / 8 {
+                    return Err(err(format!("truncated SmallSet lane of {n} edges")));
+                }
+                if overflowed && n != 0 {
+                    return Err(err("overflowed SmallSet lane still stores edges"));
+                }
+                if n > edge_cap {
+                    return Err(err(format!(
+                        "SmallSet lane stores {n} edges above cap {edge_cap}"
+                    )));
+                }
+                let edges = (0..n)
+                    .map(|_| {
+                        let packed = take_u64(input)?;
+                        let edge = Edge::new((packed >> 32) as u32, packed as u32);
+                        // `finalize` rebuilds a SetSystem from these, so
+                        // out-of-range ids would panic long after decode.
+                        if edge.set as usize >= m || edge.elem as usize >= u {
+                            return Err(err(format!(
+                                "SmallSet stored edge ({}, {}) outside the {m} x {u} instance",
+                                edge.set, edge.elem
+                            )));
+                        }
+                        Ok(edge)
+                    })
+                    .collect::<Result<Vec<_>, kcov_sketch::WireError>>()?;
+                lanes.push(Lane {
+                    gamma,
+                    e_keep,
+                    p_elem,
+                    edges,
+                    overflowed,
+                });
+            }
+            reps.push(Rep { mhash, ehash, lanes });
+        }
+        if reps.is_empty() {
+            return Err(err("SmallSet has no repetitions"));
+        }
+        Ok(SmallSet {
+            u,
+            m,
+            k_sub,
+            m_buckets,
+            edge_cap,
+            reps,
+        })
+    }
+}
+
 impl SpaceUsage for SmallSet {
     fn space_words(&self) -> usize {
         self.reps

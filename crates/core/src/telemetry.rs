@@ -135,6 +135,95 @@ pub(crate) fn crosses_beat(seen_before: u64, added: u64, every: u64) -> bool {
     every > 0 && added > 0 && (seen_before + added) / every > seen_before / every
 }
 
+// ---- wire format ----------------------------------------------------
+//
+// Buffered heartbeats and ingestion histograms travel with the replica:
+// the coordinator's finalize must emit a worker's beats exactly as an
+// in-process replica's, so they are state as far as the wire format is
+// concerned.
+
+use kcov_sketch::wire::{err, put_u64, take_u64, WireEncode, WireError};
+
+const TAG_BEAT: u64 = 0x42454154; // "BEAT"
+const TAG_SNAP: u64 = 0x534e4150; // "SNAP"
+const TAG_IHIST: u64 = 0x4948; // "IH"
+
+impl WireEncode for LaneBeat {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, TAG_BEAT);
+        put_u64(out, self.lane);
+        put_u64(out, self.z);
+        put_u64(out, self.lc_fill);
+        put_u64(out, self.ls_fill);
+        put_u64(out, self.ss_fill);
+        put_u64(out, self.evictions);
+        put_u64(out, self.space_words);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        if take_u64(input)? != TAG_BEAT {
+            return Err(err("bad LaneBeat tag"));
+        }
+        Ok(LaneBeat {
+            lane: take_u64(input)?,
+            z: take_u64(input)?,
+            lc_fill: take_u64(input)?,
+            ls_fill: take_u64(input)?,
+            ss_fill: take_u64(input)?,
+            evictions: take_u64(input)?,
+            space_words: take_u64(input)?,
+        })
+    }
+}
+
+impl WireEncode for HeartbeatSnap {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, TAG_SNAP);
+        put_u64(out, self.shard);
+        put_u64(out, self.at_edges);
+        put_u64(out, self.lanes.len() as u64);
+        for beat in &self.lanes {
+            beat.encode(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        if take_u64(input)? != TAG_SNAP {
+            return Err(err("bad HeartbeatSnap tag"));
+        }
+        let shard = take_u64(input)?;
+        let at_edges = take_u64(input)?;
+        let n = take_u64(input)? as usize;
+        if n > input.len() / 64 {
+            return Err(err(format!("truncated heartbeat of {n} lane beats")));
+        }
+        let lanes = (0..n).map(|_| LaneBeat::decode(input)).collect::<Result<Vec<_>, _>>()?;
+        Ok(HeartbeatSnap { shard, at_edges, lanes })
+    }
+}
+
+impl WireEncode for IngestHists {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, TAG_IHIST);
+        self.batch_edges.encode(out);
+        self.batch_ns.encode(out);
+        self.fill_delta.encode(out);
+        self.eviction_delta.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        if take_u64(input)? != TAG_IHIST {
+            return Err(err("bad IngestHists tag"));
+        }
+        Ok(IngestHists {
+            batch_edges: Histogram::decode(input)?,
+            batch_ns: Histogram::decode(input)?,
+            fill_delta: Histogram::decode(input)?,
+            eviction_delta: Histogram::decode(input)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

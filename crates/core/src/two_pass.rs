@@ -325,6 +325,119 @@ impl TwoPassSecond {
     }
 }
 
+// ---- wire format ----------------------------------------------------
+
+/// Payload tag of a full pass-2 replica.
+pub const TAG_TWOPASS: u64 = 0x0054_574f_5041_5353; // "TWOPASS"
+const SEC_SHAPE: u64 = 0x0053_4841_5045; // "SHAPE"
+const SEC_STATE: u64 = 0x0053_5441_5445; // "STATE"
+const SEC_TELEMETRY: u64 = 0x0054_454c_454d; // "TELEM"
+
+impl TwoPassSecond {
+    /// Attach an observability recorder after wire reconstruction (same
+    /// contract as [`MaxCoverEstimator::attach_recorder`]).
+    pub fn attach_recorder(&mut self, rec: &Recorder) {
+        self.rec = rec.clone();
+    }
+}
+
+impl kcov_sketch::WireEncode for TwoPassSecond {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use kcov_sketch::wire::{put_f64, put_header, put_section, put_u64};
+        put_header(out, TAG_TWOPASS);
+        put_section(out, SEC_SHAPE, |out| {
+            put_u64(out, self.k as u64);
+            put_u64(out, self.z);
+            put_f64(out, self.pass1_estimate);
+            put_u64(out, self.edges_seen);
+            put_u64(out, self.heartbeat_every);
+            put_u64(out, self.shard_id);
+        });
+        put_section(out, SEC_STATE, |out| {
+            put_u64(out, self.lanes.len() as u64);
+            for (reducer, oracle) in &self.lanes {
+                reducer.encode(out);
+                oracle.encode(out);
+            }
+        });
+        put_section(out, SEC_TELEMETRY, |out| {
+            put_u64(out, self.heartbeats.len() as u64);
+            for snap in &self.heartbeats {
+                snap.encode(out);
+            }
+            self.hists.encode(out);
+            self.last_stats.encode(out);
+        });
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, kcov_sketch::WireError> {
+        use kcov_sketch::wire::{
+            err, expect_section_end, take_f64, take_header, take_section, take_u64,
+        };
+        take_header(input, TAG_TWOPASS)?;
+
+        let mut shape = take_section(input, SEC_SHAPE)?;
+        let k = take_u64(&mut shape)? as usize;
+        let z = take_u64(&mut shape)?;
+        let pass1_estimate = take_f64(&mut shape)?;
+        let edges_seen = take_u64(&mut shape)?;
+        let heartbeat_every = take_u64(&mut shape)?;
+        let shard_id = take_u64(&mut shape)?;
+        expect_section_end(SEC_SHAPE, shape)?;
+        if k < 1 || z < 1 {
+            return Err(err("pass-2 shape needs k, z >= 1"));
+        }
+
+        let mut state = take_section(input, SEC_STATE)?;
+        let num = take_u64(&mut state)? as usize;
+        if num > state.len() {
+            return Err(err("pass-2 lane count exceeds input"));
+        }
+        let lanes = (0..num)
+            .map(|_| {
+                let reducer = UniverseReducer::decode(&mut state)?;
+                if reducer.z() != z {
+                    return Err(err(format!(
+                        "pass-2 reducer range {} disagrees with z {z}",
+                        reducer.z()
+                    )));
+                }
+                Ok((reducer, Oracle::decode(&mut state)?))
+            })
+            .collect::<Result<Vec<_>, kcov_sketch::WireError>>()?;
+        if lanes.is_empty() {
+            return Err(err("pass-2 state has no lanes"));
+        }
+        expect_section_end(SEC_STATE, state)?;
+
+        let mut telem = take_section(input, SEC_TELEMETRY)?;
+        let num_snaps = take_u64(&mut telem)? as usize;
+        if num_snaps > telem.len() {
+            return Err(err("pass-2 heartbeat count exceeds input"));
+        }
+        let heartbeats = (0..num_snaps)
+            .map(|_| HeartbeatSnap::decode(&mut telem))
+            .collect::<Result<Vec<_>, _>>()?;
+        let hists = IngestHists::decode(&mut telem)?;
+        let last_stats = SketchStats::decode(&mut telem)?;
+        expect_section_end(SEC_TELEMETRY, telem)?;
+
+        Ok(TwoPassSecond {
+            k,
+            z,
+            pass1_estimate,
+            lanes,
+            rec: Recorder::disabled(),
+            edges_seen,
+            heartbeat_every,
+            shard_id,
+            heartbeats,
+            hists,
+            last_stats,
+        })
+    }
+}
+
 impl SpaceUsage for TwoPassSecond {
     fn space_words(&self) -> usize {
         self.lanes

@@ -81,6 +81,32 @@ impl SpaceUsage for UniverseReducer {
     }
 }
 
+// ---- wire format ----------------------------------------------------
+
+const TAG_UR: u64 = 0x5552; // "UR"
+
+impl kcov_sketch::WireEncode for UniverseReducer {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use kcov_sketch::wire::{put_kwise, put_u64};
+        put_u64(out, TAG_UR);
+        put_u64(out, self.z);
+        put_kwise(out, &self.hash);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, kcov_sketch::WireError> {
+        use kcov_sketch::wire::{err, take_kwise, take_u64};
+        if take_u64(input)? != TAG_UR {
+            return Err(err("bad UniverseReducer tag"));
+        }
+        let z = take_u64(input)?;
+        if z < 1 {
+            return Err(err("UniverseReducer z must be positive"));
+        }
+        let hash = take_kwise(input)?;
+        Ok(UniverseReducer { z, hash })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -312,6 +312,28 @@ impl Recorder {
         );
     }
 
+    /// Record a distributed-ingestion provenance event: which worker
+    /// reached which lifecycle `stage` (`"worker-start"`,
+    /// `"snapshot"`, `"worker-done"`, `"replica"`), on which shard,
+    /// after how many edges. `detail` carries free-form context such
+    /// as the snapshot path. Provenance is worker-local narration —
+    /// coordinator traces never carry it, so differential byte
+    /// comparisons against single-process runs stay clean.
+    pub fn provenance(&self, stage: &str, shard: u64, edges: u64, detail: &str) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.event(
+            "provenance",
+            &[
+                ("stage", stage.into()),
+                ("shard", shard.into()),
+                ("edges", edges.into()),
+                ("detail", detail.into()),
+            ],
+        );
+    }
+
     /// Record a [`Histogram`] as one `"histogram"` event. Non-empty
     /// buckets are emitted as flat `b<i>` fields (events carry scalar
     /// values only), alongside the `count`/`sum`/`min`/`max` envelope —

@@ -122,7 +122,7 @@ impl AmsF2 {
         if rows == 0 || cols == 0 {
             return Err("rows and cols must be positive".into());
         }
-        if signs.len() != rows * cols || counters.len() != rows * cols {
+        if rows.checked_mul(cols) != Some(signs.len()) || counters.len() != signs.len() {
             return Err("signs/counters must both have rows*cols entries".into());
         }
         Ok(AmsF2 {

@@ -269,6 +269,24 @@ impl F2Contributing {
         }
     }
 
+    /// Restore per-level heavy-hitter telemetry counters
+    /// (`(prunes, evictions, merges)` triples, level order) after wire
+    /// reconstruction. Fails when the slice length disagrees with the
+    /// level count.
+    pub fn restore_telemetry(&mut self, counters: &[(u64, u64, u64)]) -> Result<(), String> {
+        if counters.len() != self.levels.len() {
+            return Err(format!(
+                "{} telemetry entries for {} levels",
+                counters.len(),
+                self.levels.len()
+            ));
+        }
+        for (level, &(prunes, evictions, merges)) in self.levels.iter_mut().zip(counters) {
+            level.hh.restore_telemetry(prunes, evictions, merges);
+        }
+        Ok(())
+    }
+
     /// Telemetry snapshot aggregated over the per-level heavy hitters'
     /// candidate trackers.
     pub fn stats(&self) -> SketchStats {

@@ -70,7 +70,7 @@ impl CountMin {
         if rows == 0 || width < 2 {
             return Err("bad CountMin shape".into());
         }
-        if hashes.len() != rows || table.len() != rows * width {
+        if hashes.len() != rows || rows.checked_mul(width) != Some(table.len()) {
             return Err("CountMin parts have inconsistent lengths".into());
         }
         Ok(CountMin {

@@ -191,7 +191,7 @@ impl CountSketch {
         if !(1..=32).contains(&rows) || width < 2 {
             return Err("bad CountSketch shape".into());
         }
-        if buckets.len() != rows || signs.len() != rows || table.len() != rows * width {
+        if buckets.len() != rows || signs.len() != rows || rows.checked_mul(width) != Some(table.len()) {
             return Err("CountSketch parts have inconsistent lengths".into());
         }
         Ok(CountSketch {

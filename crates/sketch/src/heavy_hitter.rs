@@ -320,6 +320,17 @@ impl F2HeavyHitter {
         self.evictions += other.evictions;
     }
 
+    /// Restore telemetry counters after wire reconstruction.
+    /// [`F2HeavyHitter::from_parts`] deliberately zeroes them (telemetry
+    /// is not state); a full-state decode that wants the replica's
+    /// finalize snapshot to match in-process ingestion re-applies the
+    /// serialized counters with this.
+    pub fn restore_telemetry(&mut self, prunes: u64, evictions: u64, merges: u64) {
+        self.prunes = prunes;
+        self.evictions = evictions;
+        self.merges = merges;
+    }
+
     /// Telemetry snapshot for the candidate tracker (fill/capacity are
     /// the candidate list, not the linear substructures — those have
     /// their own [`CountSketch::stats`]/[`AmsF2::stats`]).

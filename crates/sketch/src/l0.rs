@@ -165,6 +165,16 @@ impl Kmv {
         self.evictions += other.evictions;
     }
 
+    /// Restore telemetry counters after wire reconstruction.
+    /// [`Kmv::from_parts`] deliberately zeroes them (telemetry is not
+    /// state); a full-state decode that wants the replica's finalize
+    /// snapshot to match in-process ingestion re-applies the serialized
+    /// counters with this.
+    pub fn restore_telemetry(&mut self, evictions: u64, merges: u64) {
+        self.evictions = evictions;
+        self.merges = merges;
+    }
+
     /// Telemetry snapshot (fill, capacity, evictions, merges).
     pub fn stats(&self) -> SketchStats {
         SketchStats {
@@ -258,6 +268,23 @@ impl L0Estimator {
             agg.absorb(r.stats());
         }
         agg
+    }
+
+    /// Restore per-repetition telemetry counters (`(evictions, merges)`
+    /// pairs, repetition order) after wire reconstruction. Fails when
+    /// the slice length disagrees with the repetition count.
+    pub fn restore_telemetry(&mut self, counters: &[(u64, u64)]) -> Result<(), String> {
+        if counters.len() != self.reps.len() {
+            return Err(format!(
+                "{} telemetry entries for {} repetitions",
+                counters.len(),
+                self.reps.len()
+            ));
+        }
+        for (rep, &(evictions, merges)) in self.reps.iter_mut().zip(counters) {
+            rep.restore_telemetry(evictions, merges);
+        }
+        Ok(())
     }
 
     /// Rebuild from parts (inverse of [`L0Estimator::repetitions`]).

@@ -15,7 +15,7 @@
 //! equivalent.
 
 use kcov_hash::{KWise, SignHash};
-use kcov_obs::Histogram;
+use kcov_obs::{Histogram, SketchStats};
 
 use crate::ams_f2::AmsF2;
 use crate::bjkst::Bjkst;
@@ -40,7 +40,9 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-fn err(message: impl Into<String>) -> WireError {
+/// Build a [`WireError`] from a message (shared by the full-state
+/// decoders in `kcov-core`).
+pub fn err(message: impl Into<String>) -> WireError {
     WireError {
         message: message.into(),
     }
@@ -72,16 +74,23 @@ pub trait WireEncode: Sized {
 }
 
 // ---- primitives -----------------------------------------------------
+//
+// The primitives are `pub`: the full-state encodings (estimator, lanes,
+// oracle, subroutines) live next to their private fields in `kcov-core`
+// and compose these building blocks there.
 
-pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+/// Append a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-pub(crate) fn put_i64(out: &mut Vec<u8>, v: i64) {
+/// Append a little-endian `i64`.
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-pub(crate) fn take_u64(input: &mut &[u8]) -> Result<u64, WireError> {
+/// Consume a little-endian `u64`.
+pub fn take_u64(input: &mut &[u8]) -> Result<u64, WireError> {
     if input.len() < 8 {
         return Err(err("truncated u64"));
     }
@@ -90,38 +99,47 @@ pub(crate) fn take_u64(input: &mut &[u8]) -> Result<u64, WireError> {
     Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
 }
 
-pub(crate) fn take_i64(input: &mut &[u8]) -> Result<i64, WireError> {
+/// Consume a little-endian `i64`.
+pub fn take_i64(input: &mut &[u8]) -> Result<i64, WireError> {
     Ok(take_u64(input)? as i64)
 }
 
-pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+/// Append an `f64` as its bit pattern.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
     put_u64(out, v.to_bits());
 }
 
-pub(crate) fn take_f64(input: &mut &[u8]) -> Result<f64, WireError> {
+/// Consume an `f64` bit pattern.
+pub fn take_f64(input: &mut &[u8]) -> Result<f64, WireError> {
     Ok(f64::from_bits(take_u64(input)?))
 }
 
-pub(crate) fn put_u64s(out: &mut Vec<u8>, vs: &[u64]) {
+/// Append a length-prefixed `u64` vector.
+pub fn put_u64s(out: &mut Vec<u8>, vs: &[u64]) {
     put_u64(out, vs.len() as u64);
     for &v in vs {
         put_u64(out, v);
     }
 }
 
-pub(crate) fn take_u64s(input: &mut &[u8]) -> Result<Vec<u64>, WireError> {
+/// Consume a length-prefixed `u64` vector (length bounds-checked
+/// against the remaining input before any allocation).
+pub fn take_u64s(input: &mut &[u8]) -> Result<Vec<u64>, WireError> {
     let n = take_u64(input)? as usize;
-    if input.len() < 8 * n {
+    if n > input.len() / 8 {
         return Err(err(format!("truncated vector of {n} u64s")));
     }
     (0..n).map(|_| take_u64(input)).collect()
 }
 
-fn put_kwise(out: &mut Vec<u8>, h: &KWise) {
+/// Append a hash function as its full coefficient vector.
+pub fn put_kwise(out: &mut Vec<u8>, h: &KWise) {
     put_u64s(out, &h.coefficients());
 }
 
-fn take_kwise(input: &mut &[u8]) -> Result<KWise, WireError> {
+/// Consume a hash function (rejects empty coefficient vectors, which
+/// the polynomial-hash constructor would panic on).
+pub fn take_kwise(input: &mut &[u8]) -> Result<KWise, WireError> {
     let coeffs = take_u64s(input)?;
     if coeffs.is_empty() {
         return Err(err("empty hash coefficient vector"));
@@ -129,16 +147,106 @@ fn take_kwise(input: &mut &[u8]) -> Result<KWise, WireError> {
     Ok(KWise::from_coefficients(&coeffs))
 }
 
-fn put_sign(out: &mut Vec<u8>, h: &SignHash) {
+/// Append a sign hash as its full coefficient vector.
+pub fn put_sign(out: &mut Vec<u8>, h: &SignHash) {
     put_u64s(out, &h.coefficients());
 }
 
-fn take_sign(input: &mut &[u8]) -> Result<SignHash, WireError> {
+/// Consume a sign hash (rejects empty coefficient vectors).
+pub fn take_sign(input: &mut &[u8]) -> Result<SignHash, WireError> {
     let coeffs = take_u64s(input)?;
     if coeffs.is_empty() {
         return Err(err("empty sign-hash coefficient vector"));
     }
     Ok(SignHash::from_coefficients(&coeffs))
+}
+
+// ---- full-state framing ---------------------------------------------
+//
+// Individual sketches keep their original one-tag framing (an
+// in-workspace format). Full replica states — the payloads shipped
+// between worker processes and the coordinator — get a *versioned
+// header* plus length-prefixed sections, so a reader can reject a
+// foreign or stale payload before decoding anything, and a corrupt
+// section length cannot walk the cursor into a neighboring section.
+
+/// Magic prefix of every full-state payload ("KCOVWIRE").
+pub const WIRE_MAGIC: u64 = 0x4b43_4f56_5749_5245;
+/// Version of the full-state wire format. Bump on any layout change;
+/// decoders reject every version but their own (full-state payloads are
+/// replica checkpoints, not archives — there is nothing to migrate).
+pub const WIRE_VERSION: u64 = 1;
+
+/// Append the versioned full-state header: magic, version, payload tag.
+pub fn put_header(out: &mut Vec<u8>, tag: u64) {
+    put_u64(out, WIRE_MAGIC);
+    put_u64(out, WIRE_VERSION);
+    put_u64(out, tag);
+}
+
+/// Consume and validate a full-state header.
+pub fn take_header(input: &mut &[u8], expect_tag: u64) -> Result<(), WireError> {
+    let magic = take_u64(input)?;
+    if magic != WIRE_MAGIC {
+        return Err(err(format!("bad wire magic {magic:#018x}")));
+    }
+    let version = take_u64(input)?;
+    if version != WIRE_VERSION {
+        return Err(err(format!(
+            "unsupported wire version {version} (this build reads {WIRE_VERSION})"
+        )));
+    }
+    let tag = take_u64(input)?;
+    if tag != expect_tag {
+        return Err(err(format!(
+            "unexpected payload tag {tag:#x} (expected {expect_tag:#x})"
+        )));
+    }
+    Ok(())
+}
+
+/// Append a length-prefixed section: tag, body byte length, body. The
+/// length is patched in after the body is written.
+pub fn put_section(out: &mut Vec<u8>, tag: u64, body: impl FnOnce(&mut Vec<u8>)) {
+    put_u64(out, tag);
+    let len_at = out.len();
+    put_u64(out, 0);
+    body(out);
+    let len = (out.len() - len_at - 8) as u64;
+    out[len_at..len_at + 8].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Split off a length-prefixed section body, validating the tag and
+/// bounds-checking the declared length against the remaining input.
+pub fn take_section<'a>(input: &mut &'a [u8], expect_tag: u64) -> Result<&'a [u8], WireError> {
+    let tag = take_u64(input)?;
+    if tag != expect_tag {
+        return Err(err(format!(
+            "unexpected section tag {tag:#x} (expected {expect_tag:#x})"
+        )));
+    }
+    let len = take_u64(input)? as usize;
+    if input.len() < len {
+        return Err(err(format!(
+            "truncated section {expect_tag:#x}: {len} bytes declared, {} available",
+            input.len()
+        )));
+    }
+    let (body, rest) = input.split_at(len);
+    *input = rest;
+    Ok(body)
+}
+
+/// Require that a section body was fully consumed by its decoder.
+pub fn expect_section_end(tag: u64, body: &[u8]) -> Result<(), WireError> {
+    if body.is_empty() {
+        Ok(())
+    } else {
+        Err(err(format!(
+            "{} trailing bytes in section {tag:#x}",
+            body.len()
+        )))
+    }
 }
 
 // ---- sketches -------------------------------------------------------
@@ -193,11 +301,15 @@ impl WireEncode for AmsF2 {
         }
         let rows = take_u64(input)? as usize;
         let cols = take_u64(input)? as usize;
-        let signs = (0..rows * cols)
+        let cells = rows
+            .checked_mul(cols)
+            .filter(|&c| c <= input.len())
+            .ok_or_else(|| err(format!("AMS table {rows} x {cols} exceeds input")))?;
+        let signs = (0..cells)
             .map(|_| take_sign(input))
             .collect::<Result<Vec<_>, _>>()?;
         let n = take_u64(input)? as usize;
-        if n != rows * cols {
+        if n != cells {
             return Err(err("AMS counter count mismatch"));
         }
         let counters = (0..n).map(|_| take_i64(input)).collect::<Result<Vec<_>, _>>()?;
@@ -231,7 +343,7 @@ impl WireEncode for CountSketch {
         let buckets = (0..rows).map(|_| take_kwise(input)).collect::<Result<Vec<_>, _>>()?;
         let signs = (0..rows).map(|_| take_sign(input)).collect::<Result<Vec<_>, _>>()?;
         let n = take_u64(input)? as usize;
-        if n != rows * width {
+        if rows.checked_mul(width) != Some(n) || n > input.len() / 8 {
             return Err(err("CountSketch table size mismatch"));
         }
         let table = (0..n).map(|_| take_i64(input)).collect::<Result<Vec<_>, _>>()?;
@@ -344,7 +456,7 @@ impl WireEncode for F2HeavyHitter {
         let f2 = AmsF2::decode(input)?;
         let items_seen = take_u64(input)?;
         let n = take_u64(input)? as usize;
-        if input.len() < 24 * n {
+        if n > input.len() / 24 {
             return Err(err(format!("truncated candidate list of {n} entries")));
         }
         let candidates = (0..n)
@@ -407,7 +519,7 @@ impl WireEncode for Histogram {
         let min = take_u64(input)?;
         let max = take_u64(input)?;
         let n = take_u64(input)? as usize;
-        if input.len() < 16 * n {
+        if n > input.len() / 16 {
             return Err(err(format!("truncated histogram bucket list of {n} entries")));
         }
         let buckets = (0..n)
@@ -416,6 +528,95 @@ impl WireEncode for Histogram {
         Histogram::from_parts(&buckets, sum, min, max)
             .ok_or_else(|| err("inconsistent histogram parts"))
     }
+}
+
+const TAG_STATS: u64 = 0x53544154; // "STAT"
+
+impl WireEncode for SketchStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, TAG_STATS);
+        put_u64(out, self.updates);
+        put_u64(out, self.fill);
+        put_u64(out, self.capacity);
+        put_u64(out, self.evictions);
+        put_u64(out, self.prunes);
+        put_u64(out, self.merges);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        if take_u64(input)? != TAG_STATS {
+            return Err(err("bad SketchStats tag"));
+        }
+        Ok(SketchStats {
+            updates: take_u64(input)?,
+            fill: take_u64(input)?,
+            capacity: take_u64(input)?,
+            evictions: take_u64(input)?,
+            prunes: take_u64(input)?,
+            merges: take_u64(input)?,
+        })
+    }
+}
+
+// ---- telemetry-preserving composites --------------------------------
+//
+// `from_parts` deliberately zeroes telemetry counters ("telemetry is
+// not state"), which is right for the lower-bound harness but wrong for
+// replica shipping: a coordinator folding worker files must report the
+// same eviction/prune/merge counts as the equivalent in-process run.
+// These helpers pair the structural encoding with a counter sidecar and
+// restore it after reconstruction.
+
+/// Encode an `L0Estimator` plus its per-repetition telemetry counters.
+pub fn put_l0_full(out: &mut Vec<u8>, l0: &L0Estimator) {
+    l0.encode(out);
+    put_u64(out, l0.repetitions().len() as u64);
+    for rep in l0.repetitions() {
+        let st = rep.stats();
+        put_u64(out, st.evictions);
+        put_u64(out, st.merges);
+    }
+}
+
+/// Decode an `L0Estimator` and restore its telemetry sidecar.
+pub fn take_l0_full(input: &mut &[u8]) -> Result<L0Estimator, WireError> {
+    let mut l0 = L0Estimator::decode(input)?;
+    let n = take_u64(input)? as usize;
+    if n > input.len() / 16 {
+        return Err(err(format!("truncated L0 telemetry sidecar of {n} entries")));
+    }
+    let counters = (0..n)
+        .map(|_| Ok((take_u64(input)?, take_u64(input)?)))
+        .collect::<Result<Vec<_>, WireError>>()?;
+    l0.restore_telemetry(&counters).map_err(err)?;
+    Ok(l0)
+}
+
+/// Encode an `F2Contributing` plus its per-level telemetry counters.
+pub fn put_fc_full(out: &mut Vec<u8>, fc: &F2Contributing) {
+    fc.encode(out);
+    let levels = fc.level_parts();
+    put_u64(out, levels.len() as u64);
+    for (_, _, hh) in levels {
+        let st = hh.stats();
+        put_u64(out, st.prunes);
+        put_u64(out, st.evictions);
+        put_u64(out, st.merges);
+    }
+}
+
+/// Decode an `F2Contributing` and restore its telemetry sidecar.
+pub fn take_fc_full(input: &mut &[u8]) -> Result<F2Contributing, WireError> {
+    let mut fc = F2Contributing::decode(input)?;
+    let n = take_u64(input)? as usize;
+    if n > input.len() / 24 {
+        return Err(err(format!("truncated F2C telemetry sidecar of {n} entries")));
+    }
+    let counters = (0..n)
+        .map(|_| Ok((take_u64(input)?, take_u64(input)?, take_u64(input)?)))
+        .collect::<Result<Vec<_>, WireError>>()?;
+    fc.restore_telemetry(&counters).map_err(err)?;
+    Ok(fc)
 }
 
 #[cfg(test)]

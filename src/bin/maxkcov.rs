@@ -38,17 +38,29 @@
 //! and histogram percentiles, and re-checks the trace's accounting
 //! invariants (phase event nanos vs `time_ns.*` counters, subroutine
 //! space vs the summary total), failing on violation.
+//!
+//! Distributed ingestion (DESIGN.md §11): `maxkcov worker` ingests one
+//! contiguous shard of the stream (`--shards N --shard I`) and writes
+//! its full serialized estimator replica (versioned wire format) to
+//! `--out FILE`; `maxkcov merge-from FILE...` decodes the replicas,
+//! folds them through the commutative merge, and finalizes — emitting
+//! the same estimate, metrics, and trace events as a single-process
+//! `--shards N` run (byte-identical modulo wall-clock `ns` fields).
+//! Workers checkpoint with `--snapshot FILE --snapshot-every E` and
+//! recover with `--resume FILE` (resuming at the recorded edge offset,
+//! no replay of ingested edges); `--stop-after E` simulates a crash.
 
 use std::collections::{BTreeMap, HashMap};
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter};
 use std::process::ExitCode;
+use std::time::Instant;
 
 use kcov_baselines::{greedy_max_cover, max_cover_exact};
 use kcov_core::{EstimatorConfig, MaxCoverEstimator, MaxCoverReporter, ParamMode};
 use kcov_obs::json::Json;
-use kcov_obs::{Histogram, Recorder};
-use kcov_sketch::SpaceUsage;
+use kcov_obs::{Histogram, Recorder, Value};
+use kcov_sketch::{SpaceUsage, WireEncode};
 use kcov_stream::gen;
 use kcov_stream::{
     coverage_of, edge_stream, read_set_system, write_set_system, ArrivalOrder, CoverageStats,
@@ -82,6 +94,11 @@ const USAGE: &str = "usage:
   maxkcov setcover --input FILE [--fraction F]
   maxkcov budget   --input FILE --k K --words W [--seed S] [--order ORDER] [--threads T] [--batch B]
                    [--shards S] [--metrics] [--trace FILE] [--heartbeat N]
+  maxkcov worker   --input FILE --k K --alpha A --shards N --shard I --out FILE [--seed S]
+                   [--order ORDER] [--mode paper|practical] [--threads T] [--batch B]
+                   [--snapshot FILE --snapshot-every E] [--resume FILE] [--stop-after E]
+                   [--metrics] [--trace FILE] [--heartbeat N]
+  maxkcov merge-from FILE... [--metrics] [--trace FILE]
   maxkcov trace-summarize FILE
 KIND: uniform | zipf | planted | common | few-large | many-small
 ORDER: set | element | roundrobin | shuffle:SEED (default shuffle:0)
@@ -93,7 +110,13 @@ finalize; estimates are identical to the serial pass (DESIGN.md sec. 8).
 --trace FILE writes the structured NDJSON event log; --heartbeat N (with either)
 snapshots per-lane fills every N edges into the event log. None changes estimates.
 trace-summarize renders phase timings, heartbeat trajectories, and histogram
-percentiles from a --trace file and re-checks its accounting invariants.";
+percentiles from a --trace file and re-checks its accounting invariants.
+worker ingests shard I of N (contiguous split of the arrival order) and writes
+its serialized replica to --out; merge-from folds replica files through the
+commutative merge and finalizes, matching a single-process --shards N run.
+--snapshot FILE --snapshot-every E checkpoints the worker every E shard edges;
+--resume FILE restarts from a checkpoint (no replay); --stop-after E simulates
+a crash after E edges (exits non-zero, periodic snapshots left for recovery).";
 
 /// Whether a flag takes a value or is a bare boolean.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -114,34 +137,39 @@ struct FlagSpec {
 /// The streaming subcommands: everything that ingests an edge stream
 /// through an estimator and therefore shares the ingestion/observability
 /// flag set.
-const STREAM_CMDS: &[&str] = &["estimate", "report", "twopass", "budget"];
+const STREAM_CMDS: &[&str] = &["estimate", "report", "twopass", "budget", "worker"];
+
+/// Subcommands with an observability surface. `merge-from` never
+/// ingests (no `--heartbeat`) but emits the merged trace and metrics.
+const OBS_CMDS: &[&str] = &["estimate", "report", "twopass", "budget", "worker", "merge-from"];
 
 const FLAG_SPECS: &[FlagSpec] = &[
     FlagSpec { name: "kind", kind: FlagKind::Value, commands: &["gen"] },
     FlagSpec { name: "n", kind: FlagKind::Value, commands: &["gen"] },
     FlagSpec { name: "m", kind: FlagKind::Value, commands: &["gen"] },
-    FlagSpec { name: "out", kind: FlagKind::Value, commands: &["gen"] },
+    FlagSpec { name: "out", kind: FlagKind::Value, commands: &["gen", "worker"] },
     FlagSpec {
         name: "k",
         kind: FlagKind::Value,
-        commands: &["gen", "greedy", "exact", "estimate", "report", "twopass", "budget"],
+        commands: &["gen", "greedy", "exact", "estimate", "report", "twopass", "budget", "worker"],
     },
     FlagSpec {
         name: "seed",
         kind: FlagKind::Value,
-        commands: &["gen", "estimate", "report", "twopass", "budget"],
+        commands: &["gen", "estimate", "report", "twopass", "budget", "worker"],
     },
     FlagSpec {
         name: "input",
         kind: FlagKind::Value,
         commands: &[
             "stats", "greedy", "exact", "setcover", "estimate", "report", "twopass", "budget",
+            "worker",
         ],
     },
     FlagSpec {
         name: "alpha",
         kind: FlagKind::Value,
-        commands: &["estimate", "report", "twopass"],
+        commands: &["estimate", "report", "twopass", "worker"],
     },
     FlagSpec { name: "words", kind: FlagKind::Value, commands: &["budget"] },
     FlagSpec { name: "fraction", kind: FlagKind::Value, commands: &["setcover"] },
@@ -150,9 +178,14 @@ const FLAG_SPECS: &[FlagSpec] = &[
     FlagSpec { name: "threads", kind: FlagKind::Value, commands: STREAM_CMDS },
     FlagSpec { name: "batch", kind: FlagKind::Value, commands: STREAM_CMDS },
     FlagSpec { name: "shards", kind: FlagKind::Value, commands: STREAM_CMDS },
-    FlagSpec { name: "trace", kind: FlagKind::Value, commands: STREAM_CMDS },
+    FlagSpec { name: "shard", kind: FlagKind::Value, commands: &["worker"] },
+    FlagSpec { name: "snapshot", kind: FlagKind::Value, commands: &["worker"] },
+    FlagSpec { name: "snapshot-every", kind: FlagKind::Value, commands: &["worker"] },
+    FlagSpec { name: "resume", kind: FlagKind::Value, commands: &["worker"] },
+    FlagSpec { name: "stop-after", kind: FlagKind::Value, commands: &["worker"] },
+    FlagSpec { name: "trace", kind: FlagKind::Value, commands: OBS_CMDS },
     FlagSpec { name: "heartbeat", kind: FlagKind::Value, commands: STREAM_CMDS },
-    FlagSpec { name: "metrics", kind: FlagKind::Bool, commands: STREAM_CMDS },
+    FlagSpec { name: "metrics", kind: FlagKind::Bool, commands: OBS_CMDS },
 ];
 
 /// Look up a flag for a subcommand in [`FLAG_SPECS`].
@@ -349,10 +382,15 @@ fn run(args: &[String]) -> Result<(), String> {
         };
         return cmd_trace_summarize(path);
     }
+    if cmd == "merge-from" {
+        // Takes positional replica FILEs plus --flags.
+        let (files, flags) = split_positional(cmd, rest)?;
+        return cmd_merge_from(&files, &flags);
+    }
     if !matches!(
         cmd.as_str(),
         "gen" | "stats" | "greedy" | "exact" | "estimate" | "report" | "twopass" | "setcover"
-            | "budget"
+            | "budget" | "worker"
     ) {
         return Err(format!("unknown subcommand '{cmd}'"));
     }
@@ -367,8 +405,37 @@ fn run(args: &[String]) -> Result<(), String> {
         "twopass" => cmd_twopass(&flags),
         "setcover" => cmd_setcover(&flags),
         "budget" => cmd_budget(&flags),
+        "worker" => cmd_worker(&flags),
         other => Err(format!("unknown subcommand '{other}'")),
     }
+}
+
+/// Split `args` into positional operands and `--flag` arguments, then
+/// parse the flags for `cmd`. Value-taking flags consume the following
+/// argument, so positionals and flags can be freely interleaved.
+fn split_positional(
+    cmd: &str,
+    args: &[String],
+) -> Result<(Vec<String>, HashMap<String, String>), String> {
+    let mut positional = Vec::new();
+    let mut flag_args = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            flag_args.push(a.clone());
+            if let Some(spec) = flag_spec(cmd, key) {
+                if spec.kind == FlagKind::Value {
+                    if let Some(v) = it.next() {
+                        flag_args.push(v.clone());
+                    }
+                }
+            }
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    let flags = parse_flags(cmd, &flag_args)?;
+    Ok((positional, flags))
 }
 
 fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -476,6 +543,223 @@ fn cmd_estimate(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("trivial       = {}", out.trivial);
     println!("space (words) = {}", est.space_words());
     println!("stream edges  = {}", edges.len());
+    obs.emit(&rec)
+}
+
+/// Mirror of `telemetry::crosses_beat`: true when `[seen_before,
+/// seen_before + added]` crosses a multiple of `every` — the snapshot
+/// cadence is a pure function of the chunking, never of the clock.
+fn crosses_beat(seen_before: u64, added: u64, every: u64) -> bool {
+    every > 0 && added > 0 && (seen_before + added) / every > seen_before / every
+}
+
+/// Serialize a replica to `path` atomically (tmp + rename), so a
+/// crash mid-write never leaves a truncated snapshot behind. Returns
+/// the encoded size in bytes.
+fn write_replica(path: &str, est: &MaxCoverEstimator) -> Result<usize, String> {
+    let bytes = est.to_bytes();
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, &bytes).map_err(|e| format!("write {tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("rename {tmp} -> {path}: {e}"))?;
+    Ok(bytes.len())
+}
+
+fn cmd_worker(flags: &HashMap<String, String>) -> Result<(), String> {
+    let system = load(flags)?;
+    let k: usize = parse_num(req(flags, "k")?, "k")?;
+    let alpha: f64 = parse_num(req(flags, "alpha")?, "alpha")?;
+    let order = parse_order(flags)?;
+    let mut config = parse_config(flags)?;
+    let obs = ObsOpts::parse(flags)?;
+    let rec = obs.configure(&mut config);
+    let shards = config.shards;
+    let shard: usize = parse_num(req(flags, "shard")?, "shard")?;
+    if shard >= shards {
+        return Err(format!("--shard {shard} out of range for --shards {shards}"));
+    }
+    let out_path = req(flags, "out")?;
+    let batch = parse_batch(flags)?.unwrap_or(1024);
+    let snapshot = flags.get("snapshot").cloned();
+    let snapshot_every: u64 = match flags.get("snapshot-every") {
+        Some(s) => parse_num(s, "snapshot-every")?,
+        None => 0,
+    };
+    if snapshot_every > 0 && snapshot.is_none() {
+        return Err("--snapshot-every needs --snapshot FILE".into());
+    }
+    let stop_after: Option<u64> = match flags.get("stop-after") {
+        Some(s) => Some(parse_num(s, "stop-after")?),
+        None => None,
+    };
+
+    // This worker owns the `shard`-th of `shards` contiguous chunks of
+    // the arrival order — the same split `ingest_sharded` uses, so the
+    // replica it writes is the state an in-process shard would hold.
+    let edges = edge_stream(&system, order);
+    let chunk_len = edges.len().div_ceil(shards);
+    let lo = (shard * chunk_len).min(edges.len());
+    let hi = (lo + chunk_len).min(edges.len());
+    let chunk = &edges[lo..hi];
+
+    let (n, m) = (system.num_elements(), system.num_sets());
+    let mut est = match flags.get("resume") {
+        Some(path) => {
+            let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+            let mut est = MaxCoverEstimator::from_bytes(&bytes)
+                .map_err(|e| format!("decode {path}: {e}"))?;
+            if est.shape() != (n, m, k, alpha) {
+                return Err(format!(
+                    "snapshot {path} was built for a different instance shape"
+                ));
+            }
+            if est.shard() != shard as u64 {
+                return Err(format!(
+                    "snapshot {path} belongs to shard {}, not {shard}",
+                    est.shard()
+                ));
+            }
+            if est.edges_seen() > chunk.len() as u64 {
+                return Err(format!(
+                    "snapshot {path} records {} edges but shard {shard} only holds {}",
+                    est.edges_seen(),
+                    chunk.len()
+                ));
+            }
+            est.attach_recorder(&rec);
+            est
+        }
+        None => {
+            let mut est = MaxCoverEstimator::new(n, m, k, alpha, &config);
+            est.set_shard(shard as u64);
+            est
+        }
+    };
+
+    // Resume at the recorded offset: snapshots are written at batch
+    // boundaries, so the remaining sub-chunk boundaries line up with an
+    // uninterrupted run and the final replica is bit-identical.
+    let skip = est.edges_seen() as usize;
+    rec.provenance("worker-start", shard as u64, skip as u64, req(flags, "input")?);
+    let span = rec.span("ingest");
+    let mut stopped = false;
+    for sub in chunk[skip..].chunks(batch) {
+        est.observe_batch(sub);
+        let done = est.edges_seen();
+        // The simulated crash pre-empts this batch's snapshot, so
+        // recovery genuinely replays from the previous checkpoint.
+        if stop_after.is_some_and(|stop| done >= stop) {
+            stopped = true;
+            break;
+        }
+        if crosses_beat(done - sub.len() as u64, sub.len() as u64, snapshot_every) {
+            let path = snapshot.as_deref().expect("--snapshot-every implies --snapshot");
+            write_replica(path, &est)?;
+            rec.provenance("snapshot", shard as u64, done, path);
+        }
+    }
+    span.finish();
+    if stopped {
+        rec.provenance("crash", shard as u64, est.edges_seen(), "stop-after");
+        obs.emit(&rec)?;
+        eprintln!(
+            "worker shard {shard}: stopped after {} edges (simulated crash; periodic snapshots kept)",
+            est.edges_seen()
+        );
+        std::process::exit(3);
+    }
+    rec.provenance("worker-done", shard as u64, est.edges_seen(), out_path);
+    let bytes = write_replica(out_path, &est)?;
+    println!("worker shard   = {shard}/{shards}");
+    println!("chunk edges    = {} (resumed at {skip})", chunk.len());
+    println!("shard edges    = {}", est.edges_seen());
+    println!("replica        = {out_path} ({bytes} bytes)");
+    obs.emit(&rec)
+}
+
+fn cmd_merge_from(files: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    if files.is_empty() {
+        return Err("merge-from needs at least one replica file".into());
+    }
+    let obs = ObsOpts::parse(flags)?;
+    let rec = obs.recorder();
+    let mut replicas = Vec::with_capacity(files.len());
+    for path in files {
+        let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+        let start = rec.is_enabled().then(Instant::now);
+        let est = MaxCoverEstimator::from_bytes(&bytes)
+            .map_err(|e| format!("decode {path}: {e}"))?;
+        let ns = start.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        replicas.push((est, ns));
+    }
+    let (n0, m0, k0, alpha0) = replicas[0].0.shape();
+    for (i, (est, _)) in replicas.iter().enumerate() {
+        let (n, m, k, alpha) = est.shape();
+        if (n, m, k, alpha.to_bits()) != (n0, m0, k0, alpha0.to_bits())
+            || est.num_lanes() != replicas[0].0.num_lanes()
+        {
+            return Err(format!(
+                "replica {} was built for a different instance or configuration than {}",
+                files[i], files[0]
+            ));
+        }
+    }
+    // Deterministic fold order: ascending shard id, exactly the order
+    // the in-process `--shards N` fold uses (shard 0 is the base). The
+    // output is therefore independent of how FILEs were listed.
+    replicas.sort_by_key(|(est, _)| est.shard());
+    for w in replicas.windows(2) {
+        if w[0].0.shard() == w[1].0.shard() {
+            return Err(format!("two replicas claim shard {}", w[0].0.shard()));
+        }
+    }
+
+    // Event mimicry (DESIGN.md §11): a single replica — or an entirely
+    // empty stream — corresponds to the serial ingestion path (no shard
+    // events, no merge span); multiple non-empty replicas correspond to
+    // `ingest_sharded` (one "shard" event per non-empty shard, then the
+    // merge span). Empty replicas are dropped: the in-process splitter
+    // never creates them.
+    let serial = files.len() == 1 || replicas.iter().all(|(est, _)| est.edges_seen() == 0);
+    let base = if serial {
+        let (mut base, _) = replicas.remove(0);
+        base.attach_recorder(&rec);
+        let span = rec.span("ingest");
+        span.finish();
+        base
+    } else {
+        replicas.retain(|(est, _)| est.edges_seen() > 0);
+        let mut iter = replicas.into_iter();
+        let (mut base, base_ns) = iter.next().expect("at least one non-empty replica");
+        base.attach_recorder(&rec);
+        let rest: Vec<_> = iter.collect();
+        let span = rec.span("ingest");
+        for (shard, edges, ns) in std::iter::once((base.shard(), base.edges_seen(), base_ns))
+            .chain(rest.iter().map(|(r, ns)| (r.shard(), r.edges_seen(), *ns)))
+        {
+            rec.event(
+                "shard",
+                &[
+                    ("shard", Value::from(shard)),
+                    ("edges", Value::from(edges)),
+                    ("ns", Value::from(ns)),
+                ],
+            );
+        }
+        let merge_span = rec.span("merge");
+        for (replica, _) in &rest {
+            base.merge(replica);
+        }
+        merge_span.finish();
+        span.finish();
+        base
+    };
+    let out = base.finalize();
+    println!("estimate      = {:.1}", out.estimate);
+    println!("winning z     = {}", out.winning_z);
+    println!("winner        = {:?}", out.winner);
+    println!("trivial       = {}", out.trivial);
+    println!("space (words) = {}", base.space_words());
+    println!("stream edges  = {}", base.edges_seen());
     obs.emit(&rec)
 }
 
@@ -737,11 +1021,23 @@ fn trace_invariant_violations(t: &TraceSummary) -> Vec<String> {
             ));
         }
     }
+    // Every heartbeat records a fill/eviction delta into the ingest
+    // histograms, so a trace with heartbeats but no histogram events
+    // has been truncated or hand-edited.
+    if !t.beats.is_empty() && t.histograms.is_empty() {
+        violations.push(format!(
+            "{} heartbeat row(s) but no histogram events (every heartbeat records a delta)",
+            t.beats.len()
+        ));
+    }
     violations
 }
 
 fn cmd_trace_summarize(path: &str) -> Result<(), String> {
     let t = parse_trace(path)?;
+    if t.lines == 0 {
+        return Err(format!("trace {path} contains no events"));
+    }
     println!("trace          = {path}");
     println!("events         = {}", t.lines);
     if !t.phases.is_empty() {

@@ -518,6 +518,51 @@ fn trace_summarize_renders_and_checks_a_trace() {
     std::fs::remove_file(&trace).ok();
 }
 
+/// Degenerate traces must be clear non-zero exits, not quiet
+/// summaries of nothing: an empty file has no events to audit, and a
+/// trace carrying heartbeats but no histograms has lost the delta
+/// records every heartbeat writes.
+#[test]
+fn trace_summarize_rejects_empty_and_histogram_free_traces() {
+    // Empty file (and a whitespace-only one, which parses to zero
+    // events the same way).
+    let empty = tmp_file("empty.ndjson");
+    let empty_s = empty.to_str().unwrap();
+    for contents in ["", "\n\n  \n"] {
+        std::fs::write(&empty, contents).unwrap();
+        let out = run(&["trace-summarize", empty_s]);
+        assert!(!out.status.success(), "empty trace must fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("contains no events"), "{err}");
+    }
+    std::fs::remove_file(&empty).ok();
+
+    // Heartbeats but no histogram events: every heartbeat records a
+    // fill/eviction delta, so this shape only arises from truncation
+    // or hand-editing. The summary still renders, then the invariant
+    // check fails.
+    let beats = tmp_file("beats-only.ndjson");
+    let beats_s = beats.to_str().unwrap();
+    let ndjson = concat!(
+        "{\"seq\":0,\"kind\":\"heartbeat\",\"stage\":\"ingest\",\"shard\":0,\
+         \"at_edges\":500,\"lane\":0,\"lc_fill\":3,\"ls_fill\":2,\"ss_fill\":1,\
+         \"evictions\":0,\"space_words\":100}\n",
+        "{\"seq\":1,\"kind\":\"heartbeat\",\"stage\":\"ingest\",\"shard\":0,\
+         \"at_edges\":1000,\"lane\":0,\"lc_fill\":4,\"ls_fill\":2,\"ss_fill\":1,\
+         \"evictions\":1,\"space_words\":100}\n",
+    );
+    std::fs::write(&beats, ndjson).unwrap();
+    let out = run(&["trace-summarize", beats_s]);
+    assert!(!out.status.success(), "heartbeats without histograms must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("no histogram events"),
+        "expected the heartbeat/histogram invariant, got: {err}"
+    );
+    assert!(err.contains("2 heartbeat row(s)"), "{err}");
+    std::fs::remove_file(&beats).ok();
+}
+
 #[test]
 fn malformed_input_reports_line() {
     let path = tmp_file("bad.txt");

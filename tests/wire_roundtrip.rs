@@ -1,0 +1,204 @@
+//! Exhaustive wire-format hardening: every `WireEncode` type —
+//! individual sketches, telemetry, and the full estimator / pass-2
+//! states that root the distributed replica files — must (a)
+//! round-trip to byte-identical encodings, (b) reject **every** strict
+//! truncation with a typed error, and (c) survive a single-byte-flip
+//! corruption sweep without ever panicking (flips may decode
+//! successfully when they land in free payload like a counter value;
+//! they must never bring the process down).
+
+use maxkcov::core::{EstimatorConfig, MaxCoverEstimator, TwoPassFirst, UniverseReducer};
+use maxkcov::obs::{Histogram, SketchStats};
+use maxkcov::sketch::{
+    AmsF2, Bjkst, ContributingConfig, CountMin, CountSketch, F2Contributing, F2HeavyHitter,
+    Kmv, L0Estimator, WireEncode,
+};
+use maxkcov::stream::gen::zipf_popularity;
+use maxkcov::stream::{edge_stream, ArrivalOrder};
+
+/// Truncation cut points: every strict prefix for small encodings;
+/// for large ones, dense over the framing prefix (headers and every
+/// section opening live there), sampled through the body, and the
+/// final 16 bytes.
+fn cut_points(len: usize) -> Vec<usize> {
+    if len <= 2048 {
+        return (0..len).collect();
+    }
+    let mut cuts: Vec<usize> = (0..512).collect();
+    cuts.extend((512..len).step_by(len / 256 + 1));
+    cuts.extend(len - 16..len);
+    cuts
+}
+
+/// Byte-flip positions, sampled the same way.
+fn flip_points(len: usize) -> Vec<usize> {
+    if len <= 1024 {
+        return (0..len).collect();
+    }
+    let mut flips: Vec<usize> = (0..256).collect();
+    flips.extend((256..len).step_by(len / 256 + 1));
+    flips
+}
+
+/// The full battery for one value: round-trip byte identity, the
+/// truncation sweep, and the corruption sweep.
+fn exhaust<T: WireEncode>(label: &str, value: &T) {
+    let bytes = value.to_bytes();
+    let decoded =
+        T::from_bytes(&bytes).unwrap_or_else(|e| panic!("{label}: decode failed: {e}"));
+    assert_eq!(
+        decoded.to_bytes(),
+        bytes,
+        "{label}: decoded value re-encodes differently"
+    );
+
+    // Decode consumes the whole buffer, so every strict prefix must
+    // run out of input somewhere and surface a typed error.
+    for cut in cut_points(bytes.len()) {
+        match T::from_bytes(&bytes[..cut]) {
+            Err(e) => assert!(
+                !e.to_string().is_empty(),
+                "{label}: truncation to {cut} produced an empty error"
+            ),
+            Ok(_) => panic!("{label}: truncation to {cut} of {} was accepted", bytes.len()),
+        }
+    }
+
+    // Corruption never panics; when it happens to decode, the value
+    // must still be usable enough to re-encode.
+    for flip in flip_points(bytes.len()) {
+        let mut corrupted = bytes.clone();
+        corrupted[flip] ^= 0xa5;
+        if let Ok(v) = T::from_bytes(&corrupted) {
+            let _ = v.to_bytes();
+        }
+    }
+}
+
+#[test]
+fn individual_sketches_roundtrip_and_reject_mangling() {
+    let items: Vec<u64> = (0..300).map(|i| i * 2654435761 % 1000).collect();
+
+    let mut kmv = Kmv::new(16, 7);
+    let mut l0 = L0Estimator::new(8, 5, 3);
+    let mut ams = AmsF2::new(5, 64, 11);
+    let mut bjkst = Bjkst::new(32, 19);
+    let mut hh = F2HeavyHitter::for_phi(0.05, 23);
+    let mut fc = F2Contributing::new(ContributingConfig::new(0.1, 64), 40, 1000, 29);
+    for &x in &items {
+        kmv.insert(x);
+        l0.insert(x);
+        ams.insert(x);
+        bjkst.insert(x);
+        hh.insert(x);
+        fc.insert(x);
+    }
+    // Skew so the heavy hitter actually holds candidates.
+    for _ in 0..200 {
+        hh.insert(42);
+        fc.insert(42);
+    }
+    exhaust("Kmv", &kmv);
+    exhaust("L0Estimator", &l0);
+    exhaust("AmsF2", &ams);
+    exhaust("Bjkst", &bjkst);
+    exhaust("F2HeavyHitter", &hh);
+    exhaust("F2Contributing", &fc);
+
+    let mut cs = CountSketch::new(3, 32, 13);
+    let mut cm = CountMin::new(3, 32, 17);
+    for &x in &items {
+        cs.update(x, (x % 7) as i64 - 3);
+        cm.insert(x, x % 5 + 1);
+    }
+    exhaust("CountSketch", &cs);
+    exhaust("CountMin", &cm);
+}
+
+#[test]
+fn telemetry_types_roundtrip_and_reject_mangling() {
+    let mut hist = Histogram::new();
+    for v in [0u64, 1, 2, 17, 1000, 65_000, u64::MAX / 2] {
+        hist.record(v);
+    }
+    exhaust("Histogram", &hist);
+    exhaust("Histogram(empty)", &Histogram::new());
+
+    let stats = SketchStats {
+        updates: 500,
+        fill: 12,
+        capacity: 64,
+        evictions: 3,
+        prunes: 1,
+        merges: 2,
+    };
+    exhaust("SketchStats", &stats);
+    exhaust("UniverseReducer", &UniverseReducer::new(64, 99));
+}
+
+/// Coarse config so the estimator state stays small enough for the
+/// dense part of the sweeps.
+fn fast_config(seed: u64, n: usize) -> EstimatorConfig {
+    let mut config = EstimatorConfig::practical(seed);
+    let mut zs = Vec::new();
+    let mut z = 16u64;
+    while z < 2 * n as u64 {
+        zs.push(z);
+        z *= 4;
+    }
+    config.z_guesses = Some(zs);
+    config.reps = Some(2);
+    config
+}
+
+/// The root of the distributed wire format: a fed estimator in the
+/// lane regime. Its encoding nests every core `WireEncode` impl
+/// (lanes → reducer + oracle → LargeCommon / LargeSet / SmallSet →
+/// sketches → telemetry sidecars), so the truncation sweep crosses
+/// every section of the versioned format.
+#[test]
+fn full_estimator_state_roundtrips_and_rejects_mangling() {
+    let system = zipf_popularity(400, 32, 12, 1.1, 5);
+    let edges = edge_stream(&system, ArrivalOrder::Shuffled(1));
+    let config = fast_config(21, 400);
+    let mut est = MaxCoverEstimator::new(400, 32, 4, 2.0, &config);
+    for chunk in edges.chunks(64) {
+        est.observe_batch(chunk);
+    }
+    exhaust("MaxCoverEstimator", &est);
+
+    // A replica that never saw an edge must also survive the battery
+    // (workers of short streams write these).
+    let empty = MaxCoverEstimator::new(400, 32, 4, 2.0, &config);
+    exhaust("MaxCoverEstimator(empty)", &empty);
+}
+
+/// The trivial regime (k ≥ m) serializes a different state section.
+#[test]
+fn trivial_regime_estimator_roundtrips_and_rejects_mangling() {
+    let system = zipf_popularity(120, 6, 4, 1.1, 9);
+    let edges = edge_stream(&system, ArrivalOrder::Shuffled(2));
+    let config = fast_config(33, 120);
+    let mut est = MaxCoverEstimator::new(120, 6, 6, 1.5, &config);
+    for chunk in edges.chunks(32) {
+        est.observe_batch(chunk);
+    }
+    assert!(est.finalize().trivial, "expected the trivial regime");
+    exhaust("MaxCoverEstimator(trivial)", &est);
+}
+
+#[test]
+fn two_pass_second_state_roundtrips_and_rejects_mangling() {
+    let system = zipf_popularity(300, 24, 10, 1.1, 7);
+    let edges = edge_stream(&system, ArrivalOrder::Shuffled(3));
+    let config = fast_config(17, 300);
+    let mut first = TwoPassFirst::new(300, 24, 4, 2.0, &config);
+    for chunk in edges.chunks(64) {
+        first.observe_batch(chunk);
+    }
+    let mut second = first.into_second_pass();
+    for chunk in edges.chunks(64) {
+        second.observe_batch(chunk);
+    }
+    exhaust("TwoPassSecond", &second);
+}
