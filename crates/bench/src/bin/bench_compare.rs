@@ -63,6 +63,22 @@ fn run() -> Result<(), String> {
         println!("  {note}");
     }
     println!("  {} leaves checked", report.checked);
+    if !report.speedups.is_empty() {
+        // The hot-path headline: measured speedup of the estimator's
+        // batched ingestion over the committed baseline, per alpha.
+        let ratios: Vec<String> =
+            report.speedups.iter().map(|(_, r)| format!("{r:.2}x")).collect();
+        println!(
+            "  estimator edges_per_s speedup vs baseline: {} (min {:.2}x over {} leaves)",
+            ratios.join(", "),
+            report
+                .speedups
+                .iter()
+                .map(|(_, r)| *r)
+                .fold(f64::INFINITY, f64::min),
+            report.speedups.len()
+        );
+    }
     if report.passed() {
         println!("PASS");
         Ok(())

@@ -41,4 +41,29 @@ fn main() {
     let t = Instant::now();
     for i in 0..200_000u64 { oracle.observe(kcov_stream::Edge::new((i % 400) as u32, (i % 2000) as u32)); }
     println!("Oracle observe:       {:?}/op", t.elapsed() / 200_000);
+
+    // Estimator hot path, per phase: hash once / lane reject / sketch
+    // update, over the full batched ingest (DESIGN.md §12).
+    let (n, m, k, alpha) = (20_000usize, 2_000usize, 64usize, 8.0f64);
+    let system = kcov_stream::gen::uniform_fixed_size(n, m, 60, 1);
+    let edges = kcov_stream::edge_stream(&system, kcov_stream::ArrivalOrder::Shuffled(9));
+    let mut config = kcov_core::EstimatorConfig::practical(3);
+    config.reps = Some(1);
+    let mut est = kcov_core::MaxCoverEstimator::new(n, m, k, alpha, &config);
+    let b = kcov_bench::hot_path_breakdown(&mut est, &edges, 8192);
+    let per_edge = |ns: u64| ns as f64 / edges.len() as f64;
+    println!(
+        "Estimator batched ingest ({} edges, {} lanes, alpha={alpha}):",
+        edges.len(),
+        est.num_lanes()
+    );
+    println!("  hash phase:          {:8.1} ns/edge", per_edge(b.hash_ns));
+    println!("  lane-reject phase:   {:8.1} ns/edge", per_edge(b.lane_reject_ns));
+    println!("  sketch-update phase: {:8.1} ns/edge", per_edge(b.sketch_update_ns));
+    println!(
+        "  total:               {:8.1} ns/edge ({:.3} Medges/s, {} survivors)",
+        per_edge(b.total_ns),
+        edges.len() as f64 * 1e3 / b.total_ns as f64,
+        b.survivors
+    );
 }

@@ -10,8 +10,9 @@
 //! * keys ending in `words` are **space**: any increase is a failure
 //!   (space here is a deterministic function of the parameters, so
 //!   there is no noise to tolerate),
-//! * keys ending in `speedup` or containing `slope` are informational
-//!   ratios of other leaves and are not checked,
+//! * keys ending in `speedup` or `_ns` or containing `slope` are
+//!   informational (derived ratios or per-phase wall-clock timings)
+//!   and are not checked,
 //! * every other leaf is **identity** (workload shape: `n`, `m`, `k`,
 //!   `alpha`, `edges`, `lanes`, names, …) and must match exactly — a
 //!   mismatch means the two files describe different experiments and
@@ -34,6 +35,10 @@ pub struct CompareReport {
     pub failures: Vec<String>,
     /// Per-throughput-leaf ratio lines, for context in CI logs.
     pub notes: Vec<String>,
+    /// Measured fresh/baseline speedup per estimator throughput leaf
+    /// (paths under an `estimator` array ending in `edges_per_s`) — the
+    /// hot-path ratios the summary line reports.
+    pub speedups: Vec<(String, f64)>,
 }
 
 impl CompareReport {
@@ -63,7 +68,11 @@ fn rule_for(key: &str) -> Rule {
         Rule::Throughput
     } else if key.ends_with("words") {
         Rule::Space
-    } else if key.ends_with("speedup") || key.contains("slope") {
+    } else if key.ends_with("speedup") || key.contains("slope") || key.ends_with("_ns") {
+        // `_ns` leaves are the per-phase hot-path timings (hash /
+        // lane-reject / sketch-update); like throughput they vary per
+        // host, but they are already priced by the `edges_per_s` gate,
+        // so they stay informational rather than identity-compared.
         Rule::Informational
     } else {
         Rule::Identity
@@ -141,6 +150,9 @@ fn walk(base: &Json, fresh: &Json, path: &str, tol: f64, report: &mut CompareRep
                     report
                         .notes
                         .push(format!("{path}: {ratio:.2}x baseline ({f:.0} vs {b:.0} edges/s)"));
+                    if path.contains("estimator") && ratio.is_finite() {
+                        report.speedups.push((path.to_string(), ratio));
+                    }
                     if *f < floor {
                         report.failures.push(format!(
                             "{path}: throughput regression, fresh {f:.0} edges/s is {:.0}% below \
@@ -242,5 +254,35 @@ mod tests {
         let base = doc(r#"{"speedup": 2.0, "loglog_slope_estimator_words_vs_alpha": -2.0}"#);
         let fresh = doc(r#"{"speedup": 0.5, "loglog_slope_estimator_words_vs_alpha": -1.0}"#);
         assert!(compare_bench(&base, &fresh, 0.25).passed());
+    }
+
+    #[test]
+    fn phase_timing_ns_leaves_are_informational() {
+        // Per-phase hot-path timings vary per host; they must neither
+        // be identity-compared nor gated.
+        let base = doc(r#"{"hash_ns": 100.0, "lane_reject_ns": 50.0, "sketch_update_ns": 900.0}"#);
+        let fresh = doc(r#"{"hash_ns": 130.0, "lane_reject_ns": 40.0, "sketch_update_ns": 700.0}"#);
+        let r = compare_bench(&base, &fresh, 0.25);
+        assert!(r.passed(), "{:?}", r.failures);
+        assert_eq!(r.checked, 0);
+        assert!(!r.gated_anything());
+    }
+
+    #[test]
+    fn estimator_throughput_leaves_report_measured_speedups() {
+        let base = doc(
+            r#"{"estimator": [{"alpha": 2, "edges_per_s": 1000.0}], "baselines": [{"edges_per_s": 400.0}]}"#,
+        );
+        let fresh = doc(
+            r#"{"estimator": [{"alpha": 2, "edges_per_s": 12000.0}], "baselines": [{"edges_per_s": 400.0}]}"#,
+        );
+        let r = compare_bench(&base, &fresh, 0.25);
+        assert!(r.passed(), "{:?}", r.failures);
+        // Only the estimator leaf lands in the speedup summary; the
+        // baseline leaf stays a plain throughput note.
+        assert_eq!(r.speedups.len(), 1, "{:?}", r.speedups);
+        assert!(r.speedups[0].0.contains("estimator"), "{:?}", r.speedups);
+        assert!((r.speedups[0].1 - 12.0).abs() < 1e-9, "{:?}", r.speedups);
+        assert_eq!(r.notes.len(), 2);
     }
 }

@@ -98,6 +98,76 @@ pub fn coarse_config(seed: u64, n: usize, reps: usize) -> kcov_core::EstimatorCo
     config
 }
 
+/// Per-phase cost breakdown of the estimator's batched hot path over a
+/// prepared stream (see DESIGN.md §12): the three sequential phases of
+/// every chunk are priced separately with the estimator's own profiling
+/// aids, all in nanoseconds over the whole stream.
+///
+/// * `hash_ns` — filling the shared fingerprint columns
+///   ([`kcov_core::EdgeFingerprints::fill_block`]), the only place raw
+///   ids are hashed.
+/// * `lane_reject_ns` — every lane's universe reduction plus subroutine
+///   admission gates ([`kcov_core::MaxCoverEstimator::gate_survivors`]),
+///   i.e. the work spent deciding an edge does *not* reach a sketch.
+/// * `sketch_update_ns` — the remainder of the full batched ingest
+///   (`total_ns − hash_ns − lane_reject_ns`): sketch updates for
+///   surviving edges plus loop overhead.
+#[derive(Debug, Clone, Copy)]
+pub struct HotPathBreakdown {
+    /// Fingerprint-column fill time, ns.
+    pub hash_ns: u64,
+    /// Reduction + admission-gate time, ns.
+    pub lane_reject_ns: u64,
+    /// Residual sketch-update time, ns (saturating).
+    pub sketch_update_ns: u64,
+    /// Full batched-ingest wall clock, ns.
+    pub total_ns: u64,
+    /// Gate survivors (edges that reached at least one sketch update),
+    /// summed over lanes and subroutine repetitions.
+    pub survivors: u64,
+}
+
+/// Measure a [`HotPathBreakdown`] by driving `est` over `edges` in
+/// chunks of `batch`. The estimator ends in the same state as a plain
+/// batched ingest of the stream (the probe passes are read-only).
+pub fn hot_path_breakdown(
+    est: &mut kcov_core::MaxCoverEstimator,
+    edges: &[kcov_stream::Edge],
+    batch: usize,
+) -> HotPathBreakdown {
+    let batch = batch.max(1);
+    let fps = est
+        .fingerprints()
+        .expect("hot-path breakdown needs a non-trivial estimator")
+        .clone();
+    let mut block = kcov_core::FingerprintBlock::default();
+    let t = Instant::now();
+    for chunk in edges.chunks(batch) {
+        fps.fill_block(chunk, &mut block);
+    }
+    let hash_ns = t.elapsed().as_nanos() as u64;
+    let mut survivors = 0u64;
+    let mut lane_reject_ns = 0u64;
+    for chunk in edges.chunks(batch) {
+        fps.fill_block(chunk, &mut block);
+        let t = Instant::now();
+        survivors += est.gate_survivors(chunk, &block.fp_set, &block.fp_elem);
+        lane_reject_ns += t.elapsed().as_nanos() as u64;
+    }
+    let t = Instant::now();
+    for chunk in edges.chunks(batch) {
+        est.observe_batch(chunk);
+    }
+    let total_ns = t.elapsed().as_nanos() as u64;
+    HotPathBreakdown {
+        hash_ns,
+        lane_reject_ns,
+        sketch_update_ns: total_ns.saturating_sub(hash_ns + lane_reject_ns),
+        total_ns,
+        survivors,
+    }
+}
+
 /// Print a fixed-width table: a header row and data rows.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");

@@ -17,6 +17,7 @@ use kcov_obs::{Recorder, SketchStats, Value};
 use kcov_sketch::SpaceUsage;
 use kcov_stream::Edge;
 
+use crate::fingerprint::{EdgeFingerprints, FingerprintBlock};
 use crate::oracle::{Oracle, OracleOutput, SubroutineKind};
 use crate::params::{ParamMode, Params};
 use crate::telemetry::{self, HeartbeatSnap, IngestHists, LaneBeat};
@@ -129,12 +130,22 @@ struct Lane {
 }
 
 impl Lane {
-    /// Feed one chunk through this lane: reduce every edge with the
-    /// lane's universe hash (into the caller's scratch buffer), then
-    /// hand the reduced chunk to the oracle's batched path.
-    fn ingest(&mut self, edges: &[Edge], scratch: &mut Vec<Edge>) {
-        self.reducer.map_batch(edges, scratch);
-        self.oracle.observe_batch(scratch);
+    /// Feed one chunk through this lane given the estimator's shared
+    /// fingerprint columns (hashed once against the *raw* stream):
+    /// reduce every edge from its element fingerprint (one 4-wise mix
+    /// per edge, into the caller's scratch buffer), then hand the
+    /// reduced chunk plus the set-fingerprint column to the oracle's
+    /// batched path. Set ids pass through universe reduction unchanged,
+    /// so one `fp_set` column serves every lane.
+    fn ingest_fp(
+        &mut self,
+        edges: &[Edge],
+        fp_set: &[u64],
+        fp_elem: &[u64],
+        scratch: &mut Vec<Edge>,
+    ) {
+        self.reducer.map_fp_batch(edges, fp_elem, scratch);
+        self.oracle.observe_fp_batch(scratch, fp_set);
     }
 
     /// Merge a sibling lane built from the same config and seed.
@@ -262,6 +273,13 @@ pub struct MaxCoverEstimator {
     alpha: f64,
     threads: usize,
     trivial: Option<TrivialState>,
+    /// The hash-once front end: one set and one element fingerprint per
+    /// raw edge, shared by every lane (`None` in the trivial regime).
+    fps: Option<EdgeFingerprints>,
+    /// Reusable fingerprint-column scratch for the batched path. Pure
+    /// scratch: never serialized, never merged, and absent from space
+    /// accounting (it is transient working memory, not sketch state).
+    block: FingerprintBlock,
     lanes: Vec<Lane>,
     rec: Recorder,
     /// Stream edges ingested (telemetry: merged by addition; every lane
@@ -298,6 +316,8 @@ impl MaxCoverEstimator {
                 alpha,
                 threads: config.threads.max(1),
                 trivial: Some(TrivialState::new(m, k, config.seed ^ 0x7121a1)),
+                fps: None,
+                block: FingerprintBlock::default(),
                 lanes: Vec::new(),
                 rec: config.recorder.clone(),
                 edges_seen: 0,
@@ -309,6 +329,10 @@ impl MaxCoverEstimator {
             };
         }
         let mut seq = kcov_hash::SeedSequence::labeled(config.seed, "estimate-max-cover");
+        // Hash-once front end: one estimator-global fingerprint pair per
+        // raw edge, at a degree sized for the *full* instance (m·n key
+        // space) so every lane's cheap downstream mix composes soundly.
+        let fps = EdgeFingerprints::new(config.seed, Params::hash_degree(config.mode, m, n));
         let zs: Vec<u64> = config.z_guesses.clone().unwrap_or_else(|| {
             let mut zs = Vec::new();
             let mut z = 4u64;
@@ -328,8 +352,18 @@ impl MaxCoverEstimator {
             for _ in 0..reps {
                 lanes.push(Lane {
                     z,
-                    reducer: UniverseReducer::new(z, seq.next_seed()),
-                    oracle: Oracle::new(z as usize, &params, config.reporting, seq.next_seed()),
+                    reducer: UniverseReducer::with_base(
+                        z,
+                        seq.next_seed(),
+                        fps.elem_base().clone(),
+                    ),
+                    oracle: Oracle::with_base(
+                        z as usize,
+                        &params,
+                        config.reporting,
+                        seq.next_seed(),
+                        fps.set_base().clone(),
+                    ),
                 });
             }
         }
@@ -340,6 +374,8 @@ impl MaxCoverEstimator {
             alpha,
             threads: config.threads.max(1),
             trivial: None,
+            fps: Some(fps),
+            block: FingerprintBlock::default(),
             lanes,
             rec: config.recorder.clone(),
             edges_seen: 0,
@@ -357,9 +393,17 @@ impl MaxCoverEstimator {
         if let Some(t) = &mut self.trivial {
             t.observe(edge);
         } else {
+            // Hash once: two base evaluations for the raw edge, then
+            // every lane works from the fingerprints (one cheap mix per
+            // gate) instead of re-hashing the raw ids.
+            let (fp_set, fp_elem) = self
+                .fps
+                .as_ref()
+                .expect("non-trivial estimator has fingerprints")
+                .fingerprint(edge);
             for lane in &mut self.lanes {
-                let reduced = Edge::new(edge.set, lane.reducer.map(edge.elem as u64) as u32);
-                lane.oracle.observe(reduced);
+                let reduced = Edge::new(edge.set, lane.reducer.map_fp(fp_elem) as u32);
+                lane.oracle.observe_fp(reduced, fp_set);
             }
         }
         // Heartbeat cadence: edge count only, no clocks. Off (0) means
@@ -402,30 +446,42 @@ impl MaxCoverEstimator {
     }
 
     /// The batched ingestion engine behind [`MaxCoverEstimator::observe_batch`].
+    ///
+    /// Hash-once: the fingerprint columns for the whole chunk are filled
+    /// exactly once (two batched base evaluations against the raw
+    /// stream), then shared read-only by every lane — serial or across
+    /// the scoped worker threads.
     fn dispatch_batch(&mut self, edges: &[Edge]) {
         if let Some(t) = &mut self.trivial {
             t.observe_batch(edges);
             return;
         }
+        let mut block = std::mem::take(&mut self.block);
+        self.fps
+            .as_ref()
+            .expect("non-trivial estimator has fingerprints")
+            .fill_block(edges, &mut block);
+        let (fp_set, fp_elem) = (&block.fp_set[..], &block.fp_elem[..]);
         let threads = self.threads.clamp(1, self.lanes.len().max(1));
         if threads <= 1 {
             let mut scratch = Vec::with_capacity(edges.len());
             for lane in &mut self.lanes {
-                lane.ingest(edges, &mut scratch);
+                lane.ingest_fp(edges, fp_set, fp_elem, &mut scratch);
             }
-            return;
+        } else {
+            let shard = self.lanes.len().div_ceil(threads);
+            std::thread::scope(|s| {
+                for chunk in self.lanes.chunks_mut(shard) {
+                    s.spawn(move || {
+                        let mut scratch = Vec::with_capacity(edges.len());
+                        for lane in chunk {
+                            lane.ingest_fp(edges, fp_set, fp_elem, &mut scratch);
+                        }
+                    });
+                }
+            });
         }
-        let shard = self.lanes.len().div_ceil(threads);
-        std::thread::scope(|s| {
-            for chunk in self.lanes.chunks_mut(shard) {
-                s.spawn(move || {
-                    let mut scratch = Vec::with_capacity(edges.len());
-                    for lane in chunk {
-                        lane.ingest(edges, &mut scratch);
-                    }
-                });
-            }
-        });
+        self.block = block;
     }
 
     /// Snapshot every lane's fill state into the replica-local
@@ -501,6 +557,12 @@ impl MaxCoverEstimator {
             }
             (None, None) => {}
             _ => panic!("MaxCoverEstimator merge requires identical configuration (regime)"),
+        }
+        if let (Some(a), Some(b)) = (&self.fps, &other.fps) {
+            assert!(
+                a.same_function(b),
+                "MaxCoverEstimator merge requires identical hash functions (fingerprints)"
+            );
         }
         assert_eq!(
             self.lanes.len(),
@@ -678,6 +740,19 @@ impl MaxCoverEstimator {
                 ],
             );
         }
+        if let Some(fps) = &self.fps {
+            // The estimator-global hash-once front end, shared by every
+            // lane (lanes account for their retained base clones).
+            rec.event(
+                "subroutine",
+                &[
+                    ("lane", Value::from(0u64)),
+                    ("name", Value::from("fingerprints")),
+                    ("estimate", Value::from(f64::NAN)),
+                    ("space_words", Value::from(fps.space_words())),
+                ],
+            );
+        }
         for (i, lane) in self.lanes.iter().enumerate() {
             let out = lane.oracle.finalize();
             let qualifying = out.estimate >= lane.z as f64 / (4.0 * self.alpha);
@@ -807,6 +882,28 @@ impl MaxCoverEstimator {
         self.lanes.len()
     }
 
+    /// The hash-once front end (`None` in the trivial regime).
+    /// Profiling aid: benches time [`EdgeFingerprints::fill_block`]
+    /// against the raw stream to price the hash phase separately.
+    pub fn fingerprints(&self) -> Option<&EdgeFingerprints> {
+        self.fps.as_ref()
+    }
+
+    /// Profiling aid: evaluate every lane's universe reduction and
+    /// subroutine admission gates for a chunk — exactly the work the
+    /// batched path does before any sketch update — and count the edges
+    /// that would reach a sketch, without mutating anything. Benches
+    /// time this to price the lane-reject phase.
+    pub fn gate_survivors(&self, edges: &[Edge], fp_set: &[u64], fp_elem: &[u64]) -> u64 {
+        let mut scratch = Vec::with_capacity(edges.len());
+        let mut n = 0u64;
+        for lane in &self.lanes {
+            lane.reducer.map_fp_batch(edges, fp_elem, &mut scratch);
+            n += lane.oracle.survivors_fp_batch(&scratch, fp_set);
+        }
+        n
+    }
+
     /// Attach an observability recorder after wire reconstruction (the
     /// recorder is process-local and never serialized; a decoded replica
     /// wakes up with a disabled one).
@@ -934,6 +1031,10 @@ impl kcov_sketch::WireEncode for MaxCoverEstimator {
             }
             None => {
                 put_u64(out, 0);
+                self.fps
+                    .as_ref()
+                    .expect("non-trivial estimator has fingerprints")
+                    .encode(out);
                 put_u64(out, self.lanes.len() as u64);
                 for lane in &self.lanes {
                     lane.encode(out);
@@ -974,15 +1075,16 @@ impl kcov_sketch::WireEncode for MaxCoverEstimator {
         }
 
         let mut state = take_section(input, SEC_STATE)?;
-        let (trivial, lanes) = match take_u64(&mut state)? {
-            1 => (Some(TrivialState::decode(&mut state)?), Vec::new()),
+        let (trivial, fps, lanes) = match take_u64(&mut state)? {
+            1 => (Some(TrivialState::decode(&mut state)?), None, Vec::new()),
             0 => {
+                let fps = EdgeFingerprints::decode(&mut state)?;
                 let num = take_u64(&mut state)? as usize;
                 if num > state.len() {
                     return Err(err("estimator lane count exceeds input"));
                 }
                 let lanes = (0..num).map(|_| Lane::decode(&mut state)).collect::<Result<Vec<_>, _>>()?;
-                (None, lanes)
+                (None, Some(fps), lanes)
             }
             flag => return Err(err(format!("bad estimator regime flag {flag}"))),
         };
@@ -1007,6 +1109,8 @@ impl kcov_sketch::WireEncode for MaxCoverEstimator {
             alpha,
             threads: threads.max(1),
             trivial,
+            fps,
+            block: FingerprintBlock::default(),
             lanes,
             rec: Recorder::disabled(),
             edges_seen,
@@ -1022,6 +1126,7 @@ impl kcov_sketch::WireEncode for MaxCoverEstimator {
 impl SpaceUsage for MaxCoverEstimator {
     fn space_words(&self) -> usize {
         self.trivial.as_ref().map_or(0, TrivialState::space_words)
+            + self.fps.as_ref().map_or(0, SpaceUsage::space_words)
             + self
                 .lanes
                 .iter()

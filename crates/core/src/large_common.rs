@@ -12,7 +12,7 @@
 //! Succeeds exactly when some frequency layer has many `β_g k`-common
 //! elements — the oracle's case I.
 
-use kcov_hash::{log_wise, KWise, RangeHash, SeedSequence};
+use kcov_hash::{KWise, RangeHash, SeedSequence};
 use kcov_sketch::{L0Estimator, SpaceUsage};
 use kcov_stream::Edge;
 
@@ -23,22 +23,23 @@ use crate::Witness;
 #[derive(Debug, Clone)]
 struct BetaLane {
     beta: f64,
-    /// Set kept iff `set_hash(set) mod buckets == 0` for the shared
-    /// layer hash; `buckets` is a power of two `≈ m/(β·k)`, so the
-    /// layers are *nested* (`F^rnd_β ⊆ F^rnd_{2β}`) and one hash
-    /// evaluation serves every layer. Nesting is sound: each layer's
-    /// guarantee (Lemma 4.6) is individual, and the union bound over
-    /// layers does not need independence between them.
+    /// Set kept iff the low bits of the mixed set fingerprint are zero:
+    /// `set_mix(fp) & (buckets − 1) == 0`. `buckets` is a power of two
+    /// `≈ m/(β·k)`, so the layers are *nested* (`F^rnd_β ⊆ F^rnd_{2β}`)
+    /// and one mix evaluation serves every layer. Nesting is sound:
+    /// each layer's guarantee (Lemma 4.6) is individual, and the union
+    /// bound over layers does not need independence between them.
     buckets: u64,
     /// Distinct covered elements of the sampled collection.
     de: L0Estimator,
     /// Optional per-group distinct counters for reporting (group =
-    /// `group_hash(set) mod ⌈β⌉`, Observation 2.4 partitioning).
+    /// `group_hash(fp) mod ⌈β⌉`, Observation 2.4 partitioning).
     groups: Option<GroupTracker>,
 }
 
 #[derive(Debug, Clone)]
 struct GroupTracker {
+    /// 4-wise mix over set *fingerprints* (hash-once hot path).
     hash: KWise,
     counters: Vec<L0Estimator>,
 }
@@ -51,23 +52,40 @@ pub struct LargeCommon {
     k: usize,
     alpha: f64,
     sigma: f64,
-    /// Shared layer-sampling hash (see [`BetaLane::buckets`]).
-    set_hash: KWise,
+    /// Shared set fingerprint base (hash-once hot path). Stored per
+    /// subroutine so wire payloads stay self-contained and finalize can
+    /// enumerate sampled sets without external state.
+    set_base: KWise,
+    /// Per-subroutine 4-wise mix applied to the shared fingerprint —
+    /// the layer-sampling gate (see [`BetaLane::buckets`]). Keeping the
+    /// mix distinct per subroutine avoids gate correlation with the
+    /// other oracle cases, which also mix the same fingerprint.
+    set_mix: KWise,
     lanes: Vec<BetaLane>,
 }
 
 impl LargeCommon {
     /// Create the subroutine for universe size `u` (the pseudo-universe
-    /// after reduction). When `reporting` is set, per-group distinct
-    /// counters are maintained so a concrete k-cover can be extracted
-    /// (the Õ(k) extra of Theorem 3.2).
+    /// after reduction), deriving a private set fingerprint base.
+    /// Estimator lanes share one base across every subroutine instead —
+    /// see [`LargeCommon::with_base`].
     pub fn new(u: usize, params: &Params, reporting: bool, seed: u64) -> Self {
+        let degree = Params::hash_degree(params.mode, params.m, params.n);
+        let base_seed = SeedSequence::labeled(seed, "large-common-base").next_seed();
+        Self::with_base(u, params, reporting, seed, KWise::new(degree, base_seed))
+    }
+
+    /// Create the subroutine consuming set fingerprints under the shared
+    /// `set_base`. When `reporting` is set, per-group distinct counters
+    /// are maintained so a concrete k-cover can be extracted (the Õ(k)
+    /// extra of Theorem 3.2).
+    pub fn with_base(u: usize, params: &Params, reporting: bool, seed: u64, set_base: KWise) -> Self {
         let mut seq = SeedSequence::labeled(seed, "large-common");
         let m = params.m;
         let k = params.k;
         let alpha = params.alpha;
         let max_i = alpha.max(2.0).log2().ceil() as u32;
-        let set_hash = log_wise(m, u, seq.next_seed());
+        let set_mix = KWise::new(4, seq.next_seed());
         let mut lanes = Vec::new();
         for i in 0..=max_i {
             let beta = (1u64 << i) as f64;
@@ -79,7 +97,7 @@ impl LargeCommon {
                 let g = beta.ceil() as usize;
                 let mut gs = SeedSequence::labeled(seq.next_seed(), "groups");
                 GroupTracker {
-                    hash: log_wise(m, u, gs.next_seed()),
+                    hash: KWise::new(4, gs.next_seed()),
                     counters: (0..g).map(|_| L0Estimator::new(24, 3, gs.next_seed())).collect(),
                 }
             });
@@ -96,52 +114,117 @@ impl LargeCommon {
             k,
             alpha,
             sigma: params.sigma,
-            set_hash,
+            set_base,
+            set_mix,
             lanes,
         }
     }
 
-    /// Observe one `(set, element)` edge. One shared hash evaluation
-    /// gates every layer (layers are nested by power-of-two buckets).
+    /// The layer gate value of a set fingerprint: one 4-wise mix serves
+    /// every (nested) layer.
+    #[inline]
+    fn gate(&self, fp_set: u64) -> u64 {
+        self.set_mix.hash(fp_set)
+    }
+
+    /// Observe one `(set, element)` edge (scalar compatibility path:
+    /// applies the fingerprint base itself).
     pub fn observe(&mut self, edge: Edge) {
-        let h = self.set_hash.hash(edge.set as u64);
+        let fp = self.set_base.hash(edge.set as u64);
+        self.observe_fp(edge, fp);
+    }
+
+    /// Observe one edge given its precomputed set fingerprint
+    /// `set_base(edge.set)` — the hash-once hot path. One shared 4-wise
+    /// mix gates every layer (layers are nested by power-of-two
+    /// buckets).
+    #[inline]
+    pub fn observe_fp(&mut self, edge: Edge, fp_set: u64) {
+        let h = self.gate(fp_set);
         for lane in &mut self.lanes {
-            if h.is_multiple_of(lane.buckets) {
+            if h & (lane.buckets - 1) == 0 {
                 lane.de.insert(edge.elem as u64);
                 if let Some(g) = &mut lane.groups {
-                    let gi = g.hash.hash_to_range(edge.set as u64, g.counters.len() as u64);
+                    let gi = g.hash.hash_to_range(fp_set, g.counters.len() as u64);
                     g.counters[gi as usize].insert(edge.elem as u64);
                 }
             }
         }
     }
 
-    /// Observe a chunk of edges. The shared layer hash is evaluated once
+    /// Observe a chunk of edges (scalar compatibility path).
+    pub fn observe_batch(&mut self, edges: &[Edge]) {
+        let fps: Vec<u64> = edges.iter().map(|e| self.set_base.hash(e.set as u64)).collect();
+        self.observe_fp_batch(edges, &fps);
+    }
+
+    /// Observe a chunk given precomputed set fingerprints (`fps[i]` must
+    /// be `set_base(edges[i].set)`). The shared mix is evaluated once
     /// per edge for the whole chunk; each layer then consumes its
     /// surviving edges in arrival order, so every layer's sketches see
     /// the exact sequence the per-edge path feeds them (state-identical
-    /// to repeated [`LargeCommon::observe`]).
-    pub fn observe_batch(&mut self, edges: &[Edge]) {
-        let hashes: Vec<u64> = edges.iter().map(|e| self.set_hash.hash(e.set as u64)).collect();
+    /// to repeated [`LargeCommon::observe_fp`]).
+    pub fn observe_fp_batch(&mut self, edges: &[Edge], fps: &[u64]) {
+        debug_assert_eq!(edges.len(), fps.len());
+        let mut gates = Vec::new();
+        self.set_mix.hash_batch(fps, &mut gates);
+        let mut surv: Vec<u64> = Vec::with_capacity(edges.len());
         for lane in &mut self.lanes {
-            for (edge, &h) in edges.iter().zip(&hashes) {
-                if h.is_multiple_of(lane.buckets) {
-                    lane.de.insert(edge.elem as u64);
-                    if let Some(g) = &mut lane.groups {
-                        let gi = g.hash.hash_to_range(edge.set as u64, g.counters.len() as u64);
+            let mask = lane.buckets - 1;
+            if let Some(g) = &mut lane.groups {
+                // Reporting path: group counters interleave with the
+                // distinct sketch, keep the per-edge loop.
+                for (edge, (&h, &fp)) in edges.iter().zip(gates.iter().zip(fps)) {
+                    if h & mask == 0 {
+                        lane.de.insert(edge.elem as u64);
+                        let gi = g.hash.hash_to_range(fp, g.counters.len() as u64);
                         g.counters[gi as usize].insert(edge.elem as u64);
                     }
+                }
+            } else {
+                // Gather the layer's survivors into a dense column and
+                // feed the distinct sketch batched (state-identical:
+                // same elements, same arrival order).
+                surv.clear();
+                for (edge, &h) in edges.iter().zip(&gates) {
+                    if h & mask == 0 {
+                        surv.push(edge.elem as u64);
+                    }
+                }
+                if !surv.is_empty() {
+                    lane.de.insert_batch(&surv);
                 }
             }
         }
     }
 
+    /// Profiling aid: evaluate every layer gate exactly as
+    /// [`LargeCommon::observe_fp_batch`] would, counting survivors
+    /// without touching any sketch. Lets benches price the lane-reject
+    /// phase separately from sketch updates.
+    pub fn survivors_fp_batch(&self, edges: &[Edge], fps: &[u64]) -> u64 {
+        debug_assert_eq!(edges.len(), fps.len());
+        let mut n = 0u64;
+        for &fp in fps {
+            let h = self.gate(fp);
+            for lane in &self.lanes {
+                n += u64::from(h & (lane.buckets - 1) == 0);
+            }
+        }
+        n
+    }
+
+    /// Gate value of a raw set id (finalize-time enumeration).
+    fn gate_of_set(&self, set: u64) -> u64 {
+        self.set_mix.hash(self.set_base.hash(set))
+    }
+
     /// Exact number of sets a lane samples (computable at finalize time
-    /// from the hash function alone, `O(m)` time, no stream state — see
+    /// from the hash functions alone, `O(m)` time, no stream state — see
     /// DESIGN.md on sound group counts).
     fn sampled_count(&self, lane: &BetaLane) -> usize {
         (0..self.m as u64)
-            .filter(|&s| self.set_hash.hash(s).is_multiple_of(lane.buckets))
+            .filter(|&s| self.gate_of_set(s) & (lane.buckets - 1) == 0)
             .count()
     }
 
@@ -149,7 +232,7 @@ impl LargeCommon {
     pub fn sampled_sets_of_lane(&self, lane_idx: usize) -> Vec<u32> {
         let lane = &self.lanes[lane_idx];
         (0..self.m as u64)
-            .filter(|&s| self.set_hash.hash(s).is_multiple_of(lane.buckets))
+            .filter(|&s| self.gate_of_set(s) & (lane.buckets - 1) == 0)
             .map(|s| s as u32)
             .collect()
     }
@@ -162,8 +245,9 @@ impl LargeCommon {
         };
         (0..self.m as u64)
             .filter(|&s| {
-                self.set_hash.hash(s).is_multiple_of(lane.buckets)
-                    && g.hash.hash_to_range(s, g.counters.len() as u64) == group
+                let fp = self.set_base.hash(s);
+                self.set_mix.hash(fp) & (lane.buckets - 1) == 0
+                    && g.hash.hash_to_range(fp, g.counters.len() as u64) == group
             })
             .map(|s| s as u32)
             .collect()
@@ -225,8 +309,13 @@ impl LargeCommon {
             "LargeCommon merge requires identical configuration"
         );
         assert_eq!(
-            self.set_hash.hash(0x5eed_c0de),
-            other.set_hash.hash(0x5eed_c0de),
+            self.set_base.hash(0x5eed_c0de),
+            other.set_base.hash(0x5eed_c0de),
+            "LargeCommon merge requires identical hash functions"
+        );
+        assert_eq!(
+            self.set_mix.hash(0x5eed_c0de),
+            other.set_mix.hash(0x5eed_c0de),
             "LargeCommon merge requires identical hash functions"
         );
         for (a, b) in self.lanes.iter_mut().zip(&other.lanes) {
@@ -303,7 +392,8 @@ impl kcov_sketch::WireEncode for LargeCommon {
         put_u64(out, self.k as u64);
         put_f64(out, self.alpha);
         put_f64(out, self.sigma);
-        put_kwise(out, &self.set_hash);
+        put_kwise(out, &self.set_base);
+        put_kwise(out, &self.set_mix);
         put_u64(out, self.lanes.len() as u64);
         for lane in &self.lanes {
             put_f64(out, lane.beta);
@@ -333,7 +423,8 @@ impl kcov_sketch::WireEncode for LargeCommon {
         let k = take_u64(input)? as usize;
         let alpha = take_f64(input)?;
         let sigma = take_f64(input)?;
-        let set_hash = take_kwise(input)?;
+        let set_base = take_kwise(input)?;
+        let set_mix = take_kwise(input)?;
         let num_lanes = take_u64(input)? as usize;
         if num_lanes > input.len() {
             return Err(err("LargeCommon lane count exceeds input"));
@@ -367,13 +458,14 @@ impl kcov_sketch::WireEncode for LargeCommon {
         if lanes.is_empty() {
             return Err(err("LargeCommon has no lanes"));
         }
-        Ok(LargeCommon { u, m, k, alpha, sigma, set_hash, lanes })
+        Ok(LargeCommon { u, m, k, alpha, sigma, set_base, set_mix, lanes })
     }
 }
 
 impl SpaceUsage for LargeCommon {
     fn space_words(&self) -> usize {
-        self.set_hash.space_words()
+        self.set_base.space_words()
+            + self.set_mix.space_words()
             + self
                 .lanes
                 .iter()
@@ -525,6 +617,32 @@ mod tests {
         assert_eq!(a.0.to_bits(), b.0.to_bits(), "estimate must be bit-identical");
         assert_eq!(a.1, b.1, "witness must match");
         assert_eq!(serial.space_words(), left.space_words());
+    }
+
+    #[test]
+    fn fp_path_matches_scalar_path() {
+        // Hash-once contract: precomputed fingerprints (scalar or
+        // batched) drive the sketches into bit-identical state.
+        let ss = common_heavy(800, 400, 6);
+        let params = Params::practical(400, 800, 10, 4.0);
+        let edges = edge_stream(&ss, ArrivalOrder::Shuffled(5));
+        let base = KWise::new(8, 321);
+        let proto = LargeCommon::with_base(800, &params, true, 13, base.clone());
+        let mut scalar = proto.clone();
+        let mut fp = proto.clone();
+        let mut batched = proto;
+        for &e in &edges {
+            scalar.observe(e);
+            fp.observe_fp(e, base.hash(e.set as u64));
+        }
+        let fps: Vec<u64> = edges.iter().map(|e| base.hash(e.set as u64)).collect();
+        batched.observe_fp_batch(&edges, &fps);
+        let a = scalar.finalize();
+        let b = fp.finalize();
+        let c = batched.finalize();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(scalar.space_words(), batched.space_words());
     }
 
     #[test]

@@ -28,7 +28,7 @@
 
 use std::collections::HashMap;
 
-use kcov_hash::{log_wise, KWise, RangeHash, SeedSequence, MERSENNE_P};
+use kcov_hash::{KWise, RangeHash, SeedSequence, MERSENNE_P};
 use kcov_sketch::{ContributingConfig, F2Contributing, L0Estimator, SpaceUsage};
 use kcov_stream::Edge;
 
@@ -39,9 +39,13 @@ use crate::Witness;
 #[derive(Debug, Clone)]
 struct Rep {
     /// Element `e ∈ L` iff `ehash(e) < keep_below` (probability ρ).
+    /// Keyed on the *reduced* pseudo-element — two raw elements mapping
+    /// to the same pseudo-element must share the keep/reject decision,
+    /// so this hash must never move to raw ids or their fingerprints.
     ehash: KWise,
     keep_below: u64,
-    /// Superset id of a set.
+    /// Superset id of a set: a 4-wise mix over the shared set
+    /// fingerprint (hash-once hot path).
     shash: KWise,
     num_supersets: u64,
     /// Case 1: small contributing classes (size ≤ 3sα).
@@ -80,13 +84,26 @@ pub struct LargeSet {
     w: f64,
     /// Cover budget `k`.
     k: usize,
+    /// Shared set fingerprint base (hash-once hot path); the per-rep
+    /// `shash` mixes its output into superset ids.
+    set_base: KWise,
     reps: Vec<Rep>,
 }
 
 impl LargeSet {
-    /// Create the subroutine for universe size `u`. `w` is the superset
-    /// size bound chosen by the Fig 2 branch (`k` or `α`).
+    /// Create the subroutine for universe size `u` with a private set
+    /// fingerprint base (standalone use; estimator lanes share one base
+    /// via [`LargeSet::with_base`]). `w` is the superset size bound
+    /// chosen by the Fig 2 branch (`k` or `α`).
     pub fn new(u: usize, params: &Params, seed: u64) -> Self {
+        let degree = Params::hash_degree(params.mode, params.m, params.n);
+        let base_seed = SeedSequence::labeled(seed, "large-set-base").next_seed();
+        Self::with_base(u, params, seed, KWise::new(degree, base_seed))
+    }
+
+    /// Create the subroutine consuming set fingerprints under the shared
+    /// `set_base`.
+    pub fn with_base(u: usize, params: &Params, seed: u64, set_base: KWise) -> Self {
         let mut seq = SeedSequence::labeled(seed, "large-set");
         let m = params.m;
         let w = params.large_set_w();
@@ -106,8 +123,21 @@ impl LargeSet {
             .map(|_| {
                 let mut c1 = ContributingConfig::new(params.phi1(), r1.max(1));
                 let mut c2 = ContributingConfig::new(params.phi2(), r2);
-                c1.survivors_per_class = 12;
-                c2.survivors_per_class = 12;
+                // Six survivors per size-guess level: enough for the
+                // ≥ thr/2 median test (the class representative only has
+                // to be *sampled*, not measured precisely — the paired
+                // CountSketch supplies the load estimate), and each
+                // subsampled level admits `keep/modulus` of the kept
+                // elements, so halving the keep from the old 12 halves
+                // the expected heavy-hitter updates per survivor.
+                c1.survivors_per_class = 6;
+                c2.survivors_per_class = 6;
+                // Superset-id keys are already uniform hash outputs, so
+                // the finders' internal sampling hashes need only modest
+                // independence — degree 8 instead of Θ(log mn) keeps the
+                // kept-element path cheap.
+                c1.sampling_degree = Some(8);
+                c2.sampling_degree = Some(8);
                 // The Fig 6 thresholds carry 2× slack of their own, so
                 // the inner heavy hitters can run leaner than the
                 // standalone Theorem 2.10 defaults; φ keeps all of γ
@@ -119,16 +149,41 @@ impl LargeSet {
                     // Candidate lists are the m/α flattener otherwise
                     // (they cannot exceed the superset count B = Θ(m/w)).
                     c.hh_capacity_factor = 1.0;
+                    // The thresholds compare CountSketch medians against
+                    // Ω(|L|/sα)-sized loads, far above the per-row noise,
+                    // so 3 rows give the same accept/reject decisions as
+                    // the Theorem 2.10 default of 5 at 60% of the update
+                    // cost (the hot path pays one row-update per row per
+                    // kept element).
+                    c.hh_rows = 3;
+                    // Keep the candidate tracker's prune amortized: with
+                    // `capacity = factor/φ` clamped at 8, a large-φ finder
+                    // tracks far fewer ids than the live superset domain
+                    // and prunes on nearly every insert (an O(capacity)
+                    // scan plus two allocations each time). Floor the
+                    // capacity at a quarter of the domain, capped at 128
+                    // entries — O(1) words against the Θ(width)
+                    // CountSketch rows — so a prune needs capacity/2 new
+                    // ids to fire. Small domains keep their tight caps
+                    // (and their prune churn, which the merge rebuild
+                    // contract exercises).
+                    let floor = (num_supersets / 4).clamp(8, 128);
+                    let phi = (c.gamma * c.phi_factor).clamp(1e-9, 1.0);
+                    c.hh_capacity_factor = c.hh_capacity_factor.max(floor as f64 * phi);
                 }
                 Rep {
-                    ehash: log_wise(m, u, seq.next_seed()),
+                    // Pseudo-elements are hash outputs themselves, so a
+                    // degree-8 polynomial suffices for the sampling
+                    // concentration; this hash fires for every edge of
+                    // every repetition and dominated the old hot path.
+                    ehash: KWise::new(8, seq.next_seed()),
                     keep_below,
-                    shash: log_wise(m, u, seq.next_seed()),
+                    shash: KWise::new(4, seq.next_seed()),
                     num_supersets,
                     cntr_small: F2Contributing::new(c1, num_supersets as usize, u, seq.next_seed()),
                     cntr_large: F2Contributing::new(c2, num_supersets as usize, u, seq.next_seed()),
                     ssel_buckets,
-                    ssel_hash: log_wise(m, u, seq.next_seed()),
+                    ssel_hash: KWise::new(4, seq.next_seed()),
                     sampled: HashMap::new(),
                     sample_seed: seq.next_seed(),
                 }
@@ -145,18 +200,22 @@ impl LargeSet {
             rho,
             w,
             k: params.k,
+            set_base,
             reps,
         }
     }
 
     /// One repetition's view of one edge (shared by the per-edge and
     /// batched paths so they stay state-identical by construction).
+    /// `fp_set` is the shared set fingerprint `set_base(edge.set)`; the
+    /// element hash runs first so most edges exit after one degree-8
+    /// evaluation and a compare.
     #[inline]
-    fn rep_observe(rep: &mut Rep, edge: Edge) {
+    fn rep_observe(rep: &mut Rep, edge: Edge, fp_set: u64) {
         if rep.ehash.hash(edge.elem as u64) >= rep.keep_below {
             return; // element not in this repetition's L
         }
-        let sid = rep.shash.hash_to_range(edge.set as u64, rep.num_supersets);
+        let sid = rep.shash.hash_to_range(fp_set, rep.num_supersets);
         rep.cntr_small.insert(sid);
         rep.cntr_large.insert(sid);
         if rep.ssel_hash.selects(sid, rep.ssel_buckets) {
@@ -168,23 +227,88 @@ impl LargeSet {
         }
     }
 
-    /// Observe one `(set, element)` edge.
+    /// Observe one `(set, element)` edge (scalar compatibility path:
+    /// applies the fingerprint base itself).
     pub fn observe(&mut self, edge: Edge) {
+        let fp = self.set_base.hash(edge.set as u64);
+        self.observe_fp(edge, fp);
+    }
+
+    /// Observe one edge given its precomputed set fingerprint — the
+    /// hash-once hot path.
+    #[inline]
+    pub fn observe_fp(&mut self, edge: Edge, fp_set: u64) {
         for rep in &mut self.reps {
-            Self::rep_observe(rep, edge);
+            Self::rep_observe(rep, edge, fp_set);
         }
     }
 
-    /// Observe a chunk of edges, repetition-outer: each repetition's
-    /// hashes and sketches stay hot across the chunk, and each
-    /// repetition sees the edges in arrival order, so the final state is
-    /// identical to repeated [`LargeSet::observe`].
+    /// Observe a chunk of edges (scalar compatibility path).
     pub fn observe_batch(&mut self, edges: &[Edge]) {
+        let fps: Vec<u64> = edges.iter().map(|e| self.set_base.hash(e.set as u64)).collect();
+        self.observe_fp_batch(edges, &fps);
+    }
+
+    /// Observe a chunk given precomputed set fingerprints, columnar and
+    /// repetition-outer: per repetition the element-sampling hash runs
+    /// as one [`RangeHash::hash_batch`] over the chunk, survivors are
+    /// gathered into dense columns, and the superset-id hash plus both
+    /// contributing-class finders consume those columns batched. The
+    /// final state is identical to repeated [`LargeSet::observe_fp`]:
+    /// every per-item decision uses the same hash values in the same
+    /// arrival order, and the batched sketch inserts are documented
+    /// state-identical to their scalar loops.
+    pub fn observe_fp_batch(&mut self, edges: &[Edge], fps: &[u64]) {
+        debug_assert_eq!(edges.len(), fps.len());
+        let elems: Vec<u64> = edges.iter().map(|e| e.elem as u64).collect();
+        let mut eh = Vec::new();
+        let mut sh = Vec::new();
+        let mut surv_fps: Vec<u64> = Vec::with_capacity(edges.len());
+        let mut surv_elems: Vec<u64> = Vec::with_capacity(edges.len());
+        let mut sids: Vec<u64> = Vec::new();
         for rep in &mut self.reps {
-            for &edge in edges {
-                Self::rep_observe(rep, edge);
+            rep.ehash.hash_batch(&elems, &mut eh);
+            surv_fps.clear();
+            surv_elems.clear();
+            for i in 0..edges.len() {
+                if eh[i] < rep.keep_below {
+                    surv_fps.push(fps[i]);
+                    surv_elems.push(elems[i]);
+                }
+            }
+            if surv_fps.is_empty() {
+                continue;
+            }
+            rep.shash.hash_batch(&surv_fps, &mut sh);
+            sids.clear();
+            // Same reduction as `hash_to_range` in `rep_observe`.
+            sids.extend(sh.iter().map(|h| h % rep.num_supersets));
+            rep.cntr_small.insert_batch(&sids);
+            rep.cntr_large.insert_batch(&sids);
+            for (&sid, &elem) in sids.iter().zip(&surv_elems) {
+                if rep.ssel_hash.selects(sid, rep.ssel_buckets) {
+                    let seed = rep.sample_seed ^ sid.wrapping_mul(0x9e3779b97f4a7c15);
+                    rep.sampled
+                        .entry(sid)
+                        .or_insert_with(|| L0Estimator::new(16, 2, seed))
+                        .insert(elem);
+                }
             }
         }
+    }
+
+    /// Profiling aid: evaluate the per-repetition element-sampling gate
+    /// exactly as [`LargeSet::observe_fp_batch`] would, counting
+    /// survivors without touching any sketch.
+    pub fn survivors_fp_batch(&self, edges: &[Edge], fps: &[u64]) -> u64 {
+        debug_assert_eq!(edges.len(), fps.len());
+        let mut n = 0u64;
+        for rep in &self.reps {
+            for &edge in edges {
+                n += u64::from(rep.ehash.hash(edge.elem as u64) < rep.keep_below);
+            }
+        }
+        n
     }
 
     /// Threshold 1 (Fig 7): `|L|/(18·η·sα)`, halved at comparison time
@@ -303,7 +427,7 @@ impl LargeSet {
     pub fn superset_members(&self, rep: usize, superset: u64) -> Vec<u32> {
         let r = &self.reps[rep];
         (0..self.m as u64)
-            .filter(|&s| r.shash.hash_to_range(s, r.num_supersets) == superset)
+            .filter(|&s| r.shash.hash_to_range(self.set_base.hash(s), r.num_supersets) == superset)
             .map(|s| s as u32)
             .collect()
     }
@@ -326,6 +450,11 @@ impl LargeSet {
             (self.u, self.m, self.k, self.reps.len()),
             (other.u, other.m, other.k, other.reps.len()),
             "LargeSet merge requires identical configuration"
+        );
+        assert_eq!(
+            self.set_base.hash(0x5eed_c0de),
+            other.set_base.hash(0x5eed_c0de),
+            "LargeSet merge requires identical hash functions"
         );
         for (a, b) in self.reps.iter_mut().zip(&other.reps) {
             assert_eq!(
@@ -382,6 +511,7 @@ impl kcov_sketch::WireEncode for LargeSet {
         put_f64(out, self.rho);
         put_f64(out, self.w);
         put_u64(out, self.k as u64);
+        put_kwise(out, &self.set_base);
         put_u64(out, self.reps.len() as u64);
         for rep in &self.reps {
             put_kwise(out, &rep.ehash);
@@ -420,6 +550,7 @@ impl kcov_sketch::WireEncode for LargeSet {
         let rho = take_f64(input)?;
         let w = take_f64(input)?;
         let k = take_u64(input)? as usize;
+        let set_base = take_kwise(input)?;
         let num_reps = take_u64(input)? as usize;
         if num_reps > input.len() {
             return Err(err("LargeSet repetition count exceeds input"));
@@ -482,6 +613,7 @@ impl kcov_sketch::WireEncode for LargeSet {
             rho,
             w,
             k,
+            set_base,
             reps,
         })
     }
@@ -489,7 +621,8 @@ impl kcov_sketch::WireEncode for LargeSet {
 
 impl SpaceUsage for LargeSet {
     fn space_words(&self) -> usize {
-        self.reps
+        self.set_base.space_words()
+            + self.reps
             .iter()
             .map(|r| {
                 r.ehash.space_words()
@@ -500,7 +633,7 @@ impl SpaceUsage for LargeSet {
                     + r.sampled.values().map(SpaceUsage::space_words).sum::<usize>()
                     + 2 * r.sampled.len()
             })
-            .sum()
+            .sum::<usize>()
     }
 }
 
@@ -617,6 +750,22 @@ mod tests {
         let b = left.finalize().expect("merged must fire too");
         assert_eq!(a.0.to_bits(), b.0.to_bits(), "estimate must match");
         assert_eq!(a.1, b.1, "witness must match");
+    }
+
+    #[test]
+    fn fp_path_matches_scalar_path() {
+        let ss = few_large(2000, 300, 3, 500, 8);
+        let params = Params::practical(300, 2000, 10, 6.0);
+        let edges = edge_stream(&ss, ArrivalOrder::Shuffled(17));
+        let base = KWise::new(8, 555);
+        let proto = LargeSet::with_base(2000, &params, 19, base.clone());
+        let mut scalar = proto.clone();
+        let mut batched = proto;
+        feed(&mut scalar, &edges);
+        let fps: Vec<u64> = edges.iter().map(|e| base.hash(e.set as u64)).collect();
+        batched.observe_fp_batch(&edges, &fps);
+        assert_eq!(scalar.finalize(), batched.finalize());
+        assert_eq!(scalar.space_words(), batched.space_words());
     }
 
     #[test]

@@ -59,6 +59,7 @@
 
 pub mod budget;
 pub mod estimate;
+pub mod fingerprint;
 pub mod large_common;
 pub mod large_set;
 pub mod oracle;
@@ -72,6 +73,7 @@ pub mod universe;
 
 pub use budget::{fit_alpha_to_budget, predict_space_words, BudgetFit};
 pub use estimate::{EstimateOutcome, EstimatorConfig, MaxCoverEstimator};
+pub use fingerprint::{EdgeFingerprints, FingerprintBlock};
 pub use large_common::LargeCommon;
 pub use large_set::LargeSet;
 pub use oracle::{Oracle, OracleDiagnostics, OracleOutput, SubroutineKind};

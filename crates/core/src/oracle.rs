@@ -15,6 +15,7 @@
 //! least `|U|/η` then with good probability the output is at least
 //! `|C(OPT)|/Õ(α)`; and the output never exceeds `|C(OPT)|` (w.h.p.).
 
+use kcov_hash::{KWise, RangeHash};
 use kcov_obs::{Recorder, SketchStats, Value};
 use kcov_sketch::SpaceUsage;
 use kcov_stream::Edge;
@@ -86,6 +87,10 @@ pub struct OracleOutput {
 #[derive(Debug, Clone)]
 pub struct Oracle {
     u: usize,
+    /// Shared set fingerprint base (hash-once hot path); every
+    /// subroutine holds a clone and consumes the one fingerprint the
+    /// caller (or the scalar compatibility path) computes per edge.
+    set_base: KWise,
     large_common: LargeCommon,
     large_set: LargeSet,
     small_set: Option<SmallSet>,
@@ -93,40 +98,89 @@ pub struct Oracle {
 
 impl Oracle {
     /// Create an oracle for universe size `u` (the pseudo-universe after
-    /// reduction; `params.n` is ignored in favour of `u`). `reporting`
-    /// enables the witness machinery of Theorem 3.2.
+    /// reduction; `params.n` is ignored in favour of `u`) with a private
+    /// set fingerprint base. Estimator lanes share one base across every
+    /// lane via [`Oracle::with_base`]. `reporting` enables the witness
+    /// machinery of Theorem 3.2.
     pub fn new(u: usize, params: &Params, reporting: bool, seed: u64) -> Self {
+        let degree = Params::hash_degree(params.mode, params.m, params.n);
+        let base_seed = kcov_hash::SeedSequence::labeled(seed, "oracle-base").next_seed();
+        Self::with_base(u, params, reporting, seed, KWise::new(degree, base_seed))
+    }
+
+    /// Create an oracle whose subroutines consume set fingerprints under
+    /// the shared `set_base`.
+    pub fn with_base(u: usize, params: &Params, reporting: bool, seed: u64, set_base: KWise) -> Self {
         let mut seq = kcov_hash::SeedSequence::labeled(seed, "oracle");
         Oracle {
             u,
-            large_common: LargeCommon::new(u, params, reporting, seq.next_seed()),
-            large_set: LargeSet::new(u, params, seq.next_seed()),
+            large_common: LargeCommon::with_base(
+                u,
+                params,
+                reporting,
+                seq.next_seed(),
+                set_base.clone(),
+            ),
+            large_set: LargeSet::with_base(u, params, seq.next_seed(), set_base.clone()),
             small_set: params
                 .small_set_active()
-                .then(|| SmallSet::new(u, params, seq.next_seed())),
+                .then(|| SmallSet::with_base(u, params, seq.next_seed(), set_base.clone())),
+            set_base,
         }
     }
 
-    /// Observe one `(set, element)` edge (element already reduced).
+    /// Observe one `(set, element)` edge (element already reduced;
+    /// scalar compatibility path — applies the fingerprint base itself).
     pub fn observe(&mut self, edge: Edge) {
-        self.large_common.observe(edge);
-        self.large_set.observe(edge);
+        let fp = self.set_base.hash(edge.set as u64);
+        self.observe_fp(edge, fp);
+    }
+
+    /// Observe one reduced edge given its precomputed set fingerprint
+    /// `set_base(edge.set)` — the hash-once hot path.
+    #[inline]
+    pub fn observe_fp(&mut self, edge: Edge, fp_set: u64) {
+        self.large_common.observe_fp(edge, fp_set);
+        self.large_set.observe_fp(edge, fp_set);
         if let Some(ss) = &mut self.small_set {
-            ss.observe(edge);
+            ss.observe_fp(edge, fp_set);
         }
     }
 
-    /// Observe a chunk of edges (elements already reduced): each
-    /// subroutine consumes the whole chunk in turn via its own
-    /// `observe_batch`, preserving arrival order within every
-    /// subroutine, so the final state is identical to repeated
-    /// [`Oracle::observe`].
+    /// Observe a chunk of edges (elements already reduced; scalar
+    /// compatibility path).
     pub fn observe_batch(&mut self, edges: &[Edge]) {
-        self.large_common.observe_batch(edges);
-        self.large_set.observe_batch(edges);
+        let fps: Vec<u64> = edges.iter().map(|e| self.set_base.hash(e.set as u64)).collect();
+        self.observe_fp_batch(edges, &fps);
+    }
+
+    /// Observe a chunk given precomputed set fingerprints (`fps[i]`
+    /// must be `set_base(edges[i].set)`; set ids pass through universe
+    /// reduction unchanged, so the estimator computes the fingerprints
+    /// once against the *raw* stream and every lane reuses them): each
+    /// subroutine consumes the whole chunk in turn, preserving arrival
+    /// order within every subroutine, so the final state is identical
+    /// to repeated [`Oracle::observe_fp`].
+    pub fn observe_fp_batch(&mut self, edges: &[Edge], fps: &[u64]) {
+        debug_assert_eq!(edges.len(), fps.len());
+        self.large_common.observe_fp_batch(edges, fps);
+        self.large_set.observe_fp_batch(edges, fps);
         if let Some(ss) = &mut self.small_set {
-            ss.observe_batch(edges);
+            ss.observe_fp_batch(edges, fps);
         }
+    }
+
+    /// Profiling aid: evaluate every subroutine admission gate exactly
+    /// as [`Oracle::observe_fp_batch`] would, counting survivors without
+    /// touching any sketch. Benches use this to price the lane-reject
+    /// phase separately from sketch updates.
+    pub fn survivors_fp_batch(&self, edges: &[Edge], fps: &[u64]) -> u64 {
+        let mut n = self.large_common.survivors_fp_batch(edges, fps)
+            + self.large_set.survivors_fp_batch(edges, fps);
+        if let Some(ss) = &self.small_set {
+            n += ss.survivors_fp_batch(edges, fps);
+        }
+        n
     }
 
     /// Finalize after the pass: the max of the subroutine estimates,
@@ -201,7 +255,10 @@ impl Oracle {
             return;
         }
         let d = self.diagnostics();
-        let subs: [(&str, Option<f64>, Option<usize>); 3] = [
+        let subs: [(&str, Option<f64>, Option<usize>); 4] = [
+            // The oracle's own retained copy of the shared set-fingerprint
+            // base (the subroutines account for their clones themselves).
+            ("set_base", None, Some(self.set_base.space_words())),
             (
                 "large_common",
                 d.large_common,
@@ -258,6 +315,11 @@ impl Oracle {
             other.small_set.is_some(),
             "Oracle merge requires identical configuration (SmallSet activation)"
         );
+        assert_eq!(
+            self.set_base.hash(0x5eed_c0de),
+            other.set_base.hash(0x5eed_c0de),
+            "Oracle merge requires identical hash functions"
+        );
         self.large_common.merge(&other.large_common);
         self.large_set.merge(&other.large_set);
         if let (Some(a), Some(b)) = (&mut self.small_set, &other.small_set) {
@@ -284,9 +346,10 @@ const TAG_ORACLE: u64 = 0x4f52_4143_4c45; // "ORACLE"
 
 impl kcov_sketch::WireEncode for Oracle {
     fn encode(&self, out: &mut Vec<u8>) {
-        use kcov_sketch::wire::put_u64;
+        use kcov_sketch::wire::{put_kwise, put_u64};
         put_u64(out, TAG_ORACLE);
         put_u64(out, self.u as u64);
+        put_kwise(out, &self.set_base);
         self.large_common.encode(out);
         self.large_set.encode(out);
         match &self.small_set {
@@ -299,11 +362,12 @@ impl kcov_sketch::WireEncode for Oracle {
     }
 
     fn decode(input: &mut &[u8]) -> Result<Self, kcov_sketch::WireError> {
-        use kcov_sketch::wire::{err, take_u64};
+        use kcov_sketch::wire::{err, take_kwise, take_u64};
         if take_u64(input)? != TAG_ORACLE {
             return Err(err("bad Oracle tag"));
         }
         let u = take_u64(input)? as usize;
+        let set_base = take_kwise(input)?;
         let large_common = LargeCommon::decode(input)?;
         let large_set = LargeSet::decode(input)?;
         let small_set = match take_u64(input)? {
@@ -313,6 +377,7 @@ impl kcov_sketch::WireEncode for Oracle {
         };
         Ok(Oracle {
             u,
+            set_base,
             large_common,
             large_set,
             small_set,
@@ -322,7 +387,8 @@ impl kcov_sketch::WireEncode for Oracle {
 
 impl SpaceUsage for Oracle {
     fn space_words(&self) -> usize {
-        self.large_common.space_words()
+        self.set_base.space_words()
+            + self.large_common.space_words()
             + self.large_set.space_words()
             + self.small_set.as_ref().map_or(0, SpaceUsage::space_words)
     }

@@ -150,8 +150,20 @@ impl Params {
             sigma,
             eta,
             large_set_sample,
-            large_set_reps: 2,
-            small_set_reps: 2,
+            // One repetition of the Fig 7 pipeline: the paper's O(log n)
+            // repetitions drive the no-w-common-element failure mode to
+            // 1/poly(n), but with the calibrated 8αη·log(mn) element
+            // sample a single repetition already passes every regime
+            // test, and repetitions multiply the per-edge sketch-update
+            // cost — the dominant term of the batched hot path — one for
+            // one (DESIGN.md §12).
+            large_set_reps: 1,
+            // Same trade as `large_set_reps`: the γ-lane grid inside a
+            // single repetition already hedges the sampling-rate guess,
+            // and SmallSet's per-edge cost at small α (where its set
+            // sampling keeps the most sets) scales linearly in the
+            // repetition count.
+            small_set_reps: 1,
             // Lemma 4.21's Õ(m/α²): the Õ hides ln² factors, which at
             // laptop scale are the difference between a usable and a
             // starved sub-instance store.
@@ -211,6 +223,26 @@ impl Params {
     /// `LargeSet` (Claim 4.13: `1/(2·log α)`).
     pub fn phi2(&self) -> f64 {
         (1.0 / (2.0 * self.alpha.max(2.0).log2())).clamp(1e-9, 1.0)
+    }
+
+    /// Degree of the shared edge-fingerprint hashes. The hash-once hot
+    /// path evaluates exactly one set-keyed and one element-keyed
+    /// polynomial per edge, so this degree is the per-edge hashing
+    /// budget for the *whole* estimator; downstream subroutines only
+    /// apply cheap 4-wise mixes to the fingerprints. Practical mode
+    /// uses degree 8 (ample independence for every concentration bound
+    /// the calibrated constants rely on); Paper mode keeps the literal
+    /// `Θ(log mn)`-wise guarantee. Takes the estimator-global `(m, n)`
+    /// — not a per-`z` reduced shape — because one fingerprint serves
+    /// every lane.
+    pub fn hash_degree(mode: ParamMode, m: usize, n: usize) -> usize {
+        match mode {
+            ParamMode::Practical => 8,
+            ParamMode::Paper => {
+                let bits = 128 - ((m.max(2) as u128) * (n.max(2) as u128)).leading_zeros();
+                (bits as usize).clamp(8, 48)
+            }
+        }
     }
 }
 
@@ -296,6 +328,15 @@ mod tests {
     #[should_panic(expected = "alpha must be >= 1")]
     fn alpha_below_one_rejected() {
         let _ = Params::practical(10, 10, 2, 0.5);
+    }
+
+    #[test]
+    fn hash_degree_tracks_mode() {
+        assert_eq!(Params::hash_degree(ParamMode::Practical, 1 << 20, 1 << 20), 8);
+        // Paper mode: bits(m·n) clamped to [8, 48].
+        assert_eq!(Params::hash_degree(ParamMode::Paper, 2, 2), 8);
+        assert_eq!(Params::hash_degree(ParamMode::Paper, 1 << 10, 1 << 10), 21);
+        assert_eq!(Params::hash_degree(ParamMode::Paper, usize::MAX, usize::MAX), 48);
     }
 
     #[test]

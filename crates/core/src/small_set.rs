@@ -16,7 +16,7 @@
 //! Only active when `sα < 2k` (otherwise Claim 4.3 puts the instance in
 //! `LargeSet`'s case).
 
-use kcov_hash::{log_wise, KWise, RangeHash, SeedSequence, MERSENNE_P};
+use kcov_hash::{KWise, RangeHash, SeedSequence, MERSENNE_P};
 use kcov_sketch::SpaceUsage;
 use kcov_stream::{Edge, SetSystem};
 
@@ -46,9 +46,14 @@ struct Lane {
 /// One repetition: its sampling hashes and its γ lanes.
 #[derive(Debug, Clone)]
 struct Rep {
-    /// Set `S ∈ M` iff `mhash(S) mod m_buckets == 0` (probability
-    /// `≈ c/(sα)`, Lemma 4.16's `18/(sα)`).
+    /// Set `S ∈ M` iff `mhash(fp_set) < m_keep` (probability
+    /// `≈ c/(sα)`, Lemma 4.16's `18/(sα)`): a 4-wise mix over the
+    /// shared set fingerprint, threshold-compared instead of the old
+    /// modulo idiom so the gate is one multiply chain and one compare.
     mhash: KWise,
+    /// Element-sampling hash, keyed on the *reduced* pseudo-element
+    /// (raw ids or fingerprints would bias the nested γ samples: two
+    /// raw elements sharing a pseudo-element must share the decision).
     ehash: KWise,
     lanes: Vec<Lane>,
 }
@@ -61,13 +66,30 @@ pub struct SmallSet {
     /// Sub-cover budget `k' = Θ(k/(sα))` (paper: `36k/(sα)`).
     k_sub: usize,
     m_buckets: u64,
+    /// Derived threshold realizing the `1/m_buckets` set-sampling rate:
+    /// `MERSENNE_P / m_buckets` (recomputed at decode, never wired).
+    /// `m_buckets = 1` gives `m_keep = P`, which every hash output
+    /// (`< P`) passes — the always-sample case.
+    m_keep: u64,
     edge_cap: usize,
+    /// Shared set fingerprint base (hash-once hot path).
+    set_base: KWise,
     reps: Vec<Rep>,
 }
 
 impl SmallSet {
-    /// Create the subroutine for universe size `u`.
+    /// Create the subroutine for universe size `u` with a private set
+    /// fingerprint base (standalone use; estimator lanes share one base
+    /// via [`SmallSet::with_base`]).
     pub fn new(u: usize, params: &Params, seed: u64) -> Self {
+        let degree = Params::hash_degree(params.mode, params.m, params.n);
+        let base_seed = SeedSequence::labeled(seed, "small-set-base").next_seed();
+        Self::with_base(u, params, seed, KWise::new(degree, base_seed))
+    }
+
+    /// Create the subroutine consuming set fingerprints under the shared
+    /// `set_base`.
+    pub fn with_base(u: usize, params: &Params, seed: u64, set_base: KWise) -> Self {
         let mut seq = SeedSequence::labeled(seed, "small-set");
         let m = params.m;
         let k = params.k as f64;
@@ -100,8 +122,8 @@ impl SmallSet {
                 });
             }
             reps.push(Rep {
-                mhash: log_wise(m, u, seq.next_seed()),
-                ehash: log_wise(m, u, seq.next_seed()),
+                mhash: KWise::new(4, seq.next_seed()),
+                ehash: KWise::new(8, seq.next_seed()),
                 lanes,
             });
         }
@@ -110,16 +132,19 @@ impl SmallSet {
             m,
             k_sub,
             m_buckets,
+            m_keep: MERSENNE_P / m_buckets,
             edge_cap: params.small_set_edge_cap,
+            set_base,
             reps,
         }
     }
 
     /// One repetition's view of one edge (shared by the per-edge and
     /// batched paths so they stay state-identical by construction).
+    /// `fp_set` is the shared set fingerprint `set_base(edge.set)`.
     #[inline]
-    fn rep_observe(rep: &mut Rep, m_buckets: u64, edge_cap: usize, edge: Edge) {
-        if !rep.mhash.selects(edge.set as u64, m_buckets) {
+    fn rep_observe(rep: &mut Rep, m_keep: u64, edge_cap: usize, edge: Edge, fp_set: u64) {
+        if rep.mhash.hash(fp_set) >= m_keep {
             return;
         }
         let eh = rep.ehash.hash(edge.elem as u64);
@@ -138,26 +163,91 @@ impl SmallSet {
         }
     }
 
-    /// Observe one `(set, element)` edge: per repetition, one set-hash
-    /// evaluation gates membership in `M`, one element-hash evaluation
-    /// is threshold-compared per γ lane.
+    /// Observe one `(set, element)` edge (scalar compatibility path:
+    /// applies the fingerprint base itself).
     pub fn observe(&mut self, edge: Edge) {
+        let fp = self.set_base.hash(edge.set as u64);
+        self.observe_fp(edge, fp);
+    }
+
+    /// Observe one edge given its precomputed set fingerprint: per
+    /// repetition, one 4-wise mix gates membership in `M`, one element
+    /// hash is threshold-compared per γ lane.
+    #[inline]
+    pub fn observe_fp(&mut self, edge: Edge, fp_set: u64) {
         for rep in &mut self.reps {
-            Self::rep_observe(rep, self.m_buckets, self.edge_cap, edge);
+            Self::rep_observe(rep, self.m_keep, self.edge_cap, edge, fp_set);
         }
     }
 
-    /// Observe a chunk of edges, repetition-outer. Each repetition (and
-    /// therefore each γ lane, including its overflow cut-off) sees the
-    /// edges in arrival order, so the final state — stored edges and
-    /// overflow flags alike — is identical to repeated
-    /// [`SmallSet::observe`].
+    /// Observe a chunk of edges (scalar compatibility path).
     pub fn observe_batch(&mut self, edges: &[Edge]) {
+        let fps: Vec<u64> = edges.iter().map(|e| self.set_base.hash(e.set as u64)).collect();
+        self.observe_fp_batch(edges, &fps);
+    }
+
+    /// Observe a chunk given precomputed set fingerprints, columnar and
+    /// repetition-outer: per repetition the set-sampling mix runs as one
+    /// [`RangeHash::hash_batch`] over the chunk, survivors are gathered,
+    /// their element hashes are batched, and the γ lanes consume the
+    /// survivor column in arrival order. Each repetition (and therefore
+    /// each γ lane, including its overflow cut-off) sees the same hash
+    /// values in the same order as [`SmallSet::observe_fp`], so the
+    /// final state — stored edges and overflow flags alike — is
+    /// identical.
+    pub fn observe_fp_batch(&mut self, edges: &[Edge], fps: &[u64]) {
+        debug_assert_eq!(edges.len(), fps.len());
+        let mut mh = Vec::new();
+        let mut eh = Vec::new();
+        let mut surv_edges: Vec<Edge> = Vec::with_capacity(edges.len());
+        let mut surv_elems: Vec<u64> = Vec::with_capacity(edges.len());
         for rep in &mut self.reps {
-            for &edge in edges {
-                Self::rep_observe(rep, self.m_buckets, self.edge_cap, edge);
+            rep.mhash.hash_batch(fps, &mut mh);
+            surv_edges.clear();
+            surv_elems.clear();
+            for (&edge, &h) in edges.iter().zip(&mh) {
+                if h < self.m_keep {
+                    surv_edges.push(edge);
+                    surv_elems.push(edge.elem as u64);
+                }
+            }
+            if surv_edges.is_empty() {
+                continue;
+            }
+            rep.ehash.hash_batch(&surv_elems, &mut eh);
+            for lane in &mut rep.lanes {
+                if lane.overflowed {
+                    continue;
+                }
+                for (&edge, &e) in surv_edges.iter().zip(&eh) {
+                    if e >= lane.e_keep {
+                        continue;
+                    }
+                    if lane.edges.len() >= self.edge_cap {
+                        // Fig 5: "if S(L,M) > Õ(m/α²) then terminate" —
+                        // the lane aborts and frees its storage.
+                        lane.overflowed = true;
+                        lane.edges = Vec::new();
+                        break;
+                    }
+                    lane.edges.push(edge);
+                }
             }
         }
+    }
+
+    /// Profiling aid: evaluate the per-repetition set-sampling gate
+    /// exactly as [`SmallSet::observe_fp_batch`] would, counting
+    /// survivors without touching any stored sub-instance.
+    pub fn survivors_fp_batch(&self, edges: &[Edge], fps: &[u64]) -> u64 {
+        debug_assert_eq!(edges.len(), fps.len());
+        let mut n = 0u64;
+        for rep in &self.reps {
+            for &fp in fps {
+                n += u64::from(rep.mhash.hash(fp) < self.m_keep);
+            }
+        }
+        n
     }
 
     /// Finalize: greedy `Max k'-Cover` on each stored sub-instance,
@@ -234,6 +324,11 @@ impl SmallSet {
             (other.u, other.m, other.k_sub, other.m_buckets, other.edge_cap, other.reps.len()),
             "SmallSet merge requires identical configuration"
         );
+        assert_eq!(
+            self.set_base.hash(0x5eed_c0de),
+            other.set_base.hash(0x5eed_c0de),
+            "SmallSet merge requires identical hash functions"
+        );
         let edge_cap = self.edge_cap;
         for (a, b) in self.reps.iter_mut().zip(&other.reps) {
             assert_eq!(
@@ -275,6 +370,7 @@ impl kcov_sketch::WireEncode for SmallSet {
         put_u64(out, self.k_sub as u64);
         put_u64(out, self.m_buckets);
         put_u64(out, self.edge_cap as u64);
+        put_kwise(out, &self.set_base);
         put_u64(out, self.reps.len() as u64);
         for rep in &self.reps {
             put_kwise(out, &rep.mhash);
@@ -306,6 +402,7 @@ impl kcov_sketch::WireEncode for SmallSet {
             return Err(err("SmallSet set-bucket count must be positive"));
         }
         let edge_cap = take_u64(input)? as usize;
+        let set_base = take_kwise(input)?;
         let num_reps = take_u64(input)? as usize;
         if num_reps > input.len() {
             return Err(err("SmallSet repetition count exceeds input"));
@@ -377,7 +474,9 @@ impl kcov_sketch::WireEncode for SmallSet {
             m,
             k_sub,
             m_buckets,
+            m_keep: MERSENNE_P / m_buckets,
             edge_cap,
+            set_base,
             reps,
         })
     }
@@ -385,14 +484,15 @@ impl kcov_sketch::WireEncode for SmallSet {
 
 impl SpaceUsage for SmallSet {
     fn space_words(&self) -> usize {
-        self.reps
+        self.set_base.space_words()
+            + self.reps
             .iter()
             .map(|r| {
                 r.mhash.space_words()
                     + r.ehash.space_words()
                     + r.lanes.iter().map(|l| l.edges.len() + 2).sum::<usize>()
             })
-            .sum()
+            .sum::<usize>()
     }
 }
 
@@ -538,6 +638,22 @@ mod tests {
         let mut a = SmallSet::new(100, &params, 1);
         let b = SmallSet::new(100, &params, 2);
         a.merge(&b);
+    }
+
+    #[test]
+    fn fp_path_matches_scalar_path() {
+        let ss = many_small(2000, 400, 50, 0.4, 9);
+        let params = Params::practical(400, 2000, 50, 8.0);
+        let edges = edge_stream(&ss, ArrivalOrder::Shuffled(19));
+        let base = KWise::new(8, 777);
+        let proto = SmallSet::with_base(2000, &params, 29, base.clone());
+        let mut scalar = proto.clone();
+        let mut batched = proto;
+        feed(&mut scalar, &edges);
+        let fps: Vec<u64> = edges.iter().map(|e| base.hash(e.set as u64)).collect();
+        batched.observe_fp_batch(&edges, &fps);
+        assert_eq!(scalar.finalize(), batched.finalize());
+        assert_eq!(scalar.space_words(), batched.space_words());
     }
 
     #[test]

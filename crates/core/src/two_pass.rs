@@ -22,6 +22,7 @@ use kcov_sketch::SpaceUsage;
 use kcov_stream::Edge;
 
 use crate::estimate::{EstimatorConfig, MaxCoverEstimator};
+use crate::fingerprint::{EdgeFingerprints, FingerprintBlock};
 use crate::oracle::Oracle;
 use crate::params::{ParamMode, Params};
 use crate::report::ReportedCover;
@@ -113,11 +114,23 @@ impl TwoPassFirst {
         };
         let reps = self.config.reps.unwrap_or(params.reduction_reps).max(2);
         let mut seq = kcov_hash::SeedSequence::labeled(self.config.seed, "two-pass-second");
+        // Pass-2 hash-once front end: drawn first (before any lane) from
+        // the pass-2 sequence, so it is independent of pass 1's.
+        let fps = EdgeFingerprints::new(
+            seq.next_seed(),
+            Params::hash_degree(self.config.mode, self.m, self.n),
+        );
         let lanes = (0..reps)
             .map(|_| {
                 (
-                    UniverseReducer::new(z, seq.next_seed()),
-                    Oracle::new(z as usize, &params, true, seq.next_seed()),
+                    UniverseReducer::with_base(z, seq.next_seed(), fps.elem_base().clone()),
+                    Oracle::with_base(
+                        z as usize,
+                        &params,
+                        true,
+                        seq.next_seed(),
+                        fps.set_base().clone(),
+                    ),
                 )
             })
             .collect();
@@ -125,6 +138,8 @@ impl TwoPassFirst {
             k: self.k,
             z,
             pass1_estimate: out.estimate,
+            fps,
+            block: FingerprintBlock::default(),
             lanes,
             rec: self.config.recorder.clone(),
             edges_seen: 0,
@@ -143,6 +158,11 @@ pub struct TwoPassSecond {
     k: usize,
     z: u64,
     pass1_estimate: f64,
+    /// The pass-2 hash-once front end: one fingerprint pair per raw
+    /// edge, shared by every repetition lane.
+    fps: EdgeFingerprints,
+    /// Reusable fingerprint-column scratch (never serialized or merged).
+    block: FingerprintBlock,
     lanes: Vec<(UniverseReducer, Oracle)>,
     rec: Recorder,
     edges_seen: u64,
@@ -161,11 +181,12 @@ impl TwoPassSecond {
         self.z
     }
 
-    /// Observe one edge of pass 2.
+    /// Observe one edge of pass 2 (hash once, share across lanes).
     pub fn observe(&mut self, edge: Edge) {
         self.edges_seen += 1;
+        let (fp_set, fp_elem) = self.fps.fingerprint(edge);
         for (reducer, oracle) in &mut self.lanes {
-            oracle.observe(Edge::new(edge.set, reducer.map(edge.elem as u64) as u32));
+            oracle.observe_fp(Edge::new(edge.set, reducer.map_fp(fp_elem) as u32), fp_set);
         }
         if self.heartbeat_every != 0 && self.edges_seen.is_multiple_of(self.heartbeat_every) {
             self.capture_heartbeat();
@@ -182,11 +203,14 @@ impl TwoPassSecond {
         let start = self.rec.is_enabled().then(Instant::now);
         let seen_before = self.edges_seen;
         self.edges_seen += edges.len() as u64;
+        let mut block = std::mem::take(&mut self.block);
+        self.fps.fill_block(edges, &mut block);
         let mut scratch = Vec::with_capacity(edges.len());
         for (reducer, oracle) in &mut self.lanes {
-            reducer.map_batch(edges, &mut scratch);
-            oracle.observe_batch(&scratch);
+            reducer.map_fp_batch(edges, &block.fp_elem, &mut scratch);
+            oracle.observe_fp_batch(&scratch, &block.fp_set);
         }
+        self.block = block;
         if let Some(start) = start {
             self.hists.batch_edges.record(edges.len() as u64);
             self.hists.batch_ns.record(start.elapsed().as_nanos() as u64);
@@ -236,6 +260,10 @@ impl TwoPassSecond {
             (self.k, self.z, self.lanes.len(), self.pass1_estimate.to_bits()),
             (other.k, other.z, other.lanes.len(), other.pass1_estimate.to_bits()),
             "TwoPassSecond merge requires identical configuration (pass-1 guess)"
+        );
+        assert!(
+            self.fps.same_function(&other.fps),
+            "TwoPassSecond merge requires identical hash functions (fingerprints)"
         );
         self.edges_seen += other.edges_seen;
         self.heartbeats.extend(other.heartbeats.iter().cloned());
@@ -354,6 +382,7 @@ impl kcov_sketch::WireEncode for TwoPassSecond {
             put_u64(out, self.shard_id);
         });
         put_section(out, SEC_STATE, |out| {
+            self.fps.encode(out);
             put_u64(out, self.lanes.len() as u64);
             for (reducer, oracle) in &self.lanes {
                 reducer.encode(out);
@@ -389,6 +418,7 @@ impl kcov_sketch::WireEncode for TwoPassSecond {
         }
 
         let mut state = take_section(input, SEC_STATE)?;
+        let fps = EdgeFingerprints::decode(&mut state)?;
         let num = take_u64(&mut state)? as usize;
         if num > state.len() {
             return Err(err("pass-2 lane count exceeds input"));
@@ -426,6 +456,8 @@ impl kcov_sketch::WireEncode for TwoPassSecond {
             k,
             z,
             pass1_estimate,
+            fps,
+            block: FingerprintBlock::default(),
             lanes,
             rec: Recorder::disabled(),
             edges_seen,
@@ -440,10 +472,12 @@ impl kcov_sketch::WireEncode for TwoPassSecond {
 
 impl SpaceUsage for TwoPassSecond {
     fn space_words(&self) -> usize {
-        self.lanes
-            .iter()
-            .map(|(r, o)| r.space_words() + o.space_words())
-            .sum()
+        self.fps.space_words()
+            + self
+                .lanes
+                .iter()
+                .map(|(r, o)| r.space_words() + o.space_words())
+                .sum::<usize>()
     }
 }
 

@@ -13,26 +13,61 @@ use kcov_stream::Edge;
 
 /// A 4-wise independent map `U → [z]` of the ground set onto
 /// pseudo-elements.
+///
+/// Two constructions coexist: the classic standalone form hashes the
+/// raw element id directly (`new`), while the hash-once hot path
+/// composes a shared element *fingerprint base* with a per-lane 4-wise
+/// mix (`with_base`) — the base is evaluated once per edge by the
+/// estimator and every lane only pays the cheap mix.
 #[derive(Debug, Clone)]
 pub struct UniverseReducer {
     z: u64,
     hash: KWise,
+    /// Shared element fingerprint base (hash-once path). `None` for
+    /// standalone reducers that hash raw ids.
+    base: Option<KWise>,
 }
 
 impl UniverseReducer {
-    /// Create a reducer onto `[z]` pseudo-elements.
+    /// Create a reducer onto `[z]` pseudo-elements hashing raw ids.
     pub fn new(z: u64, seed: u64) -> Self {
         assert!(z >= 1, "z must be positive");
         UniverseReducer {
             z,
             hash: four_wise(seed),
+            base: None,
         }
     }
 
-    /// Pseudo-element of `elem`.
+    /// Create a reducer that consumes element *fingerprints* under the
+    /// shared `base`: `map(e) = mix(base(e)) mod z`. The scalar `map`
+    /// stays available (it applies the base itself), so standalone and
+    /// batched ingestion remain bit-identical.
+    pub fn with_base(z: u64, seed: u64, base: KWise) -> Self {
+        assert!(z >= 1, "z must be positive");
+        UniverseReducer {
+            z,
+            hash: four_wise(seed),
+            base: Some(base),
+        }
+    }
+
+    /// Pseudo-element of `elem` (raw id).
     #[inline]
     pub fn map(&self, elem: u64) -> u64 {
-        self.hash.hash_to_range(elem, self.z)
+        match &self.base {
+            Some(b) => self.hash.hash_to_range(b.hash(elem), self.z),
+            None => self.hash.hash_to_range(elem, self.z),
+        }
+    }
+
+    /// Pseudo-element from a precomputed fingerprint `base(elem)`.
+    /// Only meaningful on reducers built with [`Self::with_base`];
+    /// bit-identical to `map(elem)` there.
+    #[inline]
+    pub fn map_fp(&self, fp_elem: u64) -> u64 {
+        debug_assert!(self.base.is_some(), "map_fp needs a fingerprint base");
+        self.hash.hash_to_range(fp_elem, self.z)
     }
 
     /// Reduce a chunk of edges into `out` (cleared first): each edge's
@@ -48,20 +83,39 @@ impl UniverseReducer {
         );
     }
 
+    /// Reduce a chunk given precomputed element fingerprints (hash-once
+    /// path; `fps[i]` must be `base(edges[i].elem)`). State-identical
+    /// to [`Self::map_batch`] on base-carrying reducers.
+    pub fn map_fp_batch(&self, edges: &[Edge], fps: &[u64], out: &mut Vec<Edge>) {
+        debug_assert_eq!(edges.len(), fps.len());
+        out.clear();
+        out.extend(
+            edges
+                .iter()
+                .zip(fps)
+                .map(|(e, &fp)| Edge::new(e.set, self.map_fp(fp) as u32)),
+        );
+    }
+
     /// The pseudo-universe size `z`.
     pub fn z(&self) -> u64 {
         self.z
     }
 
-    /// Whether `other` computes the same map `U → [z]` (same range and
-    /// same hash function, checked by probing). Used by the merge path
-    /// to verify two lanes reduce the universe identically.
+    /// Whether `other` computes the same map `U → [z]` (same range,
+    /// same mix, and same base arrangement, checked by probing the
+    /// components separately — probing the composed `map` at small `z`
+    /// would accept colliding-but-different functions). Used by the
+    /// merge path to verify two lanes reduce the universe identically.
     pub fn same_function(&self, other: &Self) -> bool {
+        let probes = (0..4u64).map(|i| 0x5eed_c0de ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
         self.z == other.z
-            && (0..4u64).all(|i| {
-                let probe = 0x5eed_c0de ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-                self.hash.hash(probe) == other.hash.hash(probe)
-            })
+            && self.base.is_some() == other.base.is_some()
+            && probes.clone().all(|p| self.hash.hash(p) == other.hash.hash(p))
+            && match (&self.base, &other.base) {
+                (Some(a), Some(b)) => probes.clone().all(|p| a.hash(p) == b.hash(p)),
+                _ => true,
+            }
     }
 
     /// Image size `|h(S)|` of an explicit set (used by tests and the
@@ -77,7 +131,7 @@ impl UniverseReducer {
 
 impl SpaceUsage for UniverseReducer {
     fn space_words(&self) -> usize {
-        self.hash.space_words() + 1
+        self.hash.space_words() + self.base.as_ref().map_or(0, |b| b.space_words()) + 1
     }
 }
 
@@ -91,6 +145,13 @@ impl kcov_sketch::WireEncode for UniverseReducer {
         put_u64(out, TAG_UR);
         put_u64(out, self.z);
         put_kwise(out, &self.hash);
+        match &self.base {
+            Some(b) => {
+                put_u64(out, 1);
+                put_kwise(out, b);
+            }
+            None => put_u64(out, 0),
+        }
     }
 
     fn decode(input: &mut &[u8]) -> Result<Self, kcov_sketch::WireError> {
@@ -103,7 +164,12 @@ impl kcov_sketch::WireEncode for UniverseReducer {
             return Err(err("UniverseReducer z must be positive"));
         }
         let hash = take_kwise(input)?;
-        Ok(UniverseReducer { z, hash })
+        let base = match take_u64(input)? {
+            0 => None,
+            1 => Some(take_kwise(input)?),
+            other => return Err(err(format!("bad UniverseReducer base flag {other}"))),
+        };
+        Ok(UniverseReducer { z, hash, base })
     }
 }
 
@@ -178,6 +244,31 @@ mod tests {
         assert!(a.same_function(&b));
         assert!(!a.same_function(&c));
         assert!(!a.same_function(&d));
+    }
+
+    #[test]
+    fn base_variant_is_fingerprint_consistent() {
+        let base = KWise::new(8, 77);
+        let r = UniverseReducer::new(64, 5);
+        let f = UniverseReducer::with_base(64, 5, base.clone());
+        for e in 0..200u64 {
+            // map applies the base itself; map_fp consumes it precomputed.
+            assert_eq!(f.map(e), f.map_fp(base.hash(e)));
+        }
+        // Base presence is part of the function identity even when the
+        // mix seed matches.
+        assert!(!r.same_function(&f));
+        let g = UniverseReducer::with_base(64, 5, base.clone());
+        assert!(f.same_function(&g));
+        let h = UniverseReducer::with_base(64, 5, KWise::new(8, 78));
+        assert!(!f.same_function(&h));
+        // Batched fingerprint reduction matches scalar reduction.
+        let edges: Vec<Edge> = (0..50u32).map(|i| Edge::new(i, i * 3 % 40)).collect();
+        let fps: Vec<u64> = edges.iter().map(|e| base.hash(e.elem as u64)).collect();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        f.map_batch(&edges, &mut a);
+        f.map_fp_batch(&edges, &fps, &mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

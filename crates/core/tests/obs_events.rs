@@ -103,13 +103,22 @@ fn subroutine_space_snapshots_sum_to_the_total() {
         est.space_words() as u64,
         "per-subroutine snapshots must sum exactly to the estimator total"
     );
-    // The per-lane space fields also partition the total.
+    // The per-lane space fields partition the total minus the
+    // estimator-global hash-once front end (the "fingerprints"
+    // subroutine event, which belongs to no lane).
     let lane_sum: u64 = rec
         .events_of("lane")
         .iter()
         .map(|e| e.u64_field("space_words").unwrap())
         .sum();
-    assert_eq!(lane_sum, est.space_words() as u64);
+    let fps_words: u64 = rec
+        .events_of("subroutine")
+        .iter()
+        .filter(|e| e.str_field("name") == Some("fingerprints"))
+        .map(|e| e.u64_field("space_words").unwrap())
+        .sum();
+    assert!(fps_words > 0, "hash-once front end must be accounted");
+    assert_eq!(lane_sum + fps_words, est.space_words() as u64);
 }
 
 #[test]

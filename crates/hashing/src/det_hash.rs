@@ -1,0 +1,118 @@
+//! A deterministic, seedless `BuildHasher` for the workspace's internal
+//! `HashMap`s of `u64` keys.
+//!
+//! `std`'s default SipHash is keyed per-process for HashDoS resistance,
+//! which this workspace neither needs (keys are already outputs of
+//! seeded hash functions, not attacker-controlled strings) nor wants on
+//! the ingest hot path (SipHash costs tens of nanoseconds per probe).
+//! `DetBuildHasher` finishes a `u64` key with the SplitMix64 finalizer —
+//! a full-avalanche bijection — in a few cycles, and is *deterministic
+//! across processes*, which keeps replica states reproducible. Nothing
+//! may depend on map iteration order regardless (the determinism
+//! contract already forbids it); this hasher only changes bucket
+//! placement and speed, never any observable state.
+
+use std::hash::{BuildHasher, Hasher};
+
+/// Hasher state: the running mix of everything written so far.
+#[derive(Debug, Default, Clone)]
+pub struct DetU64Hasher(u64);
+
+#[inline]
+fn mix(v: u64) -> u64 {
+    // SplitMix64 finalizer: a bijective full-avalanche mix.
+    let mut z = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Hasher for DetU64Hasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (FNV-1a) for non-u64 keys; correctness only,
+        // the hot paths all key on u64.
+        let mut h = self.0 ^ 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        self.0 = mix(h);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = mix(self.0 ^ v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// Deterministic `BuildHasher`: every process, every run, the same
+/// bucket placement.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DetBuildHasher;
+
+impl BuildHasher for DetBuildHasher {
+    type Hasher = DetU64Hasher;
+
+    #[inline]
+    fn build_hasher(&self) -> DetU64Hasher {
+        DetU64Hasher(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = DetBuildHasher;
+        let b = DetBuildHasher;
+        for k in [0u64, 1, 42, u64::MAX, 0x5eed_c0de] {
+            let mut ha = a.build_hasher();
+            ha.write_u64(k);
+            let mut hb = b.build_hasher();
+            hb.write_u64(k);
+            assert_eq!(ha.finish(), hb.finish());
+        }
+    }
+
+    #[test]
+    fn distinct_keys_avalanche() {
+        // Adjacent keys must not land adjacent: count collisions of the
+        // low 10 bits over a dense key range.
+        let bh = DetBuildHasher;
+        let mut buckets = vec![0u32; 1024];
+        for k in 0..10_000u64 {
+            let mut h = bh.build_hasher();
+            h.write_u64(k);
+            buckets[(h.finish() & 1023) as usize] += 1;
+        }
+        let max = buckets.iter().copied().max().unwrap();
+        assert!(max < 40, "low-bit clustering: max bucket {max}");
+    }
+
+    #[test]
+    fn works_as_hashmap_hasher() {
+        let mut m: HashMap<u64, u64, DetBuildHasher> = HashMap::default();
+        for k in 0..1000u64 {
+            m.insert(k, k * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&999), Some(&1998));
+    }
+}

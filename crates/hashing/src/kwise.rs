@@ -47,6 +47,11 @@ impl RangeHash for KWise {
     fn hash(&self, key: u64) -> u64 {
         self.inner.hash(key)
     }
+
+    #[inline]
+    fn hash_batch(&self, keys: &[u64], out: &mut Vec<u64>) {
+        self.inner.hash_batch(keys, out);
+    }
 }
 
 /// Pairwise (2-wise) independent hash — Lemma 4.16's sampling, KMV ranks.

@@ -22,6 +22,7 @@
 //! by a `u64` seed so that every experiment in the workspace is
 //! reproducible.
 
+pub mod det_hash;
 pub mod field;
 pub mod kwise;
 pub mod multiply_shift;
@@ -29,6 +30,7 @@ pub mod poly;
 pub mod seeded;
 pub mod tabulation;
 
+pub use det_hash::DetBuildHasher;
 pub use field::{Fp, MERSENNE_P};
 pub use kwise::{four_wise, log_wise, pairwise, KWise, SignHash};
 pub use multiply_shift::MultiplyShift;
@@ -59,6 +61,17 @@ pub trait RangeHash {
     #[inline]
     fn selects(&self, key: u64, r: u64) -> bool {
         self.hash_to_range(key, r) == 0
+    }
+
+    /// Evaluate [`RangeHash::hash`] over a flat block of keys into `out`
+    /// (cleared first). The contract is *scalar equivalence*: for every
+    /// input, `out[i] == self.hash(keys[i])` bit-for-bit — overrides may
+    /// only restructure the evaluation (SIMD-friendly blocked layouts),
+    /// never change the function. This is the batched hot-path entry the
+    /// estimator's hash-once fingerprint pipeline is built on.
+    fn hash_batch(&self, keys: &[u64], out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(keys.iter().map(|&k| self.hash(k)));
     }
 }
 

@@ -90,6 +90,35 @@ impl RangeHash for PolyHash {
             }
         }
     }
+
+    /// Blocked Horner evaluation: 8 keys at a time, coefficient-outer,
+    /// so each field constant is loaded once per block and the 8 lanes
+    /// of independent multiply-adds autovectorize. Scalar-equivalent by
+    /// construction — starting from `Fp::ZERO`, the first Horner step
+    /// `ZERO·x + c_{d-1} = c_{d-1}` reproduces the unrolled small-degree
+    /// arms of [`PolyHash::hash`] exactly, so every lane computes the
+    /// identical field element for every degree.
+    fn hash_batch(&self, keys: &[u64], out: &mut Vec<u64>) {
+        const LANES: usize = 8;
+        out.clear();
+        out.reserve(keys.len());
+        let coeffs = self.coeffs.as_slice();
+        let mut blocks = keys.chunks_exact(LANES);
+        for block in &mut blocks {
+            let mut xs = [Fp::ZERO; LANES];
+            for (x, &k) in xs.iter_mut().zip(block) {
+                *x = Fp::new(k);
+            }
+            let mut acc = [Fp::ZERO; LANES];
+            for &c in coeffs.iter().rev() {
+                for lane in 0..LANES {
+                    acc[lane] = acc[lane].mul_add(xs[lane], c);
+                }
+            }
+            out.extend(acc.iter().map(|a| a.value()));
+        }
+        out.extend(blocks.remainder().iter().map(|&k| self.hash(k)));
+    }
 }
 
 #[cfg(test)]

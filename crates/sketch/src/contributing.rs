@@ -49,6 +49,14 @@ pub struct ContributingConfig {
     /// the candidate lists otherwise dominate space when the universe
     /// of coordinates is small relative to `1/φ`.
     pub hh_capacity_factor: f64,
+    /// Independence degree of the shared coordinate-sampling hash.
+    /// `None` (the default) uses the paper's `Θ(log(mn))`-wise degree
+    /// (Claim 2.8). Callers that feed the finder *already-fingerprinted*
+    /// keys — outputs of an upstream `Θ(log(mn))`-wise hash — can pass a
+    /// small fixed degree here: the composition stays as independent as
+    /// the weaker stage, and the Horner loop on the per-update hot path
+    /// shrinks accordingly.
+    pub sampling_degree: Option<usize>,
 }
 
 impl ContributingConfig {
@@ -64,6 +72,7 @@ impl ContributingConfig {
             hh_width_factor: 32.0,
             hh_rows: 5,
             hh_capacity_factor: 8.0,
+            sampling_degree: None,
         }
     }
 }
@@ -118,7 +127,10 @@ impl F2Contributing {
             c.capacity_factor = config.hh_capacity_factor;
             c
         };
-        let hash = log_wise(m, n, seq.next_seed());
+        let hash = match config.sampling_degree {
+            Some(d) => KWise::new(d, seq.next_seed()),
+            None => log_wise(m, n, seq.next_seed()),
+        };
         // Levels whose modulus does not exceed `survivors_per_class`
         // sample with probability 1 and are therefore identical to the
         // unsampled level — build one unsampled level plus the truly
@@ -148,26 +160,32 @@ impl F2Contributing {
     pub fn insert(&mut self, item: u64) {
         let h = self.hash.hash(item);
         for level in &mut self.levels {
-            if h % level.modulus < level.keep {
+            // Moduli are powers of two (validated by `from_parts` and by
+            // construction), so the residue is a mask — value-identical
+            // to `h % modulus`, minus the division.
+            if h & (level.modulus - 1) < level.keep {
                 level.hh.insert(item);
             }
         }
     }
 
     /// Observe a chunk of updates. The shared sampling hash is evaluated
-    /// once per item for the whole chunk; each level then consumes its
+    /// once per item for the whole chunk (through the blocked
+    /// [`RangeHash::hash_batch`] evaluator); each level then consumes its
     /// surviving sub-chunk in arrival order, so every per-level heavy
     /// hitter sees the exact item sequence the per-item path feeds it.
     pub fn insert_batch(&mut self, items: &[u64]) {
-        let hashes: Vec<u64> = items.iter().map(|&item| self.hash.hash(item)).collect();
+        let mut hashes: Vec<u64> = Vec::new();
+        self.hash.hash_batch(items, &mut hashes);
         let mut survivors: Vec<u64> = Vec::with_capacity(items.len());
         for level in &mut self.levels {
+            let mask = level.modulus - 1;
             survivors.clear();
             survivors.extend(
                 items
                     .iter()
                     .zip(&hashes)
-                    .filter(|&(_, &h)| h % level.modulus < level.keep)
+                    .filter(|&(_, &h)| h & mask < level.keep)
                     .map(|(&item, _)| item),
             );
             level.hh.insert_batch(&survivors);

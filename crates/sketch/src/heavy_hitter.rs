@@ -7,18 +7,22 @@
 //!
 //! For insertion-only streams (the only kind this workspace feeds it) the
 //! standard practical realization is CountSketch plus a bounded candidate
-//! tracker: every arriving item is a candidate; we keep the `O(1/φ)`
-//! candidates with the largest sketch estimates, refreshing an item's
-//! estimate each time it arrives. A true `φ`-heavy hitter arrives at least
-//! `√(φ·F2) ≥ φ·F1/√(F1·φ)` times, keeps its estimate fresh and therefore
-//! survives every pruning round; at query time all candidates are
-//! re-estimated and thresholded against an AMS estimate of `F2`.
+//! tracker: every arriving item is a candidate; the tracker keeps the
+//! `O(1/φ)` candidates with the most arrivals *since tracking began*. A
+//! true `φ`-heavy hitter arrives `≥ √(φ·F2)` times, out-counts the noise
+//! tail between any two pruning rounds and therefore survives every
+//! prune; at query time the candidates are re-estimated through the
+//! sketch and thresholded against `F2`. Both estimates come from the one
+//! CountSketch: the point query is the usual median-of-rows, and `F2` is
+//! the median over rows of the row's summed squared counters (each row
+//! *is* a width-bucketed AMS estimator, so no second sketch is needed on
+//! the update path — the tracker itself touches no hash at all).
 
 use std::collections::HashMap;
 
+use kcov_hash::DetBuildHasher;
 use kcov_obs::SketchStats;
 
-use crate::ams_f2::AmsF2;
 use crate::count_sketch::CountSketch;
 use crate::space::SpaceUsage;
 
@@ -71,12 +75,13 @@ pub struct HeavyItem {
 pub struct F2HeavyHitter {
     config: HeavyHitterConfig,
     sketch: CountSketch,
-    f2: AmsF2,
-    /// item → (sketch estimate at tracking time, exact arrivals since).
-    /// The sum is a running lower-bound-quality estimate that is cheap
-    /// to maintain (no sketch query on the tracked-item fast path); the
-    /// final report re-queries the sketch for `(1 ± 1/2)` precision.
-    candidates: HashMap<u64, (i64, i64)>,
+    /// item → exact arrivals since tracking began. Counts never consult
+    /// the sketch, so the tracker state is a pure function of the
+    /// *multiset deltas* of the insertion sequence between prunes —
+    /// which is what makes batched ingestion and shard merging
+    /// state-identical to serial insertion (the deterministic hasher
+    /// keeps bucket placement reproducible across processes too).
+    candidates: HashMap<u64, i64, DetBuildHasher>,
     capacity: usize,
     items_seen: u64,
     /// Telemetry: pruning rounds fired (not state — merged by addition,
@@ -95,11 +100,10 @@ impl F2HeavyHitter {
         let capacity = ((config.capacity_factor / config.phi).ceil() as usize).clamp(8, 1 << 22);
         F2HeavyHitter {
             sketch: CountSketch::new(config.rows, width, seed ^ 0x5ca1ab1e),
-            // 3×8 keeps the per-update cost low on the hot path; the
-            // F2 estimate is only consulted for the final threshold, and
-            // ±35% there is absorbed by `report_slack`.
-            f2: AmsF2::new(3, 8, seed ^ 0x0ddba11),
-            candidates: HashMap::with_capacity(capacity + capacity / 2 + 1),
+            candidates: HashMap::with_capacity_and_hasher(
+                capacity + capacity / 2 + 1,
+                DetBuildHasher,
+            ),
             capacity,
             config,
             items_seen: 0,
@@ -115,63 +119,66 @@ impl F2HeavyHitter {
     }
 
     /// Observe one occurrence of `item`.
+    #[inline]
     pub fn insert(&mut self, item: u64) {
         self.items_seen += 1;
         self.sketch.insert(item);
-        self.f2.insert(item);
-        if let Some(entry) = self.candidates.get_mut(&item) {
-            entry.1 += 1; // fast path: tracked item, exact increment
-        } else {
-            let est = self.sketch.query(item);
-            self.candidates.insert(item, (est, 0));
+        *self.candidates.entry(item).or_insert(0) += 1;
+        if self.candidates.len() > self.capacity + self.capacity / 2 {
+            self.prune();
+        }
+    }
+
+    /// Observe a chunk of items. The sketch is linear (updates commute)
+    /// and the tracker never consults it, so feeding the whole chunk to
+    /// the sketch first and then walking the tracker sequentially lands
+    /// in a state bit-identical to per-item [`F2HeavyHitter::insert`]:
+    /// prune trigger points depend only on the arrival order of
+    /// *distinct* items, which the sequential tracker loop preserves.
+    pub fn insert_batch(&mut self, items: &[u64]) {
+        self.sketch.insert_batch(items);
+        self.items_seen += items.len() as u64;
+        for &item in items {
+            *self.candidates.entry(item).or_insert(0) += 1;
             if self.candidates.len() > self.capacity + self.capacity / 2 {
                 self.prune();
             }
         }
     }
 
-    /// Observe a chunk of items. The candidate tracker is
-    /// order-sensitive (a new candidate's base estimate is the sketch
-    /// query *at arrival time*, and pruning fires on capacity), so this
-    /// must remain a sequential per-item loop to stay state-identical to
-    /// [`F2HeavyHitter::insert`]; only call dispatch is amortized.
-    pub fn insert_batch(&mut self, items: &[u64]) {
-        for &item in items {
-            self.insert(item);
-        }
-    }
-
-    /// Drop the candidates with the smallest stored estimates, keeping
-    /// `capacity` of them. Ties at the cut are broken by item id, never
-    /// by map iteration order: the surviving set must be a pure function
-    /// of the insertion sequence or the batched ingestion engine's
+    /// Drop the candidates with the fewest arrivals, keeping `capacity`
+    /// of them. Ties at the cut are broken by item id, never by map
+    /// iteration order: the surviving set must be a pure function of the
+    /// insertion sequence or the batched ingestion engine's
     /// bit-identical-state guarantee breaks.
     fn prune(&mut self) {
         let keep = self.capacity;
         self.prunes += 1;
         let before = self.candidates.len();
-        let mut ests: Vec<i64> = self.candidates.values().map(|&(b, c)| b + c).collect();
+        let mut counts: Vec<i64> = self.candidates.values().copied().collect();
         // k-th largest value as the cut (a value, so order-independent).
-        let cut_idx = ests.len() - keep;
-        ests.select_nth_unstable(cut_idx);
-        let cut = ests[cut_idx];
-        let above = self.candidates.values().filter(|&&(b, c)| b + c > cut).count();
+        let cut_idx = counts.len() - keep;
+        counts.select_nth_unstable(cut_idx);
+        let cut = counts[cut_idx];
+        let above = self.candidates.values().filter(|&&c| c > cut).count();
         let mut tied: Vec<u64> = self
             .candidates
             .iter()
-            .filter(|&(_, &(b, c))| b + c == cut)
+            .filter(|&(_, &c)| c == cut)
             .map(|(&item, _)| item)
             .collect();
         tied.sort_unstable();
         tied.truncate(keep.saturating_sub(above));
         self.candidates
-            .retain(|item, &mut (b, c)| b + c > cut || tied.binary_search(item).is_ok());
+            .retain(|item, &mut c| c > cut || tied.binary_search(item).is_ok());
         self.evictions += (before - self.candidates.len()) as u64;
     }
 
-    /// Estimate of `F2` of the full stream.
+    /// Estimate of `F2` of the full stream (median of per-row AMS
+    /// estimates derived from the CountSketch table — see
+    /// [`CountSketch::f2_estimate`]).
     pub fn f2_estimate(&self) -> f64 {
-        self.f2.estimate()
+        self.sketch.f2_estimate()
     }
 
     /// `(1 ± 1/2)`-approximate frequency of an arbitrary item.
@@ -218,28 +225,22 @@ impl F2HeavyHitter {
         &self.sketch
     }
 
-    /// The AMS `F2` sketch (wire serialization).
-    pub fn f2_sketch(&self) -> &AmsF2 {
-        &self.f2
-    }
-
-    /// Candidate entries as `(item, base estimate, arrivals since)`,
+    /// Candidate entries as `(item, arrivals since tracking began)`,
     /// sorted by item so the encoding is canonical (wire serialization).
-    pub fn candidate_entries(&self) -> Vec<(u64, i64, i64)> {
-        let mut out: Vec<(u64, i64, i64)> =
-            self.candidates.iter().map(|(&item, &(b, c))| (item, b, c)).collect();
+    pub fn candidate_entries(&self) -> Vec<(u64, i64)> {
+        let mut out: Vec<(u64, i64)> =
+            self.candidates.iter().map(|(&item, &c)| (item, c)).collect();
         out.sort_unstable();
         out
     }
 
     /// Rebuild from parts (inverse of the accessors). Fails when the
-    /// sketch shapes disagree with what `config` dictates or the
+    /// sketch shape disagrees with what `config` dictates or the
     /// candidate list exceeds its high-water mark.
     pub fn from_parts(
         config: HeavyHitterConfig,
         sketch: CountSketch,
-        f2: AmsF2,
-        candidates: Vec<(u64, i64, i64)>,
+        candidates: Vec<(u64, i64)>,
         items_seen: u64,
     ) -> Result<Self, String> {
         if !(config.phi > 0.0 && config.phi <= 1.0) {
@@ -257,11 +258,13 @@ impl F2HeavyHitter {
                 capacity + capacity / 2
             ));
         }
+        let mut map: HashMap<u64, i64, DetBuildHasher> =
+            HashMap::with_capacity_and_hasher(capacity + capacity / 2 + 1, DetBuildHasher);
+        map.extend(candidates);
         Ok(F2HeavyHitter {
             config,
             sketch,
-            f2,
-            candidates: candidates.into_iter().map(|(item, b, c)| (item, (b, c))).collect(),
+            candidates: map,
             capacity,
             items_seen,
             prunes: 0,
@@ -271,20 +274,17 @@ impl F2HeavyHitter {
     }
 
     /// Merge a tracker built with the same configuration and seed over a
-    /// *disjoint stream shard*. The CountSketch and AMS substructures
-    /// are linear, so their merged state is bit-identical to
-    /// single-stream ingestion. The candidate tracker is the one
-    /// order-sensitive piece: the merged candidate set is rebuilt
-    /// *canonically* — the union of both key sets, every entry re-based
-    /// on the merged sketch, pruned by the same value-cut/item-id rule
-    /// as serial ingestion. This makes merging commutative and
-    /// associative (the result depends only on the union of tracked
-    /// keys), and [`F2HeavyHitter::heavy_hitters`] — which re-queries
-    /// the merged sketch and thresholds against the merged `F2` — agrees
-    /// with serial ingestion whenever the tracked key sets agree on the
-    /// threshold-passing items (the equivalence contract; exact whenever
-    /// the candidate list never overflowed). Panics on configuration or
-    /// seed mismatch.
+    /// *disjoint stream shard*. The CountSketch is linear, so its merged
+    /// state (and therefore both the point queries and the `F2`
+    /// estimate) is bit-identical to single-stream ingestion. The
+    /// candidate tracker merges by *summing arrival counts* over the
+    /// union of tracked keys — exactly what serial ingestion would have
+    /// counted whenever neither side pruned the key — then prunes by the
+    /// same value-cut/item-id rule as serial ingestion if over the
+    /// high-water mark. Summation is commutative and associative, so
+    /// merging is too; the result is bit-identical to serial ingestion
+    /// whenever the candidate list never overflowed. Panics on
+    /// configuration or seed mismatch.
     pub fn merge(&mut self, other: &Self) {
         let cfg = |c: &HeavyHitterConfig| {
             (
@@ -301,16 +301,9 @@ impl F2HeavyHitter {
             "F2HeavyHitter merge requires identical configuration"
         );
         self.sketch.merge(&other.sketch);
-        self.f2.merge(&other.f2);
         self.items_seen += other.items_seen;
-        let mut items: Vec<u64> = self.candidates.keys().copied().collect();
-        items.extend(other.candidates.keys().copied());
-        items.sort_unstable();
-        items.dedup();
-        self.candidates.clear();
-        for &item in &items {
-            let est = self.sketch.query(item);
-            self.candidates.insert(item, (est, 0));
+        for (&item, &count) in &other.candidates {
+            *self.candidates.entry(item).or_insert(0) += count;
         }
         if self.candidates.len() > self.capacity + self.capacity / 2 {
             self.prune();
@@ -332,8 +325,8 @@ impl F2HeavyHitter {
     }
 
     /// Telemetry snapshot for the candidate tracker (fill/capacity are
-    /// the candidate list, not the linear substructures — those have
-    /// their own [`CountSketch::stats`]/[`AmsF2::stats`]).
+    /// the candidate list, not the linear sketch — that has its own
+    /// [`CountSketch::stats`]).
     pub fn stats(&self) -> SketchStats {
         SketchStats {
             updates: self.items_seen,
@@ -348,9 +341,8 @@ impl F2HeavyHitter {
 
 impl SpaceUsage for F2HeavyHitter {
     fn space_words(&self) -> usize {
-        // Each candidate entry holds an item, a base estimate and a
-        // counter (3 words).
-        self.sketch.space_words() + self.f2.space_words() + 3 * self.candidates.len()
+        // Each candidate entry holds an item and an arrival count.
+        self.sketch.space_words() + 2 * self.candidates.len()
     }
 }
 
@@ -472,10 +464,54 @@ mod tests {
     }
 
     #[test]
+    fn batch_insert_state_identical_to_serial() {
+        // The tentpole contract: insert_batch must land in a state
+        // bit-identical to per-item insert at every batch size, across
+        // prune boundaries.
+        let items: Vec<u64> = (0..5_000u64).map(|i| i * 31 % 1_700).collect();
+        let mut serial = F2HeavyHitter::for_phi(0.05, 77);
+        for &item in &items {
+            serial.insert(item);
+        }
+        for chunk in [1usize, 7, 64, 999, items.len()] {
+            let mut batched = F2HeavyHitter::for_phi(0.05, 77);
+            for block in items.chunks(chunk) {
+                batched.insert_batch(block);
+            }
+            assert_eq!(batched.candidate_entries(), serial.candidate_entries(), "chunk {chunk}");
+            assert_eq!(batched.sketch().table(), serial.sketch().table(), "chunk {chunk}");
+            assert_eq!(batched.items_seen(), serial.items_seen());
+            assert_eq!(batched.f2_estimate().to_bits(), serial.f2_estimate().to_bits());
+        }
+    }
+
+    #[test]
+    fn f2_estimate_tracks_truth() {
+        // Single item of frequency f: every row holds ±f in one bucket,
+        // so each row's sum of squares is exactly f².
+        let mut hh = F2HeavyHitter::for_phi(0.1, 4);
+        for _ in 0..50 {
+            hh.insert(9);
+        }
+        assert_eq!(hh.f2_estimate(), 2500.0);
+        // Mixed stream: within AMS-style tolerance of the exact F2.
+        let mut hh = F2HeavyHitter::for_phi(0.01, 2024);
+        for i in 0..500u64 {
+            for _ in 0..10 {
+                hh.insert(i);
+            }
+        }
+        let truth = 500.0 * 100.0;
+        let est = hh.f2_estimate();
+        let rel = (est - truth).abs() / truth;
+        assert!(rel < 0.25, "relative error {rel} (est {est}, truth {truth})");
+    }
+
+    #[test]
     fn merge_matches_serial_report() {
         // Shards whose distinct-item count stays within the candidate
         // capacity: the merged tracker is bit-identical to serial
-        // ingestion (same candidate keys, same linear sketches).
+        // ingestion (same candidate keys and counts, same linear sketch).
         let proto = F2HeavyHitter::for_phi(0.05, 13);
         let mut left = proto.clone();
         let mut right = proto.clone();
@@ -541,23 +577,16 @@ mod tests {
         let back = F2HeavyHitter::from_parts(
             hh.config().clone(),
             hh.sketch().clone(),
-            hh.f2_sketch().clone(),
             hh.candidate_entries(),
             hh.items_seen(),
         )
         .unwrap();
         assert_eq!(hh.heavy_hitters(), back.heavy_hitters());
+        assert_eq!(hh.candidate_entries(), back.candidate_entries());
         assert_eq!(hh.items_seen(), back.items_seen());
         // Mismatched sketch shape is rejected.
         let wrong = CountSketch::new(2, 8, 1);
-        assert!(F2HeavyHitter::from_parts(
-            hh.config().clone(),
-            wrong,
-            hh.f2_sketch().clone(),
-            Vec::new(),
-            0,
-        )
-        .is_err());
+        assert!(F2HeavyHitter::from_parts(hh.config().clone(), wrong, Vec::new(), 0).is_err());
     }
 
     #[test]
@@ -578,7 +607,6 @@ mod tests {
         let back = F2HeavyHitter::from_parts(
             hh.config().clone(),
             hh.sketch().clone(),
-            hh.f2_sketch().clone(),
             hh.candidate_entries(),
             hh.items_seen(),
         )

@@ -175,7 +175,10 @@ pub const WIRE_MAGIC: u64 = 0x4b43_4f56_5749_5245;
 /// Version of the full-state wire format. Bump on any layout change;
 /// decoders reject every version but their own (full-state payloads are
 /// replica checkpoints, not archives — there is nothing to migrate).
-pub const WIRE_VERSION: u64 = 1;
+/// Version history: 1 = original; 2 = hash-once hot path (fingerprint
+/// bases in the estimator state, count-based heavy-hitter candidate
+/// pairs, no embedded AMS sketch).
+pub const WIRE_VERSION: u64 = 2;
 
 /// Append the versioned full-state header: magic, version, payload tag.
 pub fn put_header(out: &mut Vec<u8>, tag: u64) {
@@ -430,13 +433,11 @@ impl WireEncode for F2HeavyHitter {
         put_f64(out, c.capacity_factor);
         put_f64(out, c.report_slack);
         self.sketch().encode(out);
-        self.f2_sketch().encode(out);
         put_u64(out, self.items_seen());
         let candidates = self.candidate_entries();
         put_u64(out, candidates.len() as u64);
-        for (item, base, count) in candidates {
+        for (item, count) in candidates {
             put_u64(out, item);
-            put_i64(out, base);
             put_i64(out, count);
         }
     }
@@ -453,16 +454,15 @@ impl WireEncode for F2HeavyHitter {
             report_slack: take_f64(input)?,
         };
         let sketch = CountSketch::decode(input)?;
-        let f2 = AmsF2::decode(input)?;
         let items_seen = take_u64(input)?;
         let n = take_u64(input)? as usize;
-        if n > input.len() / 24 {
+        if n > input.len() / 16 {
             return Err(err(format!("truncated candidate list of {n} entries")));
         }
         let candidates = (0..n)
-            .map(|_| Ok((take_u64(input)?, take_i64(input)?, take_i64(input)?)))
+            .map(|_| Ok((take_u64(input)?, take_i64(input)?)))
             .collect::<Result<Vec<_>, WireError>>()?;
-        F2HeavyHitter::from_parts(config, sketch, f2, candidates, items_seen).map_err(err)
+        F2HeavyHitter::from_parts(config, sketch, candidates, items_seen).map_err(err)
     }
 }
 

@@ -7,7 +7,10 @@
 //! successfully when they land in free payload like a counter value;
 //! they must never bring the process down).
 
-use maxkcov::core::{EstimatorConfig, MaxCoverEstimator, TwoPassFirst, UniverseReducer};
+use maxkcov::core::{
+    EdgeFingerprints, EstimatorConfig, LargeCommon, LargeSet, MaxCoverEstimator, Oracle, Params,
+    SmallSet, TwoPassFirst, UniverseReducer,
+};
 use maxkcov::obs::{Histogram, SketchStats};
 use maxkcov::sketch::{
     AmsF2, Bjkst, ContributingConfig, CountMin, CountSketch, F2Contributing, F2HeavyHitter,
@@ -134,6 +137,37 @@ fn telemetry_types_roundtrip_and_reject_mangling() {
     };
     exhaust("SketchStats", &stats);
     exhaust("UniverseReducer", &UniverseReducer::new(64, 99));
+}
+
+/// The hash-once front end and every subroutine that now carries a
+/// shared set-fingerprint base section: these encodings were reshaped
+/// by the batched hot-path refactor (DESIGN.md §12), so each gets the
+/// full battery standalone, fed through its fingerprint entry points.
+#[test]
+fn hash_once_structures_roundtrip_and_reject_mangling() {
+    exhaust("EdgeFingerprints(d8)", &EdgeFingerprints::new(77, 8));
+    exhaust("EdgeFingerprints(d16)", &EdgeFingerprints::new(78, 16));
+
+    let system = zipf_popularity(500, 40, 12, 1.1, 11);
+    let edges = edge_stream(&system, ArrivalOrder::Shuffled(4));
+    let params = Params::practical(40, 500, 6, 3.0);
+    let fps = EdgeFingerprints::new(91, Params::hash_degree(params.mode, 40, 500));
+    let fp_sets: Vec<u64> = edges.iter().map(|e| fps.fingerprint(*e).0).collect();
+
+    let mut oracle = Oracle::with_base(500, &params, false, 13, fps.set_base().clone());
+    let mut lc = LargeCommon::with_base(500, &params, false, 15, fps.set_base().clone());
+    let mut ls = LargeSet::with_base(500, &params, 17, fps.set_base().clone());
+    let mut ss = SmallSet::with_base(500, &params, 19, fps.set_base().clone());
+    for (chunk, fp_chunk) in edges.chunks(64).zip(fp_sets.chunks(64)) {
+        oracle.observe_fp_batch(chunk, fp_chunk);
+        lc.observe_fp_batch(chunk, fp_chunk);
+        ls.observe_fp_batch(chunk, fp_chunk);
+        ss.observe_fp_batch(chunk, fp_chunk);
+    }
+    exhaust("Oracle", &oracle);
+    exhaust("LargeCommon", &lc);
+    exhaust("LargeSet", &ls);
+    exhaust("SmallSet", &ss);
 }
 
 /// Coarse config so the estimator state stays small enough for the
