@@ -1,7 +1,9 @@
 //! `bench_compare` — the bench regression gate: diff a freshly
 //! generated `BENCH_*.json` against its committed baseline and fail on
-//! a >25% throughput drop (tolerance overridable) or *any* space
-//! increase. See [`kcov_bench::compare`] for the leaf classification.
+//! a >25% throughput drop (tolerance overridable), *any* space
+//! increase (including the `space_ledger` attribution leaves), or a
+//! measured `*space_slope` regressing shallower than baseline. See
+//! [`kcov_bench::compare`] for the leaf classification.
 //!
 //! ```text
 //! cargo run --release -p kcov-bench --bin bench_compare -- \
@@ -49,8 +51,9 @@ fn run() -> Result<(), String> {
     let report = compare_bench(&baseline, &fresh, tolerance);
     if !report.gated_anything() {
         return Err(format!(
-            "baseline {baseline_path} has no throughput (*edges_per_s) or space (*words) \
-             leaves — nothing to gate, refusing to report a vacuous pass"
+            "baseline {baseline_path} has no throughput (*edges_per_s), space (*words), \
+             or slope (*space_slope) leaves — nothing to gate, refusing to report a \
+             vacuous pass"
         ));
     }
     println!(

@@ -71,6 +71,39 @@ fn main() {
     let slope = log_log_slope(&alphas, &est_words);
     println!("\nlog-log slope of estimator words vs alpha: {slope:.2} (ideal -2)");
 
+    // Space-attribution ledger (DESIGN.md §13) of the alpha = 16 deep
+    // dive: leaf words aggregated across lanes (lane indices collapse
+    // to `lane*`), so the section stays compact while every
+    // `ledger_words` leaf is gated by bench_compare under the
+    // any-increase-fails space rule.
+    let ledger = est.space_ledger_tree();
+    let mut by_path: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for row in ledger.rows().iter().filter(|r| r.children == 0) {
+        let norm: Vec<&str> = row
+            .path
+            .split('/')
+            .map(|seg| {
+                let lane_idx = seg.strip_prefix("lane").is_some_and(|d| d.parse::<u64>().is_ok());
+                if lane_idx { "lane*" } else { seg }
+            })
+            .collect();
+        *by_path.entry(norm.join("/")).or_insert(0) += row.words;
+    }
+    assert_eq!(
+        by_path.values().sum::<u64>(),
+        est.space_words() as u64,
+        "aggregated ledger leaves must attribute every estimator word"
+    );
+    let ledger_rows: Vec<Json> = by_path
+        .iter()
+        .map(|(path, words)| {
+            Json::obj(vec![
+                ("path", Json::Str(path.clone())),
+                ("ledger_words", Json::Num(*words as f64)),
+            ])
+        })
+        .collect();
+
     let doc = Json::obj(vec![
         ("experiment", Json::Str("space".into())),
         (
@@ -82,7 +115,8 @@ fn main() {
             ]),
         ),
         ("sweep", Json::Arr(sweep)),
-        ("loglog_slope_estimator_words_vs_alpha", Json::Num(slope)),
+        ("estimator_alpha_space_slope", Json::Num(slope)),
+        ("space_ledger", Json::Arr(ledger_rows)),
     ]);
     // The breakdown is a deterministic function of the parameters, so
     // there is no smoke variant: a fresh run on any host must reproduce

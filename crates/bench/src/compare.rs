@@ -10,9 +10,14 @@
 //! * keys ending in `words` are **space**: any increase is a failure
 //!   (space here is a deterministic function of the parameters, so
 //!   there is no noise to tolerate),
-//! * keys ending in `speedup` or `_ns` or containing `slope` are
-//!   informational (derived ratios or per-phase wall-clock timings)
-//!   and are not checked,
+//! * keys ending in `space_slope` are **slope**: the measured log-log
+//!   space-vs-α slope (deterministic, fixed-seed) may not drift above
+//!   baseline by more than `tolerance·|baseline|` — slopes are
+//!   negative, so "above" means the scaling got shallower than the
+//!   paper's `m/α²` contract,
+//! * keys ending in `speedup` or `_ns` or containing `slope` (other
+//!   than the gated `space_slope`) are informational (derived ratios
+//!   or per-phase wall-clock timings) and are not checked,
 //! * every other leaf is **identity** (workload shape: `n`, `m`, `k`,
 //!   `alpha`, `edges`, `lanes`, names, …) and must match exactly — a
 //!   mismatch means the two files describe different experiments and
@@ -31,6 +36,8 @@ pub struct CompareReport {
     pub throughput_leaves: usize,
     /// Leaves checked under the space rule (`*words`).
     pub space_leaves: usize,
+    /// Leaves checked under the slope rule (`*space_slope`).
+    pub slope_leaves: usize,
     /// Human-readable failure descriptions; empty means pass.
     pub failures: Vec<String>,
     /// Per-throughput-leaf ratio lines, for context in CI logs.
@@ -47,24 +54,30 @@ impl CompareReport {
         self.failures.is_empty()
     }
 
-    /// True when at least one throughput or space leaf was actually
-    /// gated. A baseline with none of the tracked suffix keys
-    /// (`*edges_per_s`, `*words`) compares vacuously — the caller
-    /// should treat that as an error, not a pass.
+    /// True when at least one throughput, space, or slope leaf was
+    /// actually gated. A baseline with none of the tracked suffix keys
+    /// (`*edges_per_s`, `*words`, `*space_slope`) compares vacuously —
+    /// the caller should treat that as an error, not a pass.
     pub fn gated_anything(&self) -> bool {
-        self.throughput_leaves + self.space_leaves > 0
+        self.throughput_leaves + self.space_leaves + self.slope_leaves > 0
     }
 }
 
 enum Rule {
     Throughput,
     Space,
+    Slope,
     Identity,
     Informational,
 }
 
 fn rule_for(key: &str) -> Rule {
-    if key.ends_with("edges_per_s") {
+    if key.ends_with("space_slope") {
+        // Checked before the generic `slope` informational match: the
+        // measured space-vs-α slope is deterministic (fixed seeds) and
+        // gated, while derived diagnostic slopes stay informational.
+        Rule::Slope
+    } else if key.ends_with("edges_per_s") {
         Rule::Throughput
     } else if key.ends_with("words") {
         Rule::Space
@@ -139,6 +152,21 @@ fn walk(base: &Json, fresh: &Json, path: &str, tol: f64, report: &mut CompareRep
                     if f > b {
                         report.failures.push(format!(
                             "{path}: space regression, baseline {b} words vs fresh {f} words"
+                        ));
+                    }
+                }
+                Rule::Slope => {
+                    report.checked += 1;
+                    report.slope_leaves += 1;
+                    let ceiling = b + b.abs() * tol;
+                    report.notes.push(format!(
+                        "{path}: slope {f:.4} vs baseline {b:.4} (ceiling {ceiling:.4})"
+                    ));
+                    if *f > ceiling {
+                        report.failures.push(format!(
+                            "{path}: space-slope regression, fresh {f:.4} is above baseline \
+                             {b:.4} + {:.0}% tolerance (space scaling with alpha got shallower)",
+                            tol * 100.0
                         ));
                     }
                 }
@@ -250,10 +278,41 @@ mod tests {
     }
 
     #[test]
-    fn speedup_and_slope_are_informational() {
-        let base = doc(r#"{"speedup": 2.0, "loglog_slope_estimator_words_vs_alpha": -2.0}"#);
-        let fresh = doc(r#"{"speedup": 0.5, "loglog_slope_estimator_words_vs_alpha": -1.0}"#);
+    fn speedup_and_diagnostic_slopes_are_informational() {
+        let base = doc(r#"{"speedup": 2.0, "loglog_slope_lanes_vs_alpha": -2.0}"#);
+        let fresh = doc(r#"{"speedup": 0.5, "loglog_slope_lanes_vs_alpha": -1.0}"#);
         assert!(compare_bench(&base, &fresh, 0.25).passed());
+    }
+
+    #[test]
+    fn space_slope_is_gated_against_shallower_scaling() {
+        let base = doc(r#"{"estimator_alpha_space_slope": -1.2}"#);
+        // Identical and steeper (more negative) slopes pass.
+        let r = compare_bench(&base, &base, 0.25);
+        assert!(r.passed(), "{:?}", r.failures);
+        assert_eq!(r.slope_leaves, 1);
+        assert!(r.gated_anything());
+        assert!(compare_bench(&base, &doc(r#"{"estimator_alpha_space_slope": -1.5}"#), 0.25).passed());
+        // Within tolerance: -1.2 + 0.25·1.2 = -0.9 is the ceiling.
+        assert!(compare_bench(&base, &doc(r#"{"estimator_alpha_space_slope": -0.95}"#), 0.25).passed());
+        // Above the ceiling: the scaling got shallower than tolerated.
+        let r = compare_bench(&base, &doc(r#"{"estimator_alpha_space_slope": -0.8}"#), 0.25);
+        assert!(!r.passed());
+        assert!(r.failures[0].contains("space-slope regression"), "{:?}", r.failures);
+    }
+
+    #[test]
+    fn ledger_words_leaves_are_gated_as_space() {
+        // The nested ledger section's `*ledger_words` leaves fall under
+        // the existing any-increase-fails space rule via the `words`
+        // suffix.
+        let base = doc(r#"{"space_ledger": {"lane0_large_set_ledger_words": 963}}"#);
+        let r = compare_bench(&base, &doc(r#"{"space_ledger": {"lane0_large_set_ledger_words": 964}}"#), 0.25);
+        assert!(!r.passed());
+        assert!(r.failures[0].contains("space regression"), "{:?}", r.failures);
+        let r = compare_bench(&base, &base, 0.25);
+        assert!(r.passed());
+        assert_eq!(r.space_leaves, 1);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use std::time::Instant;
 
-use kcov_obs::{Recorder, SketchStats, Value};
+use kcov_obs::{LedgerNode, Recorder, SketchStats, SpaceLedger, Value};
 use kcov_sketch::SpaceUsage;
 use kcov_stream::Edge;
 
@@ -241,6 +241,18 @@ impl TrivialState {
     fn space_words(&self) -> usize {
         self.total.space_words()
             + self.groups.iter().map(SpaceUsage::space_words).sum::<usize>()
+    }
+
+    /// Ledger attribution mirroring [`TrivialState::space_words`]: the
+    /// whole-family `total` sketch and the Observation-2.4 `groups`
+    /// family (aggregated into one shared child, like every
+    /// variable-count structure in the stack).
+    fn space_ledger(&self, node: &mut LedgerNode) {
+        self.total.space_ledger(node.child("total"));
+        let groups = node.child("groups");
+        for g in &self.groups {
+            g.space_ledger(groups);
+        }
     }
 }
 
@@ -803,6 +815,23 @@ impl MaxCoverEstimator {
         rec.gauge("space_words", outcome.space_words as f64);
         rec.incr("edges.total", self.edges_seen);
         rec.incr("lanes.total", self.lanes.len() as u64);
+        // Space-attribution ledger, emitted after every pre-existing
+        // event so their sequence numbers are untouched. The exact-sum
+        // invariant is the ledger's finalize contract (DESIGN.md §13):
+        // a word the tree misses (or double-counts) is a bug, not a
+        // rounding artifact.
+        let ledger = self.space_ledger_tree();
+        assert!(
+            ledger.audit().is_empty(),
+            "space ledger schema violations: {:?}",
+            ledger.audit()
+        );
+        assert_eq!(
+            ledger.total_words(),
+            outcome.space_words as u64,
+            "space ledger must attribute every resident word exactly"
+        );
+        ledger.emit(rec);
     }
 
     /// Convenience: run over a finite edge stream.
@@ -932,6 +961,18 @@ impl MaxCoverEstimator {
     /// The instance shape this estimator was built for.
     pub fn shape(&self) -> (usize, usize, usize, f64) {
         (self.n, self.m, self.k, self.alpha)
+    }
+
+    /// Build the space-attribution ledger for the current state: a tree
+    /// rooted at `"estimator"` attributing every resident word to a
+    /// `lane{i}/subroutine/component` path, with per-component heat
+    /// counters (DESIGN.md §13). The finalize invariant — Σ leaf words
+    /// == [`SpaceUsage::space_words`] exactly — holds at any point, not
+    /// just at finalize, because both walk the same structures.
+    pub fn space_ledger_tree(&self) -> SpaceLedger {
+        let mut ledger = SpaceLedger::new("estimator");
+        self.space_ledger(&mut ledger.root);
+        ledger
     }
 }
 
@@ -1132,6 +1173,25 @@ impl SpaceUsage for MaxCoverEstimator {
                 .iter()
                 .map(|l| l.oracle.space_words() + l.reducer.space_words())
                 .sum::<usize>()
+    }
+
+    /// The root of the space-attribution tree. Child names deliberately
+    /// match the finalize-time `"subroutine"` event names (`trivial`,
+    /// `fingerprints`, per-lane `reducer`/`set_base`/`large_common`/
+    /// `large_set`/`small_set`) so `maxkcov prof` can cross-check each
+    /// subtree against its event's `space_words`.
+    fn space_ledger(&self, node: &mut LedgerNode) {
+        if let Some(t) = &self.trivial {
+            t.space_ledger(node.child("trivial"));
+        }
+        if let Some(fps) = &self.fps {
+            fps.space_ledger(node.child("fingerprints"));
+        }
+        for (i, lane) in self.lanes.iter().enumerate() {
+            let ln = node.child(&format!("lane{i}"));
+            lane.reducer.space_ledger(ln.child("reducer"));
+            lane.oracle.space_ledger(ln);
+        }
     }
 }
 
@@ -1388,6 +1448,56 @@ mod tests {
             assert_eq!(serial.winning_z, out.winning_z, "shards={shards}");
             assert_eq!(serial.winner, out.winner, "shards={shards}");
         }
+    }
+
+    #[test]
+    fn space_ledger_attributes_every_word_per_lane() {
+        let inst = planted_cover(600, 100, 6, 0.7, 20, 31);
+        let n = inst.system.num_elements();
+        let m = inst.system.num_sets();
+        let config = fast_config(17, n);
+        let edges = edge_stream(&inst.system, ArrivalOrder::Shuffled(5));
+        let mut est = MaxCoverEstimator::new(n, m, 6, 3.0, &config);
+        est.ingest_sharded(&edges, 1, 256);
+        let ledger = est.space_ledger_tree();
+        assert!(ledger.audit().is_empty(), "{:?}", ledger.audit());
+        assert_eq!(ledger.total_words(), est.space_words() as u64);
+        // Per-lane partial sums match the PR 3 accounting exactly.
+        assert!(!est.lanes.is_empty());
+        for (i, lane) in est.lanes.iter().enumerate() {
+            let node = ledger.root.get(&format!("lane{i}")).expect("lane subtree");
+            assert_eq!(
+                node.total_words(),
+                (lane.oracle.space_words() + lane.reducer.space_words()) as u64,
+                "lane {i}"
+            );
+        }
+        let fps = ledger.root.get("fingerprints").expect("fingerprint subtree");
+        assert_eq!(
+            fps.total_words(),
+            est.fps.as_ref().unwrap().space_words() as u64
+        );
+        // The stream left heat somewhere in the tree.
+        assert!(ledger.root.total_updates() > 0, "no heat recorded");
+    }
+
+    #[test]
+    fn space_ledger_covers_the_trivial_regime() {
+        let config = EstimatorConfig::practical(1);
+        let mut est = MaxCoverEstimator::new(100, 20, 10, 4.0, &config);
+        for s in 0..10u32 {
+            est.observe(Edge::new(s, 2 * s));
+            est.observe(Edge::new(s, 2 * s + 1));
+        }
+        let ledger = est.space_ledger_tree();
+        assert!(ledger.audit().is_empty(), "{:?}", ledger.audit());
+        assert_eq!(ledger.total_words(), est.space_words() as u64);
+        let trivial = ledger.root.get("trivial").expect("trivial subtree");
+        assert_eq!(
+            trivial.total_words(),
+            est.trivial.as_ref().unwrap().space_words() as u64
+        );
+        assert!(trivial.total_updates() > 0, "trivial L0s carry heat");
     }
 
     #[test]

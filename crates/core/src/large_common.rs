@@ -479,6 +479,27 @@ impl SpaceUsage for LargeCommon {
                 })
                 .sum::<usize>()
     }
+
+    /// Mirrors `space_words` term by term. The β layers aggregate into
+    /// shared `distinct` / `groups` subtrees (layer counts vary with α;
+    /// per-layer children would multiply trace events without changing
+    /// any audit); `overhead` counts the 2-word `(β, buckets)` schedule
+    /// per layer.
+    fn space_ledger(&self, node: &mut kcov_obs::LedgerNode) {
+        node.leaf("set_base", self.set_base.space_words());
+        node.leaf("set_mix", self.set_mix.space_words());
+        for lane in &self.lanes {
+            lane.de.space_ledger(node.child("distinct"));
+            node.leaf("overhead", 2);
+            if let Some(g) = &lane.groups {
+                let groups = node.child("groups");
+                groups.leaf("hash", g.hash.space_words());
+                for c in &g.counters {
+                    c.space_ledger(groups.child("counters"));
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -635,6 +635,29 @@ impl SpaceUsage for LargeSet {
             })
             .sum::<usize>()
     }
+
+    /// Mirrors `space_words` term by term. The `O(log n)` repetitions
+    /// aggregate into shared component subtrees (repetition counts are a
+    /// parameter, not structure worth one trace event each): per-rep
+    /// hashes under `hashes`, the two contributing-class finders under
+    /// `cntr_small`/`cntr_large`, and the directly sampled supersets
+    /// under `sampled` (sketches plus a 2-word map entry per id).
+    fn space_ledger(&self, node: &mut kcov_obs::LedgerNode) {
+        node.leaf("set_base", self.set_base.space_words());
+        for r in &self.reps {
+            node.leaf(
+                "hashes",
+                r.ehash.space_words() + r.shash.space_words() + r.ssel_hash.space_words(),
+            );
+            r.cntr_small.space_ledger(node.child("cntr_small"));
+            r.cntr_large.space_ledger(node.child("cntr_large"));
+            let sampled = node.child("sampled");
+            for l0 in r.sampled.values() {
+                l0.space_ledger(sampled);
+            }
+            sampled.leaf("entries", 2 * r.sampled.len());
+        }
+    }
 }
 
 #[cfg(test)]

@@ -392,6 +392,18 @@ impl SpaceUsage for Oracle {
             + self.large_set.space_words()
             + self.small_set.as_ref().map_or(0, SpaceUsage::space_words)
     }
+
+    /// Mirrors `space_words` with one child per subroutine — the same
+    /// names the `subroutine` trace events use, so `maxkcov prof` can
+    /// cross-check each subtree against its event's `space_words`.
+    fn space_ledger(&self, node: &mut kcov_obs::LedgerNode) {
+        node.leaf("set_base", self.set_base.space_words());
+        self.large_common.space_ledger(node.child("large_common"));
+        self.large_set.space_ledger(node.child("large_set"));
+        if let Some(ss) = &self.small_set {
+            ss.space_ledger(node.child("small_set"));
+        }
+    }
 }
 
 #[cfg(test)]

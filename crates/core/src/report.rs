@@ -165,6 +165,10 @@ impl SpaceUsage for MaxCoverReporter {
     fn space_words(&self) -> usize {
         self.inner.space_words()
     }
+
+    fn space_ledger(&self, node: &mut kcov_obs::LedgerNode) {
+        self.inner.space_ledger(node);
+    }
 }
 
 #[cfg(test)]

@@ -494,6 +494,24 @@ impl SpaceUsage for SmallSet {
             })
             .sum::<usize>()
     }
+
+    /// Mirrors `space_words` term by term; repetitions aggregate into
+    /// shared children. The `edges` heat is *derived from state* (one
+    /// store per resident edge) rather than counted on the hot path —
+    /// stored edges survive the wire round trip, so decoded replicas
+    /// report identical heat for free.
+    fn space_ledger(&self, node: &mut kcov_obs::LedgerNode) {
+        node.leaf("set_base", self.set_base.space_words());
+        for r in &self.reps {
+            node.leaf("hashes", r.mhash.space_words() + r.ehash.space_words());
+            let stored: usize = r.lanes.iter().map(|l| l.edges.len()).sum();
+            let edges = node.child("edges");
+            edges.words += stored as u64;
+            edges.updates += stored as u64;
+            edges.touched_words += stored as u64;
+            node.leaf("overhead", 2 * r.lanes.len());
+        }
+    }
 }
 
 #[cfg(test)]

@@ -479,6 +479,15 @@ impl SpaceUsage for TwoPassSecond {
                 .map(|(r, o)| r.space_words() + o.space_words())
                 .sum::<usize>()
     }
+
+    fn space_ledger(&self, node: &mut kcov_obs::LedgerNode) {
+        self.fps.space_ledger(node.child("fingerprints"));
+        for (i, (r, o)) in self.lanes.iter().enumerate() {
+            let ln = node.child(&format!("lane{i}"));
+            r.space_ledger(ln.child("reducer"));
+            o.space_ledger(ln);
+        }
+    }
 }
 
 /// Convenience: run both passes over a replayable stream.

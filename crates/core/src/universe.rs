@@ -133,6 +133,14 @@ impl SpaceUsage for UniverseReducer {
     fn space_words(&self) -> usize {
         self.hash.space_words() + self.base.as_ref().map_or(0, |b| b.space_words()) + 1
     }
+
+    fn space_ledger(&self, node: &mut kcov_obs::LedgerNode) {
+        node.leaf("hash", self.hash.space_words());
+        if let Some(b) = &self.base {
+            node.leaf("base", b.space_words());
+        }
+        node.leaf("overhead", 1);
+    }
 }
 
 // ---- wire format ----------------------------------------------------

@@ -313,6 +313,137 @@ fn batched_ingestion_records_batch_histograms() {
         .any(|h| h.str_field("name") == Some("ingest.batch_ns")));
 }
 
+/// Words attributed to a ledger path, from the emitted "ledger" events.
+fn ledger_words(events: &[kcov_obs::Event], path: &str) -> Option<u64> {
+    events
+        .iter()
+        .find(|e| e.str_field("path") == Some(path))
+        .map(|e| e.u64_field("words").unwrap())
+}
+
+#[test]
+fn ledger_rows_attribute_every_word_exactly() {
+    let (n, m, edges) = workload();
+    let rec = Recorder::enabled();
+    let mut config = fast_config(47, n);
+    config.recorder = rec.clone();
+    let mut est = MaxCoverEstimator::new(n, m, 8, 4.0, &config);
+    for &e in &edges {
+        est.observe(e);
+    }
+    est.finalize();
+
+    let rows = rec.events_of("ledger");
+    assert!(!rows.is_empty(), "finalize must emit the space ledger");
+    // The root row (the only path without a separator) is the whole
+    // estimator.
+    let root = rows
+        .iter()
+        .find(|e| !e.str_field("path").unwrap().contains('/'))
+        .expect("root ledger row");
+    assert_eq!(root.str_field("path"), Some("estimator"));
+    assert_eq!(root.u64_field("words").unwrap(), est.space_words() as u64);
+    // Attribution lives on leaves only: leaf words partition the total.
+    let leaf_sum: u64 = rows
+        .iter()
+        .filter(|e| e.u64_field("children") == Some(0))
+        .map(|e| e.u64_field("words").unwrap())
+        .sum();
+    assert_eq!(leaf_sum, est.space_words() as u64, "leaves must partition the total");
+    // Every interior row equals the sum of its immediate children —
+    // for words and for both heat counters.
+    for parent in rows.iter().filter(|e| e.u64_field("children") != Some(0)) {
+        let p = parent.str_field("path").unwrap();
+        let depth = p.matches('/').count();
+        let kids: Vec<_> = rows
+            .iter()
+            .filter(|e| {
+                let q = e.str_field("path").unwrap();
+                q.starts_with(&format!("{p}/")) && q.matches('/').count() == depth + 1
+            })
+            .collect();
+        assert_eq!(kids.len() as u64, parent.u64_field("children").unwrap(), "{p}");
+        for field in ["words", "updates", "touched_words"] {
+            let sum: u64 = kids.iter().map(|e| e.u64_field(field).unwrap()).sum();
+            assert_eq!(sum, parent.u64_field(field).unwrap(), "{p}: {field}");
+        }
+    }
+    // The heat layer saw the stream: some component recorded updates.
+    assert!(root.u64_field("updates").unwrap() > 0, "heat counters must be harvested");
+    assert!(root.u64_field("touched_words").unwrap() > 0);
+}
+
+#[test]
+fn ledger_subtrees_match_subroutine_snapshots() {
+    let (n, m, edges) = workload();
+    let rec = Recorder::enabled();
+    let mut config = fast_config(53, n);
+    config.recorder = rec.clone();
+    let mut est = MaxCoverEstimator::new(n, m, 8, 4.0, &config);
+    for &e in &edges {
+        est.observe(e);
+    }
+    est.finalize();
+
+    let rows = rec.events_of("ledger");
+    // Every PR-3 subroutine snapshot has a ledger subtree with exactly
+    // the same word count: the two accountings agree leaf-for-leaf.
+    let subs = rec.events_of("subroutine");
+    assert!(!subs.is_empty());
+    for ev in &subs {
+        let name = ev.str_field("name").unwrap();
+        let lane = ev.u64_field("lane").unwrap();
+        let path = if name == "trivial" || name == "fingerprints" {
+            format!("estimator/{name}")
+        } else {
+            format!("estimator/lane{lane}/{name}")
+        };
+        assert_eq!(
+            ledger_words(&rows, &path),
+            Some(ev.u64_field("space_words").unwrap()),
+            "subroutine snapshot vs ledger subtree at {path}"
+        );
+    }
+    // And per-lane subtrees match the lane events' space fields.
+    for ev in rec.events_of("lane") {
+        let lane = ev.u64_field("lane").unwrap();
+        assert_eq!(
+            ledger_words(&rows, &format!("estimator/lane{lane}")),
+            Some(ev.u64_field("space_words").unwrap()),
+            "lane {lane} subtree"
+        );
+    }
+}
+
+#[test]
+fn trivial_regime_ledger_covers_the_whole_estimator() {
+    let inst = planted_cover(300, 12, 8, 0.8, 20, 9);
+    let edges = edge_stream(&inst.system, ArrivalOrder::Shuffled(2));
+    let rec = Recorder::enabled();
+    let mut config = EstimatorConfig::practical(19);
+    config.recorder = rec.clone();
+    let (n, m) = (inst.system.num_elements(), inst.system.num_sets());
+    let mut est = MaxCoverEstimator::new(n, m, 8, 4.0, &config);
+    for &e in &edges {
+        est.observe(e);
+    }
+    let out = est.finalize();
+    assert!(out.trivial);
+    let rows = rec.events_of("ledger");
+    assert_eq!(
+        ledger_words(&rows, "estimator/trivial"),
+        Some(est.space_words() as u64),
+        "the trivial branch owns every resident word"
+    );
+    assert_eq!(ledger_words(&rows, "estimator"), Some(est.space_words() as u64));
+    // The per-group L0 sketches saw every edge.
+    let trivial = rows
+        .iter()
+        .find(|e| e.str_field("path") == Some("estimator/trivial"))
+        .unwrap();
+    assert!(trivial.u64_field("updates").unwrap() > 0);
+}
+
 #[test]
 fn trivial_regime_snapshot_accounts_exactly() {
     // k·α ≥ m → the trivial branch; its single subroutine snapshot is

@@ -12,7 +12,7 @@
 //! the success probability (median-of-means).
 
 use kcov_hash::{SeedSequence, SignHash};
-use kcov_obs::SketchStats;
+use kcov_obs::{LedgerNode, SketchStats};
 
 use crate::space::SpaceUsage;
 
@@ -171,6 +171,11 @@ impl SpaceUsage for AmsF2 {
     fn space_words(&self) -> usize {
         self.counters.len() + self.signs.iter().map(SignHash::space_words).sum::<usize>()
     }
+
+    fn space_ledger(&self, node: &mut LedgerNode) {
+        node.leaf("counters", self.counters.len());
+        node.leaf("signs", self.signs.iter().map(SignHash::space_words).sum::<usize>());
+    }
 }
 
 #[cfg(test)]
@@ -244,6 +249,15 @@ mod tests {
             sk.insert(1);
         }
         assert!((sk.estimate_l2() - sk.estimate().sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_mirrors_space_words() {
+        let sk = AmsF2::new(3, 8, 5);
+        let mut node = LedgerNode::new();
+        sk.space_ledger(&mut node);
+        assert_eq!(node.total_words(), sk.space_words() as u64);
+        assert_eq!(node.get("counters").unwrap().words, 24);
     }
 
     #[test]

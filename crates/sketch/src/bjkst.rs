@@ -13,7 +13,7 @@
 use std::collections::HashSet;
 
 use kcov_hash::{pairwise, KWise, RangeHash};
-use kcov_obs::SketchStats;
+use kcov_obs::{LedgerNode, SketchStats};
 
 use crate::space::SpaceUsage;
 
@@ -167,6 +167,12 @@ impl SpaceUsage for Bjkst {
     fn space_words(&self) -> usize {
         self.buffer.len() + self.hash.space_words() + 2
     }
+
+    fn space_ledger(&self, node: &mut LedgerNode) {
+        node.leaf("buffer", self.buffer.len());
+        node.leaf("hash", self.hash.space_words());
+        node.leaf("overhead", 2);
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +289,18 @@ mod tests {
         let other = Bjkst::new(16, 3);
         b.merge(&other);
         assert_eq!(b.stats().merges, 1);
+    }
+
+    #[test]
+    fn ledger_mirrors_space_words() {
+        let mut b = Bjkst::new(32, 7);
+        for i in 0..1_000u64 {
+            b.insert(i);
+        }
+        let mut node = LedgerNode::new();
+        b.space_ledger(&mut node);
+        assert_eq!(node.total_words(), b.space_words() as u64);
+        assert_eq!(node.get("overhead").unwrap().words, 2);
     }
 
     #[test]

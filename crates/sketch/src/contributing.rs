@@ -15,7 +15,7 @@
 //! frequencies, in `Õ(1/γ)` space.
 
 use kcov_hash::{log_wise, KWise, RangeHash, SeedSequence};
-use kcov_obs::SketchStats;
+use kcov_obs::{LedgerNode, SketchStats};
 
 use crate::heavy_hitter::{F2HeavyHitter, HeavyHitterConfig, HeavyItem};
 use crate::space::SpaceUsage;
@@ -288,10 +288,10 @@ impl F2Contributing {
     }
 
     /// Restore per-level heavy-hitter telemetry counters
-    /// (`(prunes, evictions, merges)` triples, level order) after wire
-    /// reconstruction. Fails when the slice length disagrees with the
-    /// level count.
-    pub fn restore_telemetry(&mut self, counters: &[(u64, u64, u64)]) -> Result<(), String> {
+    /// (`(prunes, evictions, merges, sketch_updates)` tuples, level
+    /// order) after wire reconstruction. Fails when the slice length
+    /// disagrees with the level count.
+    pub fn restore_telemetry(&mut self, counters: &[(u64, u64, u64, u64)]) -> Result<(), String> {
         if counters.len() != self.levels.len() {
             return Err(format!(
                 "{} telemetry entries for {} levels",
@@ -299,8 +299,10 @@ impl F2Contributing {
                 self.levels.len()
             ));
         }
-        for (level, &(prunes, evictions, merges)) in self.levels.iter_mut().zip(counters) {
-            level.hh.restore_telemetry(prunes, evictions, merges);
+        for (level, &(prunes, evictions, merges, cs_updates)) in
+            self.levels.iter_mut().zip(counters)
+        {
+            level.hh.restore_telemetry(prunes, evictions, merges, cs_updates);
         }
         Ok(())
     }
@@ -320,6 +322,20 @@ impl SpaceUsage for F2Contributing {
     fn space_words(&self) -> usize {
         self.hash.space_words()
             + self.levels.iter().map(|l| l.hh.space_words() + 2).sum::<usize>()
+    }
+
+    /// Mirrors `space_words` term by term: the shared sampling hash, the
+    /// per-level heavy hitters (aggregated into one `levels` subtree —
+    /// level counts vary with `α`, and per-level children would multiply
+    /// trace events without changing any audit), and a 2-word `overhead`
+    /// leaf per level for the `(modulus, keep)` schedule.
+    fn space_ledger(&self, node: &mut LedgerNode) {
+        node.leaf("hash", self.hash.space_words());
+        let levels = node.child("levels");
+        for level in &self.levels {
+            level.hh.space_ledger(levels);
+        }
+        node.leaf("overhead", 2 * self.levels.len());
     }
 }
 
@@ -494,6 +510,47 @@ mod tests {
         assert!(st.updates >= 168);
         assert!(st.capacity > 0);
         assert_eq!(st.merges, 0);
+    }
+
+    #[test]
+    fn ledger_mirrors_space_words_and_restores_heat() {
+        let mut fc = F2Contributing::new(ContributingConfig::new(0.25, 64), 1000, 1000, 19);
+        feed(&mut fc, &[(4, 128), (9, 40)]);
+        let mut node = LedgerNode::new();
+        fc.space_ledger(&mut node);
+        assert_eq!(node.total_words(), fc.space_words() as u64);
+        assert_eq!(node.get("hash").unwrap().words, fc.sampling_hash().space_words() as u64);
+        assert_eq!(node.get("overhead").unwrap().words, 2 * fc.num_levels() as u64);
+        // Level 0 is unsampled: its CountSketch saw every update, so the
+        // aggregated subtree carries at least the full stream's heat.
+        assert!(node.get("levels").unwrap().total_updates() >= 168);
+
+        // The 4-tuple restore path re-applies inner-sketch heat exactly.
+        let heat: Vec<(u64, u64, u64, u64)> = fc
+            .level_parts()
+            .iter()
+            .map(|(_, _, hh)| {
+                let st = hh.stats();
+                (st.prunes, st.evictions, st.merges, hh.sketch().heat_updates())
+            })
+            .collect();
+        let levels: Vec<(u64, u64, F2HeavyHitter)> = fc
+            .level_parts()
+            .into_iter()
+            .map(|(m, k, hh)| (m, k, hh.clone()))
+            .collect();
+        let mut back = F2Contributing::from_parts(fc.sampling_hash().clone(), levels).unwrap();
+        // Clones keep heat; clobber it to prove restore actually writes.
+        let zeros = vec![(0u64, 0, 0, 0); fc.num_levels()];
+        back.restore_telemetry(&zeros).unwrap();
+        let mut zeroed = LedgerNode::new();
+        back.space_ledger(&mut zeroed);
+        assert_ne!(zeroed, node, "zeroed heat must be visible in the ledger");
+        back.restore_telemetry(&heat).unwrap();
+        let mut back_node = LedgerNode::new();
+        back.space_ledger(&mut back_node);
+        assert_eq!(back_node, node);
+        assert!(back.restore_telemetry(&heat[..1]).is_err());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! streaming baselines and handy for workload diagnostics.
 
 use kcov_hash::{pairwise, KWise, RangeHash, SeedSequence};
-use kcov_obs::SketchStats;
+use kcov_obs::{LedgerNode, SketchStats};
 
 use crate::space::SpaceUsage;
 
@@ -131,6 +131,11 @@ impl SpaceUsage for CountMin {
     fn space_words(&self) -> usize {
         self.table.len() + self.hashes.iter().map(KWise::space_words).sum::<usize>()
     }
+
+    fn space_ledger(&self, node: &mut LedgerNode) {
+        node.leaf("rows", self.table.len());
+        node.leaf("hashes", self.hashes.iter().map(KWise::space_words).sum::<usize>());
+    }
 }
 
 #[cfg(test)]
@@ -176,6 +181,15 @@ mod tests {
     fn space_counts_table() {
         let cm = CountMin::new(2, 16, 1);
         assert!(cm.space_words() >= 32);
+    }
+
+    #[test]
+    fn ledger_mirrors_space_words() {
+        let cm = CountMin::new(3, 32, 4);
+        let mut node = LedgerNode::new();
+        cm.space_ledger(&mut node);
+        assert_eq!(node.total_words(), cm.space_words() as u64);
+        assert_eq!(node.get("rows").unwrap().words, 96);
     }
 
     #[test]

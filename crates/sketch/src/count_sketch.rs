@@ -11,7 +11,7 @@
 //! `(1 ± 1/2)` factor.
 
 use kcov_hash::{four_wise, pairwise, KWise, RangeHash, SeedSequence, SignHash};
-use kcov_obs::SketchStats;
+use kcov_obs::{LedgerNode, SketchStats};
 
 use crate::space::SpaceUsage;
 
@@ -23,6 +23,11 @@ pub struct CountSketch {
     buckets: Vec<KWise>,
     signs: Vec<SignHash>,
     table: Vec<i64>,
+    /// Heat telemetry: update operations absorbed (one add per batch on
+    /// the hot path; each update writes one counter per row). Merged by
+    /// addition, zeroed by plain wire reconstruction, restored by the
+    /// full-state sidecar.
+    updates: u64,
     /// Telemetry: merge invocations absorbed.
     merges: u64,
 }
@@ -44,6 +49,7 @@ impl CountSketch {
                 })
                 .collect(),
             table: vec![0i64; rows * width],
+            updates: 0,
             merges: 0,
         }
     }
@@ -63,6 +69,7 @@ impl CountSketch {
     /// General signed update (`a⃗[item] += delta`).
     #[inline]
     pub fn update(&mut self, item: u64, delta: i64) {
+        self.updates += 1;
         for row in 0..self.rows {
             let slot = self.slot(row, item);
             self.table[slot] += self.signs[row].sign(item) * delta;
@@ -74,6 +81,7 @@ impl CountSketch {
     /// identical to per-item insertion; iterating row-outer keeps each
     /// row's bucket/sign hash and table stripe hot across the chunk.
     pub fn insert_batch(&mut self, items: &[u64]) {
+        self.updates += items.len() as u64;
         let w = self.width as u64;
         for row in 0..self.rows {
             let bucket = &self.buckets[row];
@@ -88,6 +96,7 @@ impl CountSketch {
     /// Batched signed updates (`a⃗[item] += delta` for each pair), same
     /// row-outer amortization as [`CountSketch::insert_batch`].
     pub fn update_batch(&mut self, updates: &[(u64, i64)]) {
+        self.updates += updates.len() as u64;
         let w = self.width as u64;
         for row in 0..self.rows {
             let bucket = &self.buckets[row];
@@ -166,9 +175,25 @@ impl CountSketch {
             *a += b;
         }
         self.merges += 1 + other.merges;
+        self.updates += other.updates;
+    }
+
+    /// Heat counter: update operations absorbed so far.
+    pub fn heat_updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Restore the heat counter after wire reconstruction
+    /// ([`CountSketch::from_parts`] deliberately zeroes it — telemetry
+    /// is not state).
+    pub fn restore_telemetry(&mut self, updates: u64) {
+        self.updates = updates;
     }
 
     /// Telemetry snapshot (fixed table: fill = capacity = cells).
+    /// `updates` stays 0 here: the heat counter is surfaced through the
+    /// space ledger, and the `"sketch"` event layout predates it (its
+    /// bytes are part of the trace bit-neutrality contract).
     pub fn stats(&self) -> SketchStats {
         SketchStats {
             updates: 0,
@@ -225,6 +250,7 @@ impl CountSketch {
             buckets,
             signs,
             table,
+            updates: 0,
             merges: 0,
         })
     }
@@ -235,6 +261,21 @@ impl SpaceUsage for CountSketch {
         self.table.len()
             + self.buckets.iter().map(KWise::space_words).sum::<usize>()
             + self.signs.iter().map(SignHash::space_words).sum::<usize>()
+    }
+
+    /// Mirrors `space_words` exactly: the counter table plus the per-row
+    /// bucket/sign hashes. Heat lands on the `rows` leaf — every update
+    /// writes one counter per row, so `touched_words = updates × rows`.
+    fn space_ledger(&self, node: &mut LedgerNode) {
+        let rows = node.child("rows");
+        rows.words += self.table.len() as u64;
+        rows.updates += self.updates;
+        rows.touched_words += self.updates * self.rows as u64;
+        node.leaf(
+            "hashes",
+            self.buckets.iter().map(KWise::space_words).sum::<usize>()
+                + self.signs.iter().map(SignHash::space_words).sum::<usize>(),
+        );
     }
 }
 
@@ -385,6 +426,44 @@ mod tests {
         let mut a = CountSketch::new(2, 8, 1);
         let b = CountSketch::new(2, 16, 1);
         a.merge(&b);
+    }
+
+    #[test]
+    fn heat_updates_count_operations_and_ledger_is_exact() {
+        let mut cs = CountSketch::new(3, 16, 9);
+        for i in 0..10u64 {
+            cs.insert(i);
+        }
+        cs.update(3, -2);
+        cs.insert_batch(&[1, 2, 3]);
+        cs.update_batch(&[(4, 5), (6, -1)]);
+        assert_eq!(cs.heat_updates(), 10 + 1 + 3 + 2);
+        let mut other = CountSketch::new(3, 16, 9);
+        other.insert_batch(&[7, 8]);
+        cs.merge(&other);
+        assert_eq!(cs.heat_updates(), 18);
+        // Ledger mirrors the space arithmetic exactly and prices the
+        // table traffic at rows words per update.
+        let mut node = kcov_obs::LedgerNode::new();
+        cs.space_ledger(&mut node);
+        assert_eq!(node.total_words(), cs.space_words() as u64);
+        let rows = node.get("rows").unwrap();
+        assert_eq!(rows.words, 48);
+        assert_eq!(rows.updates, 18);
+        assert_eq!(rows.touched_words, 18 * 3);
+        // Plain wire reconstruction starts the heat counter clean;
+        // restore re-applies it.
+        let mut back = CountSketch::from_parts(
+            cs.rows(),
+            cs.width(),
+            cs.bucket_hashes().to_vec(),
+            cs.sign_hashes().to_vec(),
+            cs.table().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(back.heat_updates(), 0);
+        back.restore_telemetry(18);
+        assert_eq!(back.heat_updates(), 18);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 
 use kcov_hash::DetBuildHasher;
-use kcov_obs::SketchStats;
+use kcov_obs::{LedgerNode, SketchStats};
 
 use crate::count_sketch::CountSketch;
 use crate::space::SpaceUsage;
@@ -318,10 +318,17 @@ impl F2HeavyHitter {
     /// is not state); a full-state decode that wants the replica's
     /// finalize snapshot to match in-process ingestion re-applies the
     /// serialized counters with this.
-    pub fn restore_telemetry(&mut self, prunes: u64, evictions: u64, merges: u64) {
+    pub fn restore_telemetry(
+        &mut self,
+        prunes: u64,
+        evictions: u64,
+        merges: u64,
+        sketch_updates: u64,
+    ) {
         self.prunes = prunes;
         self.evictions = evictions;
         self.merges = merges;
+        self.sketch.restore_telemetry(sketch_updates);
     }
 
     /// Telemetry snapshot for the candidate tracker (fill/capacity are
@@ -343,6 +350,17 @@ impl SpaceUsage for F2HeavyHitter {
     fn space_words(&self) -> usize {
         // Each candidate entry holds an item and an arrival count.
         self.sketch.space_words() + 2 * self.candidates.len()
+    }
+
+    /// Mirrors `space_words` exactly: the CountSketch subtree plus the
+    /// candidate tracker (2 words per entry). Tracker heat is
+    /// `items_seen` — each arrival touches one candidate entry.
+    fn space_ledger(&self, node: &mut LedgerNode) {
+        self.sketch.space_ledger(node.child("countsketch"));
+        let cand = node.child("candidates");
+        cand.words += 2 * self.candidates.len() as u64;
+        cand.updates += self.items_seen;
+        cand.touched_words += self.items_seen;
     }
 }
 
@@ -455,6 +473,25 @@ mod tests {
     fn empty_tracker_reports_nothing() {
         let hh = F2HeavyHitter::for_phi(0.1, 1);
         assert!(hh.heavy_hitters().is_empty());
+    }
+
+    #[test]
+    fn ledger_mirrors_space_words_and_carries_heat() {
+        let mut hh = F2HeavyHitter::for_phi(0.1, 4);
+        for i in 0..1_000u64 {
+            hh.insert(i % 97);
+        }
+        let mut node = kcov_obs::LedgerNode::new();
+        hh.space_ledger(&mut node);
+        assert_eq!(node.total_words(), hh.space_words() as u64);
+        let cand = node.get("candidates").unwrap();
+        assert_eq!(cand.words, 2 * hh.candidates.len() as u64);
+        assert_eq!(cand.updates, 1_000);
+        assert_eq!(cand.touched_words, 1_000);
+        // CountSketch subtree carries the inner sketch's own heat.
+        let cs = node.get("countsketch").unwrap();
+        assert_eq!(cs.total_words(), hh.sketch().space_words() as u64);
+        assert_eq!(cs.total_updates(), hh.sketch().heat_updates());
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use std::collections::BTreeSet;
 
 use kcov_hash::{pairwise, KWise, RangeHash, SeedSequence, MERSENNE_P};
-use kcov_obs::SketchStats;
+use kcov_obs::{LedgerNode, SketchStats};
 
 use crate::space::SpaceUsage;
 
@@ -27,6 +27,11 @@ pub struct Kmv {
     hash: KWise,
     /// The k smallest distinct hash values seen so far.
     smallest: BTreeSet<u64>,
+    /// Heat telemetry: items offered to the summary (one add per batch
+    /// on the hot path — same lifecycle as the other telemetry
+    /// counters: merged by addition, zeroed by plain wire
+    /// reconstruction, restored by the full-state sidecar).
+    updates: u64,
     /// Telemetry: values displaced after saturation (not state — merged
     /// by addition, zeroed by wire reconstruction, never compared).
     evictions: u64,
@@ -43,6 +48,7 @@ impl Kmv {
             k,
             hash: pairwise(seed),
             smallest: BTreeSet::new(),
+            updates: 0,
             evictions: 0,
             merges: 0,
         }
@@ -51,6 +57,7 @@ impl Kmv {
     /// Observe one item (duplicates are free).
     #[inline]
     pub fn insert(&mut self, item: u64) {
+        self.updates += 1;
         let h = self.hash.hash(item);
         if self.smallest.len() < self.k {
             self.smallest.insert(h);
@@ -81,6 +88,7 @@ impl Kmv {
             rest = tail;
         }
         let mut max = *self.smallest.iter().next_back().expect("non-empty");
+        self.updates += rest.len() as u64;
         for &item in rest {
             let h = self.hash.hash(item);
             if h < max && self.smallest.insert(h) {
@@ -137,6 +145,7 @@ impl Kmv {
             k,
             hash,
             smallest: values.into_iter().collect(),
+            updates: 0,
             evictions: 0,
             merges: 0,
         })
@@ -163,6 +172,7 @@ impl Kmv {
         }
         self.merges += 1 + other.merges;
         self.evictions += other.evictions;
+        self.updates += other.updates;
     }
 
     /// Restore telemetry counters after wire reconstruction.
@@ -170,12 +180,21 @@ impl Kmv {
     /// state); a full-state decode that wants the replica's finalize
     /// snapshot to match in-process ingestion re-applies the serialized
     /// counters with this.
-    pub fn restore_telemetry(&mut self, evictions: u64, merges: u64) {
+    pub fn restore_telemetry(&mut self, updates: u64, evictions: u64, merges: u64) {
+        self.updates = updates;
         self.evictions = evictions;
         self.merges = merges;
     }
 
+    /// Heat counter: items offered to this summary so far.
+    pub fn heat_updates(&self) -> u64 {
+        self.updates
+    }
+
     /// Telemetry snapshot (fill, capacity, evictions, merges).
+    /// `updates` stays 0 here: the heat counter is surfaced through the
+    /// space ledger, and the `"sketch"` event layout predates it (its
+    /// bytes are part of the trace bit-neutrality contract).
     pub fn stats(&self) -> SketchStats {
         SketchStats {
             updates: 0,
@@ -191,6 +210,17 @@ impl Kmv {
 impl SpaceUsage for Kmv {
     fn space_words(&self) -> usize {
         self.smallest.len() + self.hash.space_words()
+    }
+
+    /// Mirrors `space_words` exactly: kept values + rank hash. Heat
+    /// lands on the `values` leaf (each accepted probe touches one
+    /// resident entry).
+    fn space_ledger(&self, node: &mut LedgerNode) {
+        let values = node.child("values");
+        values.words += self.smallest.len() as u64;
+        values.updates += self.updates;
+        values.touched_words += self.updates;
+        node.leaf("hash", self.hash.space_words());
     }
 }
 
@@ -270,10 +300,11 @@ impl L0Estimator {
         agg
     }
 
-    /// Restore per-repetition telemetry counters (`(evictions, merges)`
-    /// pairs, repetition order) after wire reconstruction. Fails when
-    /// the slice length disagrees with the repetition count.
-    pub fn restore_telemetry(&mut self, counters: &[(u64, u64)]) -> Result<(), String> {
+    /// Restore per-repetition telemetry counters
+    /// (`(updates, evictions, merges)` triples, repetition order) after
+    /// wire reconstruction. Fails when the slice length disagrees with
+    /// the repetition count.
+    pub fn restore_telemetry(&mut self, counters: &[(u64, u64, u64)]) -> Result<(), String> {
         if counters.len() != self.reps.len() {
             return Err(format!(
                 "{} telemetry entries for {} repetitions",
@@ -281,8 +312,8 @@ impl L0Estimator {
                 self.reps.len()
             ));
         }
-        for (rep, &(evictions, merges)) in self.reps.iter_mut().zip(counters) {
-            rep.restore_telemetry(evictions, merges);
+        for (rep, &(updates, evictions, merges)) in self.reps.iter_mut().zip(counters) {
+            rep.restore_telemetry(updates, evictions, merges);
         }
         Ok(())
     }
@@ -304,6 +335,14 @@ impl L0Estimator {
 impl SpaceUsage for L0Estimator {
     fn space_words(&self) -> usize {
         self.reps.iter().map(SpaceUsage::space_words).sum()
+    }
+
+    /// Repetitions accumulate into the same `values`/`hash` children
+    /// (bounding the tree size while keeping the leaf sum exact).
+    fn space_ledger(&self, node: &mut LedgerNode) {
+        for rep in &self.reps {
+            rep.space_ledger(node);
+        }
     }
 }
 
@@ -483,6 +522,52 @@ mod tests {
         let back = Kmv::from_parts(kmv.k(), kmv.hash().clone(), kmv.kept_values()).unwrap();
         assert_eq!(back.stats().evictions, 0);
         assert_eq!(back.stats().fill, 8);
+    }
+
+    #[test]
+    fn heat_updates_count_offers_and_merge_adds() {
+        let items: Vec<u64> = (0..500u64).collect();
+        let mut scalar = Kmv::new(8, 3);
+        for &i in &items {
+            scalar.insert(i);
+        }
+        assert_eq!(scalar.heat_updates(), 500);
+        // Batched ingestion counts identically, across chunk sizes that
+        // straddle the fill phase.
+        for chunk in [1usize, 3, 64, 500] {
+            let mut batched = Kmv::new(8, 3);
+            for block in items.chunks(chunk) {
+                batched.insert_batch(block);
+            }
+            assert_eq!(batched.heat_updates(), 500, "chunk {chunk}");
+        }
+        // Merge is additive; wire reconstruction zeroes, restore
+        // re-applies.
+        let mut other = Kmv::new(8, 3);
+        other.insert_batch(&items[..100]);
+        scalar.merge(&other);
+        assert_eq!(scalar.heat_updates(), 600);
+        let mut back = Kmv::from_parts(scalar.k(), scalar.hash().clone(), scalar.kept_values()).unwrap();
+        assert_eq!(back.heat_updates(), 0);
+        back.restore_telemetry(600, 2, 1);
+        assert_eq!(back.heat_updates(), 600);
+        assert_eq!(back.stats().evictions, 2);
+    }
+
+    #[test]
+    fn ledger_mirrors_space_words_exactly() {
+        let mut est = L0Estimator::new(16, 3, 5);
+        for i in 0..400u64 {
+            est.insert(i);
+        }
+        let mut node = kcov_obs::LedgerNode::new();
+        est.space_ledger(&mut node);
+        assert_eq!(node.total_words(), est.space_words() as u64);
+        assert_eq!(node.total_updates(), 3 * 400);
+        // Reps aggregate into exactly two leaves.
+        assert!(node.get("values").unwrap().is_leaf());
+        assert!(node.get("hash").unwrap().is_leaf());
+        assert_eq!(node.children().count(), 2);
     }
 
     #[test]

@@ -8,6 +8,15 @@
 //! candidate lists. Transient per-update scratch space is excluded, as is
 //! constant per-object overhead (a handful of lengths and parameters),
 //! matching how space is counted in the streaming literature.
+//!
+//! [`SpaceUsage::space_ledger`] refines the scalar total into an
+//! attribution tree ([`LedgerNode`]): every implementation mirrors its
+//! own `space_words` arithmetic term by term (explicit `overhead`
+//! leaves for the literal constants), so the ledger's leaf sum equals
+//! `space_words()` **exactly** — the finalize invariant the estimator
+//! asserts and `maxkcov prof` re-audits from traces.
+
+use kcov_obs::LedgerNode;
 
 /// Number of resident 64-bit words of algorithmic state.
 pub trait SpaceUsage {
@@ -17,6 +26,14 @@ pub trait SpaceUsage {
     /// Current space in bytes (8 × words).
     fn space_bytes(&self) -> usize {
         self.space_words() * 8
+    }
+
+    /// Attribute this object's resident words (and, where tracked, its
+    /// update heat) into `node`. The default treats the object as one
+    /// opaque leaf; structured implementations add component children
+    /// instead and must keep Σ attributed words == `space_words()`.
+    fn space_ledger(&self, node: &mut LedgerNode) {
+        node.words += self.space_words() as u64;
     }
 }
 
@@ -51,5 +68,15 @@ mod tests {
     fn empty_total_is_zero() {
         let items: [Fixed; 0] = [];
         assert_eq!(total_words(&items), 0);
+    }
+
+    #[test]
+    fn default_ledger_is_one_opaque_leaf() {
+        let mut node = LedgerNode::new();
+        Fixed(7).space_ledger(&mut node);
+        Fixed(3).space_ledger(&mut node);
+        assert_eq!(node.words, 10);
+        assert!(node.is_leaf());
+        assert_eq!(node.total_words(), Fixed(7).space_words() as u64 + 3);
     }
 }

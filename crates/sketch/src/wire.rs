@@ -177,8 +177,10 @@ pub const WIRE_MAGIC: u64 = 0x4b43_4f56_5749_5245;
 /// replica checkpoints, not archives — there is nothing to migrate).
 /// Version history: 1 = original; 2 = hash-once hot path (fingerprint
 /// bases in the estimator state, count-based heavy-hitter candidate
-/// pairs, no embedded AMS sketch).
-pub const WIRE_VERSION: u64 = 2;
+/// pairs, no embedded AMS sketch); 3 = heat counters in the telemetry
+/// sidecars (per-repetition KMV updates, per-level CountSketch
+/// updates) so decoded replicas carry exact space-ledger heat.
+pub const WIRE_VERSION: u64 = 3;
 
 /// Append the versioned full-state header: magic, version, payload tag.
 pub fn put_header(out: &mut Vec<u8>, tag: u64) {
@@ -567,12 +569,14 @@ impl WireEncode for SketchStats {
 // These helpers pair the structural encoding with a counter sidecar and
 // restore it after reconstruction.
 
-/// Encode an `L0Estimator` plus its per-repetition telemetry counters.
+/// Encode an `L0Estimator` plus its per-repetition telemetry counters
+/// (heat updates, evictions, merges — v3 layout).
 pub fn put_l0_full(out: &mut Vec<u8>, l0: &L0Estimator) {
     l0.encode(out);
     put_u64(out, l0.repetitions().len() as u64);
     for rep in l0.repetitions() {
         let st = rep.stats();
+        put_u64(out, rep.heat_updates());
         put_u64(out, st.evictions);
         put_u64(out, st.merges);
     }
@@ -582,17 +586,18 @@ pub fn put_l0_full(out: &mut Vec<u8>, l0: &L0Estimator) {
 pub fn take_l0_full(input: &mut &[u8]) -> Result<L0Estimator, WireError> {
     let mut l0 = L0Estimator::decode(input)?;
     let n = take_u64(input)? as usize;
-    if n > input.len() / 16 {
+    if n > input.len() / 24 {
         return Err(err(format!("truncated L0 telemetry sidecar of {n} entries")));
     }
     let counters = (0..n)
-        .map(|_| Ok((take_u64(input)?, take_u64(input)?)))
+        .map(|_| Ok((take_u64(input)?, take_u64(input)?, take_u64(input)?)))
         .collect::<Result<Vec<_>, WireError>>()?;
     l0.restore_telemetry(&counters).map_err(err)?;
     Ok(l0)
 }
 
-/// Encode an `F2Contributing` plus its per-level telemetry counters.
+/// Encode an `F2Contributing` plus its per-level telemetry counters
+/// (prunes, evictions, merges, CountSketch heat updates — v3 layout).
 pub fn put_fc_full(out: &mut Vec<u8>, fc: &F2Contributing) {
     fc.encode(out);
     let levels = fc.level_parts();
@@ -602,6 +607,7 @@ pub fn put_fc_full(out: &mut Vec<u8>, fc: &F2Contributing) {
         put_u64(out, st.prunes);
         put_u64(out, st.evictions);
         put_u64(out, st.merges);
+        put_u64(out, hh.sketch().heat_updates());
     }
 }
 
@@ -609,11 +615,13 @@ pub fn put_fc_full(out: &mut Vec<u8>, fc: &F2Contributing) {
 pub fn take_fc_full(input: &mut &[u8]) -> Result<F2Contributing, WireError> {
     let mut fc = F2Contributing::decode(input)?;
     let n = take_u64(input)? as usize;
-    if n > input.len() / 24 {
+    if n > input.len() / 32 {
         return Err(err(format!("truncated F2C telemetry sidecar of {n} entries")));
     }
     let counters = (0..n)
-        .map(|_| Ok((take_u64(input)?, take_u64(input)?, take_u64(input)?)))
+        .map(|_| {
+            Ok((take_u64(input)?, take_u64(input)?, take_u64(input)?, take_u64(input)?))
+        })
         .collect::<Result<Vec<_>, WireError>>()?;
     fc.restore_telemetry(&counters).map_err(err)?;
     Ok(fc)
@@ -848,6 +856,42 @@ mod tests {
         let mut bad_env = bytes;
         bad_env[16..24].copy_from_slice(&u64::MAX.to_le_bytes()); // min field
         assert!(Histogram::from_bytes(&bad_env).is_err());
+    }
+
+    #[test]
+    fn full_state_sidecars_restore_ledger_heat() {
+        use crate::space::SpaceUsage;
+        use kcov_obs::LedgerNode;
+        let ledger = |s: &dyn SpaceUsage| {
+            let mut node = LedgerNode::new();
+            s.space_ledger(&mut node);
+            node
+        };
+        let mut est = L0Estimator::new(32, 3, 11);
+        for i in 0..4_000u64 {
+            est.insert(i * 7);
+        }
+        let mut buf = Vec::new();
+        put_l0_full(&mut buf, &est);
+        let mut input = buf.as_slice();
+        let back = take_l0_full(&mut input).unwrap();
+        assert!(input.is_empty());
+        assert_eq!(ledger(&back), ledger(&est));
+        assert!(ledger(&est).total_updates() > 0, "heat must be nonzero to test restore");
+
+        use crate::contributing::ContributingConfig;
+        let mut fc = F2Contributing::new(ContributingConfig::new(0.25, 64), 1000, 1000, 41);
+        for round in 0..300u64 {
+            fc.insert(5);
+            fc.insert(100 + round % 20);
+        }
+        let mut buf = Vec::new();
+        put_fc_full(&mut buf, &fc);
+        let mut input = buf.as_slice();
+        let back = take_fc_full(&mut input).unwrap();
+        assert!(input.is_empty());
+        assert_eq!(ledger(&back), ledger(&fc));
+        assert!(ledger(&fc).total_updates() > 0, "heat must be nonzero to test restore");
     }
 
     #[test]

@@ -37,7 +37,17 @@
 //! `--trace`: aggregate phase timings, heartbeat fill trajectories,
 //! and histogram percentiles, and re-checks the trace's accounting
 //! invariants (phase event nanos vs `time_ns.*` counters, subroutine
-//! space vs the summary total), failing on violation.
+//! space vs the summary total, heartbeat eviction monotonicity vs the
+//! final sketch totals), failing on violation.
+//!
+//! `maxkcov prof` renders the space-attribution ledger (DESIGN.md §13)
+//! as a sorted words / % / updates / updates-per-word report — either
+//! from a `--trace` file's `"ledger"` events (`maxkcov prof TRACE`,
+//! re-checking the parent-sum, summary-total, and per-subroutine
+//! invariants like `trace-summarize`) or from a live run (`maxkcov
+//! prof --input FILE --k K --alpha A …`, checking the exact-sum
+//! invariant against the estimator's `space_words`). Violations exit
+//! non-zero.
 //!
 //! Distributed ingestion (DESIGN.md §11): `maxkcov worker` ingests one
 //! contiguous shard of the stream (`--shards N --shard I`) and writes
@@ -59,7 +69,7 @@ use std::time::Instant;
 use kcov_baselines::{greedy_max_cover, max_cover_exact};
 use kcov_core::{EstimatorConfig, MaxCoverEstimator, MaxCoverReporter, ParamMode};
 use kcov_obs::json::Json;
-use kcov_obs::{Histogram, Recorder, Value};
+use kcov_obs::{render_ledger_report, Histogram, LedgerRow, Recorder, Value};
 use kcov_sketch::{SpaceUsage, WireEncode};
 use kcov_stream::gen;
 use kcov_stream::{
@@ -100,6 +110,9 @@ const USAGE: &str = "usage:
                    [--metrics] [--trace FILE] [--heartbeat N]
   maxkcov merge-from FILE... [--metrics] [--trace FILE]
   maxkcov trace-summarize FILE
+  maxkcov prof     TRACE [--top N]
+  maxkcov prof     --input FILE --k K --alpha A [--seed S] [--order ORDER] [--mode paper|practical]
+                   [--threads T] [--batch B] [--shards S] [--top N]
 KIND: uniform | zipf | planted | common | few-large | many-small
 ORDER: set | element | roundrobin | shuffle:SEED (default shuffle:0)
 --batch B ingests B edges per observe_batch call (default: per-edge observe);
@@ -116,7 +129,11 @@ its serialized replica to --out; merge-from folds replica files through the
 commutative merge and finalizes, matching a single-process --shards N run.
 --snapshot FILE --snapshot-every E checkpoints the worker every E shard edges;
 --resume FILE restarts from a checkpoint (no replay); --stop-after E simulates
-a crash after E edges (exits non-zero, periodic snapshots left for recovery).";
+a crash after E edges (exits non-zero, periodic snapshots left for recovery).
+prof renders the space-attribution ledger (words / % / updates / upd-per-word)
+from a --trace file's ledger events or from a live run, re-checking the ledger
+invariants (parent sums, summary total, per-subroutine match); --top N limits
+the report to the N hottest leaves (default 20, 0 = all).";
 
 /// Whether a flag takes a value or is a bare boolean.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -139,6 +156,12 @@ struct FlagSpec {
 /// flag set.
 const STREAM_CMDS: &[&str] = &["estimate", "report", "twopass", "budget", "worker"];
 
+/// Subcommands that can *run* an ingestion pass: the streaming
+/// subcommands plus `prof`'s live mode (which profiles the ledger
+/// instead of reporting estimates, but configures ingestion the same
+/// way).
+const RUN_CMDS: &[&str] = &["estimate", "report", "twopass", "budget", "worker", "prof"];
+
 /// Subcommands with an observability surface. `merge-from` never
 /// ingests (no `--heartbeat`) but emits the merged trace and metrics.
 const OBS_CMDS: &[&str] = &["estimate", "report", "twopass", "budget", "worker", "merge-from"];
@@ -151,33 +174,36 @@ const FLAG_SPECS: &[FlagSpec] = &[
     FlagSpec {
         name: "k",
         kind: FlagKind::Value,
-        commands: &["gen", "greedy", "exact", "estimate", "report", "twopass", "budget", "worker"],
+        commands: &[
+            "gen", "greedy", "exact", "estimate", "report", "twopass", "budget", "worker", "prof",
+        ],
     },
     FlagSpec {
         name: "seed",
         kind: FlagKind::Value,
-        commands: &["gen", "estimate", "report", "twopass", "budget", "worker"],
+        commands: &["gen", "estimate", "report", "twopass", "budget", "worker", "prof"],
     },
     FlagSpec {
         name: "input",
         kind: FlagKind::Value,
         commands: &[
             "stats", "greedy", "exact", "setcover", "estimate", "report", "twopass", "budget",
-            "worker",
+            "worker", "prof",
         ],
     },
     FlagSpec {
         name: "alpha",
         kind: FlagKind::Value,
-        commands: &["estimate", "report", "twopass", "worker"],
+        commands: &["estimate", "report", "twopass", "worker", "prof"],
     },
     FlagSpec { name: "words", kind: FlagKind::Value, commands: &["budget"] },
     FlagSpec { name: "fraction", kind: FlagKind::Value, commands: &["setcover"] },
-    FlagSpec { name: "order", kind: FlagKind::Value, commands: STREAM_CMDS },
-    FlagSpec { name: "mode", kind: FlagKind::Value, commands: STREAM_CMDS },
-    FlagSpec { name: "threads", kind: FlagKind::Value, commands: STREAM_CMDS },
-    FlagSpec { name: "batch", kind: FlagKind::Value, commands: STREAM_CMDS },
-    FlagSpec { name: "shards", kind: FlagKind::Value, commands: STREAM_CMDS },
+    FlagSpec { name: "top", kind: FlagKind::Value, commands: &["prof"] },
+    FlagSpec { name: "order", kind: FlagKind::Value, commands: RUN_CMDS },
+    FlagSpec { name: "mode", kind: FlagKind::Value, commands: RUN_CMDS },
+    FlagSpec { name: "threads", kind: FlagKind::Value, commands: RUN_CMDS },
+    FlagSpec { name: "batch", kind: FlagKind::Value, commands: RUN_CMDS },
+    FlagSpec { name: "shards", kind: FlagKind::Value, commands: RUN_CMDS },
     FlagSpec { name: "shard", kind: FlagKind::Value, commands: &["worker"] },
     FlagSpec { name: "snapshot", kind: FlagKind::Value, commands: &["worker"] },
     FlagSpec { name: "snapshot-every", kind: FlagKind::Value, commands: &["worker"] },
@@ -386,6 +412,11 @@ fn run(args: &[String]) -> Result<(), String> {
         // Takes positional replica FILEs plus --flags.
         let (files, flags) = split_positional(cmd, rest)?;
         return cmd_merge_from(&files, &flags);
+    }
+    if cmd == "prof" {
+        // Takes either a positional TRACE file or --input for a live run.
+        let (files, flags) = split_positional(cmd, rest)?;
+        return cmd_prof(&files, &flags);
     }
     if !matches!(
         cmd.as_str(),
@@ -872,12 +903,23 @@ struct TraceSummary {
     /// Sum of `"subroutine"` `space_words` and how many contributed.
     subroutine_space: u64,
     subroutines: u64,
+    /// Every `"subroutine"` event as `(lane, name, space_words)` — the
+    /// cross-check targets for the ledger subtrees.
+    subroutine_events: Vec<(u64, String, u64)>,
     /// `(estimate, space_words, edges)` from the `"summary"` event.
     summary: Option<(f64, u64, u64)>,
     /// `(stage, shard, at_edges)` → per-row aggregate over lanes.
     beats: BTreeMap<(String, u64, u64), BeatRow>,
     /// Reconstructed `"histogram"` events, in emission order.
     histograms: Vec<(String, Histogram)>,
+    /// `"ledger"` events as flattened rows, in emission order
+    /// (preorder of the attribution tree, subtree totals per row).
+    ledger_rows: Vec<LedgerRow>,
+    /// Sum of `"sketch"` event `evictions` and how many contributed —
+    /// the finalize-time totals the heartbeat trajectories must stay
+    /// below.
+    sketch_evictions: u64,
+    sketch_events: u64,
 }
 
 fn json_u64(doc: &Json, key: &str) -> Option<u64> {
@@ -920,8 +962,33 @@ fn parse_trace(path: &str) -> Result<TraceSummary, String> {
                 out.counters.insert(key.to_string(), value);
             }
             "subroutine" => {
-                out.subroutine_space += json_u64(&doc, "space_words").ok_or_else(|| bad("space_words"))?;
+                let words = json_u64(&doc, "space_words").ok_or_else(|| bad("space_words"))?;
+                let lane = json_u64(&doc, "lane").ok_or_else(|| bad("lane"))?;
+                let name = doc
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("name"))?;
+                out.subroutine_space += words;
                 out.subroutines += 1;
+                out.subroutine_events.push((lane, name.to_string(), words));
+            }
+            "sketch" => {
+                out.sketch_evictions += json_u64(&doc, "evictions").ok_or_else(|| bad("evictions"))?;
+                out.sketch_events += 1;
+            }
+            "ledger" => {
+                let path = doc
+                    .get("path")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("path"))?;
+                out.ledger_rows.push(LedgerRow {
+                    path: path.to_string(),
+                    words: json_u64(&doc, "words").ok_or_else(|| bad("words"))?,
+                    updates: json_u64(&doc, "updates").ok_or_else(|| bad("updates"))?,
+                    touched_words: json_u64(&doc, "touched_words")
+                        .ok_or_else(|| bad("touched_words"))?,
+                    children: json_u64(&doc, "children").ok_or_else(|| bad("children"))? as usize,
+                });
             }
             "summary" => {
                 let est = doc
@@ -980,8 +1047,8 @@ fn parse_trace(path: &str) -> Result<TraceSummary, String> {
                 }
                 out.histograms.push((name.to_string(), hist));
             }
-            // Other kinds (lane, sketch, shard, twopass, gauge, …) are
-            // valid trace content but carry nothing this summary needs.
+            // Other kinds (lane, shard, twopass, gauge, …) are valid
+            // trace content but carry nothing this summary needs.
             _ => {}
         }
     }
@@ -1030,7 +1097,191 @@ fn trace_invariant_violations(t: &TraceSummary) -> Vec<String> {
             t.beats.len()
         ));
     }
+    // Heartbeat ↔ SketchStats cross-check: eviction counters are
+    // monotone per (stage, shard) in stream position (the BTreeMap
+    // iterates `at_edges` ascending within each group), and the final
+    // per-shard snapshots can never exceed the finalize-time sketch
+    // totals — the merged totals include every shard's evictions plus
+    // any the merge itself performed.
+    let mut final_ev: BTreeMap<(&str, u64), u64> = BTreeMap::new();
+    for ((stage, shard, at), row) in &t.beats {
+        let prev = final_ev.entry((stage.as_str(), *shard)).or_insert(0);
+        if row.evictions < *prev {
+            violations.push(format!(
+                "heartbeat evictions not monotone: stage '{stage}' shard {shard} \
+                 drops from {prev} to {} at {at} edges",
+                row.evictions
+            ));
+        }
+        *prev = (*prev).max(row.evictions);
+    }
+    if t.sketch_events > 0 && !final_ev.is_empty() {
+        let beats_total: u64 = final_ev.values().sum();
+        if beats_total > t.sketch_evictions {
+            violations.push(format!(
+                "final heartbeats record {beats_total} evictions across shards but the \
+                 finalize-time sketch totals only {}",
+                t.sketch_evictions
+            ));
+        }
+    }
     violations
+}
+
+/// Re-check the invariants of a trace's `"ledger"` events (DESIGN.md
+/// §13): every interior row's subtree totals equal the sum of its
+/// immediate children's, the root's resident words equal the summary
+/// total, and each per-subroutine subtree matches its `"subroutine"`
+/// event's `space_words` exactly. Returns all violations.
+fn ledger_invariant_violations(t: &TraceSummary) -> Vec<String> {
+    let rows = &t.ledger_rows;
+    let mut violations = Vec::new();
+    for parent in rows.iter().filter(|r| r.children > 0) {
+        let prefix = format!("{}/", parent.path);
+        let children: Vec<&LedgerRow> = rows
+            .iter()
+            .filter(|r| r.path.strip_prefix(&prefix).is_some_and(|rest| !rest.contains('/')))
+            .collect();
+        if children.len() != parent.children {
+            violations.push(format!(
+                "ledger '{}' declares {} children but the trace holds {}",
+                parent.path,
+                parent.children,
+                children.len()
+            ));
+            continue;
+        }
+        let sum = |f: fn(&LedgerRow) -> u64| children.iter().map(|r| f(r)).sum::<u64>();
+        let sums = (sum(|r| r.words), sum(|r| r.updates), sum(|r| r.touched_words));
+        if sums != (parent.words, parent.updates, parent.touched_words) {
+            violations.push(format!(
+                "ledger '{}' totals ({}, {}, {}) != children sums ({}, {}, {})",
+                parent.path,
+                parent.words,
+                parent.updates,
+                parent.touched_words,
+                sums.0,
+                sums.1,
+                sums.2
+            ));
+        }
+    }
+    let root = rows.iter().find(|r| !r.path.contains('/'));
+    if let (Some(root), Some((_, summary_words, _))) = (root, t.summary) {
+        if root.words != summary_words {
+            violations.push(format!(
+                "ledger root '{}' attributes {} words but the summary reports {summary_words}",
+                root.path, root.words
+            ));
+        }
+    }
+    // Per-subroutine partial sums: the lane-subtree child names are the
+    // subroutine event names by construction; `trivial` and
+    // `fingerprints` are estimator-global (their events carry lane 0).
+    for (lane, name, words) in &t.subroutine_events {
+        let path = match name.as_str() {
+            "trivial" | "fingerprints" => format!("estimator/{name}"),
+            _ => format!("estimator/lane{lane}/{name}"),
+        };
+        match rows.iter().find(|r| r.path == path) {
+            Some(r) if r.words == *words => {}
+            Some(r) => violations.push(format!(
+                "ledger '{path}' attributes {} words but subroutine '{name}' \
+                 (lane {lane}) reports {words}",
+                r.words
+            )),
+            None => violations.push(format!(
+                "subroutine '{name}' (lane {lane}, {words} words) has no ledger subtree at '{path}'"
+            )),
+        }
+    }
+    violations
+}
+
+/// `maxkcov prof` — render the space-attribution ledger, from a trace
+/// file (positional) or a live run (`--input`), re-checking the ledger
+/// invariants either way.
+fn cmd_prof(files: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    let top: usize = match flags.get("top") {
+        Some(s) => parse_num(s, "top")?,
+        None => 20,
+    };
+    match (files, flags.contains_key("input")) {
+        ([path], false) => cmd_prof_trace(path, top),
+        ([], true) => cmd_prof_live(flags, top),
+        ([], false) => Err("prof needs a TRACE file or --input FILE for a live run".into()),
+        (_, true) => Err("prof takes a TRACE file or --input, not both".into()),
+        (_, false) => Err("prof takes exactly one TRACE file".into()),
+    }
+}
+
+fn cmd_prof_trace(path: &str, top: usize) -> Result<(), String> {
+    let t = parse_trace(path)?;
+    if t.ledger_rows.is_empty() {
+        return Err(format!(
+            "trace {path} contains no ledger events (written by --trace since the \
+             space-attribution ledger landed; re-run the traced command)"
+        ));
+    }
+    println!("trace          = {path}");
+    println!("ledger nodes   = {}", t.ledger_rows.len());
+    println!();
+    print!("{}", render_ledger_report(&t.ledger_rows, top));
+    let violations = ledger_invariant_violations(&t);
+    println!();
+    if violations.is_empty() {
+        println!("ledger invariants OK");
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("invariant violated: {v}");
+        }
+        Err(format!(
+            "{} ledger invariant(s) violated in {path}",
+            violations.len()
+        ))
+    }
+}
+
+fn cmd_prof_live(flags: &HashMap<String, String>, top: usize) -> Result<(), String> {
+    let system = load(flags)?;
+    let k: usize = parse_num(req(flags, "k")?, "k")?;
+    let alpha: f64 = parse_num(req(flags, "alpha")?, "alpha")?;
+    let order = parse_order(flags)?;
+    let config = parse_config(flags)?;
+    let batch = parse_batch(flags)?;
+    let edges = edge_stream(&system, order);
+    let mut est =
+        MaxCoverEstimator::new(system.num_elements(), system.num_sets(), k, alpha, &config);
+    if config.shards > 1 {
+        est.ingest_sharded(&edges, config.shards, batch.unwrap_or(1024));
+    } else {
+        for chunk in edges.chunks(batch.unwrap_or(1024)) {
+            est.observe_batch(chunk);
+        }
+    }
+    let ledger = est.space_ledger_tree();
+    println!("live run       = {} edges, k={k}, alpha={alpha}", edges.len());
+    println!("ledger nodes   = {}", ledger.rows().len());
+    println!();
+    print!("{}", ledger.report(top));
+    println!();
+    let mut violations = ledger.audit();
+    let (total, expected) = (ledger.total_words(), est.space_words() as u64);
+    if total != expected {
+        violations.push(format!(
+            "ledger attributes {total} words but space_words reports {expected}"
+        ));
+    }
+    if violations.is_empty() {
+        println!("ledger invariants OK");
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("invariant violated: {v}");
+        }
+        Err(format!("{} ledger invariant(s) violated", violations.len()))
+    }
 }
 
 fn cmd_trace_summarize(path: &str) -> Result<(), String> {

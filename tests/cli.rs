@@ -563,6 +563,79 @@ fn trace_summarize_rejects_empty_and_histogram_free_traces() {
     std::fs::remove_file(&beats).ok();
 }
 
+/// The `prof` subcommand: attribution report from a traced run or a
+/// live run, self-auditing the ledger invariants with a non-zero exit
+/// on violation.
+#[test]
+fn prof_renders_attribution_and_audits_the_ledger() {
+    let path = tmp_file("prof.txt");
+    let path_s = path.to_str().unwrap();
+    let trace = tmp_file("prof.ndjson");
+    let trace_s = trace.to_str().unwrap();
+    let out = run(&[
+        "gen", "--kind", "planted", "--n", "700", "--m", "110", "--k", "7", "--seed", "9",
+        "--out", path_s,
+    ]);
+    assert!(out.status.success());
+    let out = run(&[
+        "estimate", "--input", path_s, "--k", "7", "--alpha", "4", "--seed", "4",
+        "--batch", "256", "--trace", trace_s,
+    ]);
+    assert!(out.status.success());
+
+    // Trace mode: sorted attribution plus the invariant verdict.
+    let out = run(&["prof", trace_s]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in ["ledger nodes", "estimator/", "upd/word", "total:", "ledger invariants OK"] {
+        assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
+    }
+
+    // --top truncates the leaf table and says what it dropped.
+    let out = run(&["prof", trace_s, "--top", "3"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("more leaves"));
+
+    // Live mode reruns the estimator and audits its own ledger.
+    let out = run(&[
+        "prof", "--input", path_s, "--k", "7", "--alpha", "4", "--seed", "4", "--shards", "2",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("live run"), "{text}");
+    assert!(text.contains("ledger invariants OK"), "{text}");
+
+    // A tampered trace (a ledger leaf the tree never had) must be a
+    // non-zero exit naming the violation.
+    let mut ndjson = std::fs::read_to_string(&trace).unwrap();
+    ndjson.push_str(
+        "{\"seq\":99999,\"kind\":\"ledger\",\"path\":\"estimator/bogus\",\
+         \"words\":7,\"updates\":0,\"touched_words\":0,\"children\":0}\n",
+    );
+    std::fs::write(&trace, &ndjson).unwrap();
+    let out = run(&["prof", trace_s]);
+    assert!(!out.status.success(), "tampered ledger must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invariant violated"), "{err}");
+
+    // Flag and arity validation: trace and --input are exclusive, a
+    // bare call has nothing to profile, and stream-only flags are
+    // rejected.
+    let out = run(&["prof", trace_s, "--input", path_s, "--k", "7", "--alpha", "4"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not both"));
+    let out = run(&["prof"]);
+    assert!(!out.status.success());
+    let out = run(&[
+        "prof", "--input", path_s, "--k", "7", "--alpha", "4", "--heartbeat", "100",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag --heartbeat"));
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&trace).ok();
+}
+
 #[test]
 fn malformed_input_reports_line() {
     let path = tmp_file("bad.txt");

@@ -291,6 +291,65 @@ fn killed_worker_restarts_from_snapshot_bit_identical() {
     }
 }
 
+/// Decoded `KCOVWIRE` replicas carry the exact space ledger: every
+/// decoded worker state attributes each resident word, the wire v3
+/// telemetry sidecars restore nonzero heat, and folding the decoded
+/// replicas keeps the word sum exact while adding the heat counters.
+#[test]
+fn decoded_replicas_preserve_ledger_words_and_heat() {
+    use maxkcov::core::MaxCoverEstimator;
+    use maxkcov::sketch::{SpaceUsage, WireEncode};
+    let input = gen_instance("ledger", "planted", "17");
+    let n_shards = 3;
+    let replicas: Vec<PathBuf> = (0..n_shards)
+        .map(|i| {
+            let (out, replica) = worker("ledger", &input, "17", n_shards, i, &[]);
+            assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+            replica
+        })
+        .collect();
+    let mut decoded: Vec<MaxCoverEstimator> = replicas
+        .iter()
+        .map(|r| {
+            let bytes = std::fs::read(r).expect("replica bytes");
+            MaxCoverEstimator::from_bytes(&bytes).expect("decode replica")
+        })
+        .collect();
+
+    let mut updates = 0u64;
+    let mut touched = 0u64;
+    for (i, est) in decoded.iter().enumerate() {
+        let ledger = est.space_ledger_tree();
+        assert!(ledger.audit().is_empty(), "worker {i}: {:?}", ledger.audit());
+        assert_eq!(
+            ledger.total_words(),
+            est.space_words() as u64,
+            "worker {i}: decoded replica must attribute every resident word"
+        );
+        assert!(
+            ledger.root.total_updates() > 0,
+            "worker {i}: heat must survive the wire round trip"
+        );
+        updates += ledger.root.total_updates();
+        touched += ledger.root.total_touched_words();
+    }
+
+    let mut merged = decoded.remove(0);
+    for r in &decoded {
+        merged.merge(r);
+    }
+    let ledger = merged.space_ledger_tree();
+    assert!(ledger.audit().is_empty());
+    assert_eq!(ledger.total_words(), merged.space_words() as u64);
+    assert_eq!(ledger.root.total_updates(), updates, "heat adds across decoded workers");
+    assert_eq!(ledger.root.total_touched_words(), touched);
+
+    for r in &replicas {
+        std::fs::remove_file(r).ok();
+    }
+    std::fs::remove_file(&input).ok();
+}
+
 /// Truncations and corruptions of a replica file must be rejected with
 /// a clean decode error — never a panic (exit 101), never a success.
 #[test]

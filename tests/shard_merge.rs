@@ -288,6 +288,53 @@ fn merge_rebuild_prunes_below_serial_candidate_fill() {
     assert_eq!(merged.updates, st.updates, "items_seen merges by addition");
 }
 
+/// The space ledger under merge: every replica and the merged state
+/// attribute exactly their `space_words`, and the heat counters
+/// (updates, touched words) are additive — the merged ledger's totals
+/// equal the sum of the shard replicas' totals.
+#[test]
+fn ledger_words_stay_exact_and_heat_adds_across_shards() {
+    use maxkcov::sketch::SpaceUsage;
+    let inst = planted_cover(600, 80, 6, 0.7, 20, 15);
+    let n = inst.system.num_elements();
+    let m = inst.system.num_sets();
+    let config = fast_config(0x1ED6, n);
+    let edges = edge_stream(&inst.system, ArrivalOrder::Shuffled(4));
+    let proto = MaxCoverEstimator::new(n, m, 6, 3.0, &config);
+    for shards in [2usize, 4] {
+        let chunk = edges.len().div_ceil(shards);
+        let replicas: Vec<MaxCoverEstimator> =
+            edges.chunks(chunk).map(|part| fed_replica(&proto, part)).collect();
+        let mut updates = 0u64;
+        let mut touched = 0u64;
+        for (i, r) in replicas.iter().enumerate() {
+            let ledger = r.space_ledger_tree();
+            assert!(ledger.audit().is_empty(), "shard {i}: {:?}", ledger.audit());
+            assert_eq!(
+                ledger.total_words(),
+                r.space_words() as u64,
+                "shard {i}: ledger must attribute every resident word"
+            );
+            updates += ledger.root.total_updates();
+            touched += ledger.root.total_touched_words();
+        }
+        assert!(updates > 0, "shards must record heat");
+        let mut merged = proto.clone();
+        for r in &replicas {
+            merged.merge(r);
+        }
+        let ledger = merged.space_ledger_tree();
+        assert!(ledger.audit().is_empty());
+        assert_eq!(ledger.total_words(), merged.space_words() as u64, "shards={shards}");
+        assert_eq!(ledger.root.total_updates(), updates, "shards={shards}: updates are additive");
+        assert_eq!(
+            ledger.root.total_touched_words(),
+            touched,
+            "shards={shards}: touched words are additive"
+        );
+    }
+}
+
 /// The trivial regime (`k·α ≥ m`) merges bit-exactly — every group and
 /// the total are union-merged L0 sketches, so even the space accounting
 /// agrees.
