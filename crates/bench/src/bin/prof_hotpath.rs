@@ -42,6 +42,53 @@ fn main() {
     for i in 0..200_000u64 { oracle.observe(kcov_stream::Edge::new((i % 400) as u32, (i % 2000) as u32)); }
     println!("Oracle observe:       {:?}/op", t.elapsed() / 200_000);
 
+    // Per-subroutine ingest cost at a representative lane: the three
+    // oracle cases priced separately over the same fingerprinted chunk
+    // stream, to see which case dominates the sketch-update phase.
+    {
+        let (n, m, k, alpha) = (20_000usize, 2_000usize, 64usize, 8.0f64);
+        let system = kcov_stream::gen::uniform_fixed_size(n, m, 60, 1);
+        let edges = kcov_stream::edge_stream(&system, kcov_stream::ArrivalOrder::Shuffled(9));
+        let base = std::sync::Arc::new(kcov_hash::KWise::new(8, 4242));
+        let fps: Vec<u64> = edges
+            .iter()
+            .map(|e| kcov_hash::RangeHash::hash(&*base, e.set as u64))
+            .collect();
+        println!("Per-subroutine batched ingest ({} edges, z sweep):", edges.len());
+        for z in [256usize, 4096, 16384] {
+            let params = kcov_core::Params::practical(m, z, k, alpha);
+            let mut lc = kcov_core::LargeCommon::with_base(z, &params, false, 7, base.clone());
+            let t = Instant::now();
+            for (chunk, fchunk) in edges.chunks(8192).zip(fps.chunks(8192)) {
+                lc.observe_fp_batch(chunk, fchunk);
+            }
+            let lc_ns = t.elapsed().as_nanos() as u64;
+            let mut ls = kcov_core::LargeSet::with_base(z, &params, 7, base.clone());
+            let t = Instant::now();
+            for (chunk, fchunk) in edges.chunks(8192).zip(fps.chunks(8192)) {
+                ls.observe_fp_batch(chunk, fchunk);
+            }
+            let ls_ns = t.elapsed().as_nanos() as u64;
+            let ss_ns = if params.small_set_active() {
+                let mut ss = kcov_core::SmallSet::with_base(z, &params, 7, base.clone());
+                let t = Instant::now();
+                for (chunk, fchunk) in edges.chunks(8192).zip(fps.chunks(8192)) {
+                    ss.observe_fp_batch(chunk, fchunk);
+                }
+                t.elapsed().as_nanos() as u64
+            } else {
+                0
+            };
+            let per = |ns: u64| ns as f64 / edges.len() as f64;
+            println!(
+                "  z={z:6}: large_common {:7.1} + large_set {:7.1} + small_set {:7.1} ns/edge",
+                per(lc_ns),
+                per(ls_ns),
+                per(ss_ns)
+            );
+        }
+    }
+
     // Estimator hot path, per phase: hash once / lane reject / sketch
     // update, over the full batched ingest (DESIGN.md §12).
     let (n, m, k, alpha) = (20_000usize, 2_000usize, 64usize, 8.0f64);

@@ -131,20 +131,21 @@ struct Lane {
 
 impl Lane {
     /// Feed one chunk through this lane given the estimator's shared
-    /// fingerprint columns (hashed once against the *raw* stream):
-    /// reduce every edge from its element fingerprint (one 4-wise mix
-    /// per edge, into the caller's scratch buffer), then hand the
-    /// reduced chunk plus the set-fingerprint column to the oracle's
-    /// batched path. Set ids pass through universe reduction unchanged,
-    /// so one `fp_set` column serves every lane.
+    /// columns (hashed once against the *raw* stream): `umix` is the
+    /// lane-invariant universe mix already applied to the element
+    /// fingerprints, so reduction is one widening multiply per edge
+    /// (into the caller's scratch buffer); the reduced chunk plus the
+    /// set-fingerprint column then drive the oracle's batched path.
+    /// Set ids pass through universe reduction unchanged, so one
+    /// `fp_set` column serves every lane.
     fn ingest_fp(
         &mut self,
         edges: &[Edge],
         fp_set: &[u64],
-        fp_elem: &[u64],
+        umix: &[u64],
         scratch: &mut Vec<Edge>,
     ) {
-        self.reducer.map_fp_batch(edges, fp_elem, scratch);
+        self.reducer.map_premixed_batch(edges, umix, scratch);
         self.oracle.observe_fp_batch(scratch, fp_set);
     }
 
@@ -345,6 +346,16 @@ impl MaxCoverEstimator {
         // raw edge, at a degree sized for the *full* instance (m·n key
         // space) so every lane's cheap downstream mix composes soundly.
         let fps = EdgeFingerprints::new(config.seed, Params::hash_degree(config.mode, m, n));
+        // One universe-reduction mix for every `(z, rep)` lane: the mix
+        // column is evaluated once per chunk and each lane applies only
+        // its own range reduction. The coupling across lanes this
+        // introduces is harmless (Lemma 3.5 is per lane; the final max
+        // needs no cross-lane independence) and it removes one degree-4
+        // polynomial evaluation per lane per edge plus all but one copy
+        // of the mix coefficients.
+        let umix = UniverseReducer::shared_mix(
+            kcov_hash::SeedSequence::labeled(config.seed, "universe-mix").next_seed(),
+        );
         let zs: Vec<u64> = config.z_guesses.clone().unwrap_or_else(|| {
             let mut zs = Vec::new();
             let mut z = 4u64;
@@ -364,9 +375,9 @@ impl MaxCoverEstimator {
             for _ in 0..reps {
                 lanes.push(Lane {
                     z,
-                    reducer: UniverseReducer::with_base(
+                    reducer: UniverseReducer::with_shared_mix(
                         z,
-                        seq.next_seed(),
+                        umix.clone(),
                         fps.elem_base().clone(),
                     ),
                     oracle: Oracle::with_base(
@@ -473,12 +484,16 @@ impl MaxCoverEstimator {
             .as_ref()
             .expect("non-trivial estimator has fingerprints")
             .fill_block(edges, &mut block);
-        let (fp_set, fp_elem) = (&block.fp_set[..], &block.fp_elem[..]);
+        // Lane-invariant universe mix: one column for every lane.
+        if let Some(first) = self.lanes.first() {
+            first.reducer.mix_batch(&block.fp_elem, &mut block.umix);
+        }
+        let (fp_set, umix) = (&block.fp_set[..], &block.umix[..]);
         let threads = self.threads.clamp(1, self.lanes.len().max(1));
         if threads <= 1 {
             let mut scratch = Vec::with_capacity(edges.len());
             for lane in &mut self.lanes {
-                lane.ingest_fp(edges, fp_set, fp_elem, &mut scratch);
+                lane.ingest_fp(edges, fp_set, umix, &mut scratch);
             }
         } else {
             let shard = self.lanes.len().div_ceil(threads);
@@ -487,7 +502,7 @@ impl MaxCoverEstimator {
                     s.spawn(move || {
                         let mut scratch = Vec::with_capacity(edges.len());
                         for lane in chunk {
-                            lane.ingest_fp(edges, fp_set, fp_elem, &mut scratch);
+                            lane.ingest_fp(edges, fp_set, umix, &mut scratch);
                         }
                     });
                 }
@@ -754,7 +769,7 @@ impl MaxCoverEstimator {
         }
         if let Some(fps) = &self.fps {
             // The estimator-global hash-once front end, shared by every
-            // lane (lanes account for their retained base clones).
+            // lane (lanes count 1-word handles on the shared bases).
             rec.event(
                 "subroutine",
                 &[
@@ -762,6 +777,19 @@ impl MaxCoverEstimator {
                     ("name", Value::from("fingerprints")),
                     ("estimate", Value::from(f64::NAN)),
                     ("space_words", Value::from(fps.space_words())),
+                ],
+            );
+        }
+        if let Some(lane) = self.lanes.first() {
+            // The lane-invariant universe-reduction mix, shared by every
+            // lane and attributed once (lanes count 1-word handles).
+            rec.event(
+                "subroutine",
+                &[
+                    ("lane", Value::from(0u64)),
+                    ("name", Value::from("universe")),
+                    ("estimate", Value::from(f64::NAN)),
+                    ("space_words", Value::from(lane.reducer.mix_words())),
                 ],
             );
         }
@@ -1168,6 +1196,9 @@ impl SpaceUsage for MaxCoverEstimator {
     fn space_words(&self) -> usize {
         self.trivial.as_ref().map_or(0, TrivialState::space_words)
             + self.fps.as_ref().map_or(0, SpaceUsage::space_words)
+            // The shared universe mix, counted once (each lane's reducer
+            // carries a 1-word handle).
+            + self.lanes.first().map_or(0, |l| l.reducer.mix_words())
             + self
                 .lanes
                 .iter()
@@ -1177,15 +1208,19 @@ impl SpaceUsage for MaxCoverEstimator {
 
     /// The root of the space-attribution tree. Child names deliberately
     /// match the finalize-time `"subroutine"` event names (`trivial`,
-    /// `fingerprints`, per-lane `reducer`/`set_base`/`large_common`/
-    /// `large_set`/`small_set`) so `maxkcov prof` can cross-check each
-    /// subtree against its event's `space_words`.
+    /// `fingerprints`, the shared `universe` mix, per-lane
+    /// `reducer`/`set_base`/`large_common`/`large_set`/`small_set`) so
+    /// `maxkcov prof` can cross-check each subtree against its event's
+    /// `space_words`.
     fn space_ledger(&self, node: &mut LedgerNode) {
         if let Some(t) = &self.trivial {
             t.space_ledger(node.child("trivial"));
         }
         if let Some(fps) = &self.fps {
             fps.space_ledger(node.child("fingerprints"));
+        }
+        if let Some(lane) = self.lanes.first() {
+            node.leaf("universe", lane.reducer.mix_words());
         }
         for (i, lane) in self.lanes.iter().enumerate() {
             let ln = node.child(&format!("lane{i}"));

@@ -28,6 +28,8 @@
 //! the gates, so the hot path keeps the guarantees while hashing each
 //! id exactly once.
 
+use std::sync::Arc;
+
 use kcov_hash::{KWise, RangeHash, SeedSequence};
 use kcov_sketch::wire::{err, put_kwise, take_kwise, WireError};
 use kcov_sketch::SpaceUsage;
@@ -37,8 +39,8 @@ use kcov_stream::Edge;
 /// one over element ids, both of [`crate::Params::hash_degree`] degree.
 #[derive(Debug, Clone)]
 pub struct EdgeFingerprints {
-    set: KWise,
-    elem: KWise,
+    set: Arc<KWise>,
+    elem: Arc<KWise>,
 }
 
 impl EdgeFingerprints {
@@ -47,8 +49,8 @@ impl EdgeFingerprints {
     /// determinism contract (changing it changes every gate decision).
     pub fn new(seed: u64, degree: usize) -> Self {
         let mut seq = SeedSequence::labeled(seed, "edge-fingerprints");
-        let set = KWise::new(degree, seq.next_seed());
-        let elem = KWise::new(degree, seq.next_seed());
+        let set = Arc::new(KWise::new(degree, seq.next_seed()));
+        let elem = Arc::new(KWise::new(degree, seq.next_seed()));
         EdgeFingerprints { set, elem }
     }
 
@@ -70,14 +72,15 @@ impl EdgeFingerprints {
         self.elem.hash_batch(&block.elem_keys, &mut block.fp_elem);
     }
 
-    /// The set-id base (cloned into each subroutine so wire payloads
-    /// stay self-contained).
-    pub fn set_base(&self) -> &KWise {
+    /// The set-id base. Every subroutine holds a clone of this `Arc`
+    /// (one shared coefficient table per process; wire payloads still
+    /// encode the coefficients per holder so they stay self-contained).
+    pub fn set_base(&self) -> &Arc<KWise> {
         &self.set
     }
 
     /// The element-id base (consumed by the universe reducers).
-    pub fn elem_base(&self) -> &KWise {
+    pub fn elem_base(&self) -> &Arc<KWise> {
         &self.elem
     }
 
@@ -104,7 +107,10 @@ impl kcov_sketch::WireEncode for EdgeFingerprints {
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
         let set = take_kwise(input).map_err(|e| err(format!("fingerprint set base: {e}")))?;
         let elem = take_kwise(input).map_err(|e| err(format!("fingerprint elem base: {e}")))?;
-        Ok(EdgeFingerprints { set, elem })
+        Ok(EdgeFingerprints {
+            set: Arc::new(set),
+            elem: Arc::new(elem),
+        })
     }
 }
 
@@ -130,6 +136,10 @@ pub struct FingerprintBlock {
     pub fp_set: Vec<u64>,
     /// `h_elem(edge.elem)` per edge of the chunk.
     pub fp_elem: Vec<u64>,
+    /// Shared universe-reduction mix applied to `fp_elem`, filled by
+    /// the estimator's dispatch (one evaluation per chunk, consumed by
+    /// every lane's range reduction).
+    pub umix: Vec<u64>,
 }
 
 impl FingerprintBlock {

@@ -12,6 +12,8 @@
 //! Succeeds exactly when some frequency layer has many `β_g k`-common
 //! elements — the oracle's case I.
 
+use std::sync::Arc;
+
 use kcov_hash::{KWise, RangeHash, SeedSequence};
 use kcov_sketch::{L0Estimator, SpaceUsage};
 use kcov_stream::Edge;
@@ -52,10 +54,13 @@ pub struct LargeCommon {
     k: usize,
     alpha: f64,
     sigma: f64,
-    /// Shared set fingerprint base (hash-once hot path). Stored per
-    /// subroutine so wire payloads stay self-contained and finalize can
-    /// enumerate sampled sets without external state.
-    set_base: KWise,
+    /// Shared set fingerprint base (hash-once hot path). Wire payloads
+    /// stay self-contained (the coefficients are re-encoded per holder)
+    /// and finalize can enumerate sampled sets without external state;
+    /// in memory every holder shares one `Arc`'d coefficient table and
+    /// counts a 1-word handle — the words belong to the owning
+    /// fingerprint front end.
+    set_base: Arc<KWise>,
     /// Per-subroutine 4-wise mix applied to the shared fingerprint —
     /// the layer-sampling gate (see [`BetaLane::buckets`]). Keeping the
     /// mix distinct per subroutine avoids gate correlation with the
@@ -72,14 +77,20 @@ impl LargeCommon {
     pub fn new(u: usize, params: &Params, reporting: bool, seed: u64) -> Self {
         let degree = Params::hash_degree(params.mode, params.m, params.n);
         let base_seed = SeedSequence::labeled(seed, "large-common-base").next_seed();
-        Self::with_base(u, params, reporting, seed, KWise::new(degree, base_seed))
+        Self::with_base(u, params, reporting, seed, Arc::new(KWise::new(degree, base_seed)))
     }
 
     /// Create the subroutine consuming set fingerprints under the shared
     /// `set_base`. When `reporting` is set, per-group distinct counters
     /// are maintained so a concrete k-cover can be extracted (the Õ(k)
     /// extra of Theorem 3.2).
-    pub fn with_base(u: usize, params: &Params, reporting: bool, seed: u64, set_base: KWise) -> Self {
+    pub fn with_base(
+        u: usize,
+        params: &Params,
+        reporting: bool,
+        seed: u64,
+        set_base: Arc<KWise>,
+    ) -> Self {
         let mut seq = SeedSequence::labeled(seed, "large-common");
         let m = params.m;
         let k = params.k;
@@ -423,7 +434,7 @@ impl kcov_sketch::WireEncode for LargeCommon {
         let k = take_u64(input)? as usize;
         let alpha = take_f64(input)?;
         let sigma = take_f64(input)?;
-        let set_base = take_kwise(input)?;
+        let set_base = Arc::new(take_kwise(input)?);
         let set_mix = take_kwise(input)?;
         let num_lanes = take_u64(input)? as usize;
         if num_lanes > input.len() {
@@ -464,8 +475,9 @@ impl kcov_sketch::WireEncode for LargeCommon {
 
 impl SpaceUsage for LargeCommon {
     fn space_words(&self) -> usize {
-        self.set_base.space_words()
-            + self.set_mix.space_words()
+        // 1-word handle on the shared base (coefficients counted once by
+        // their owner).
+        1 + self.set_mix.space_words()
             + self
                 .lanes
                 .iter()
@@ -486,7 +498,7 @@ impl SpaceUsage for LargeCommon {
     /// any audit); `overhead` counts the 2-word `(β, buckets)` schedule
     /// per layer.
     fn space_ledger(&self, node: &mut kcov_obs::LedgerNode) {
-        node.leaf("set_base", self.set_base.space_words());
+        node.leaf("set_base", 1);
         node.leaf("set_mix", self.set_mix.space_words());
         for lane in &self.lanes {
             lane.de.space_ledger(node.child("distinct"));
@@ -647,7 +659,7 @@ mod tests {
         let ss = common_heavy(800, 400, 6);
         let params = Params::practical(400, 800, 10, 4.0);
         let edges = edge_stream(&ss, ArrivalOrder::Shuffled(5));
-        let base = KWise::new(8, 321);
+        let base = Arc::new(KWise::new(8, 321));
         let proto = LargeCommon::with_base(800, &params, true, 13, base.clone());
         let mut scalar = proto.clone();
         let mut fp = proto.clone();

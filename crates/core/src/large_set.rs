@@ -28,35 +28,133 @@
 
 use std::collections::HashMap;
 
-use kcov_hash::{KWise, RangeHash, SeedSequence, MERSENNE_P};
-use kcov_sketch::{ContributingConfig, F2Contributing, L0Estimator, SpaceUsage};
+use std::sync::Arc;
+
+use kcov_hash::{KWise, RangeHash, SeedSequence};
+use kcov_sketch::{probe_mix, ContributingConfig, F2Contributing, L0Estimator, OaMap, SpaceUsage};
 use kcov_stream::Edge;
 
 use crate::params::Params;
 use crate::Witness;
 
+/// Per-repetition sampled-superset table: superset id → its distinct
+/// coverage sketch. The arena keeps one flat open-addressing table per
+/// repetition; the reference backend keeps the pre-arena `std` map.
+/// Every order-sensitive consumer (finalize scan, wire encoding) walks
+/// ids in sorted order, and the aggregating consumers (stats, ledger)
+/// are commutative sums, so behavior is backend-invariant.
+#[derive(Debug, Clone)]
+enum SampledStore {
+    Oa(OaMap<L0Estimator>),
+    Map(HashMap<u64, L0Estimator>),
+}
+
+impl SampledStore {
+    fn new() -> Self {
+        match kcov_sketch::backend() {
+            kcov_sketch::Backend::Arena => SampledStore::Oa(OaMap::new()),
+            kcov_sketch::Backend::Reference => SampledStore::Map(HashMap::new()),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            SampledStore::Oa(m) => m.len(),
+            SampledStore::Map(m) => m.len(),
+        }
+    }
+
+    #[inline]
+    fn get_or_insert_with(&mut self, sid: u64, default: impl FnOnce() -> L0Estimator) -> &mut L0Estimator {
+        match self {
+            SampledStore::Oa(m) => m.get_or_insert_with(sid, default),
+            SampledStore::Map(m) => m.entry(sid).or_insert_with(default),
+        }
+    }
+
+    fn get(&self, sid: u64) -> Option<&L0Estimator> {
+        match self {
+            SampledStore::Oa(m) => m.get(sid),
+            SampledStore::Map(m) => m.get(&sid),
+        }
+    }
+
+    fn get_mut(&mut self, sid: u64) -> Option<&mut L0Estimator> {
+        match self {
+            SampledStore::Oa(m) => m.get_mut(sid),
+            SampledStore::Map(m) => m.get_mut(&sid),
+        }
+    }
+
+    fn set(&mut self, sid: u64, l0: L0Estimator) {
+        match self {
+            SampledStore::Oa(m) => m.set(sid, l0),
+            SampledStore::Map(m) => {
+                m.insert(sid, l0);
+            }
+        }
+    }
+
+    /// Sampled ids, ascending (canonical order for finalize and wire).
+    fn sorted_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = match self {
+            SampledStore::Oa(m) => m.iter().map(|(sid, _)| sid).collect(),
+            SampledStore::Map(m) => m.keys().copied().collect(),
+        };
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Visit every sketch in storage order (commutative consumers only).
+    fn for_each(&self, mut f: impl FnMut(&L0Estimator)) {
+        match self {
+            SampledStore::Oa(m) => {
+                for (_, l0) in m.iter() {
+                    f(l0);
+                }
+            }
+            SampledStore::Map(m) => {
+                for l0 in m.values() {
+                    f(l0);
+                }
+            }
+        }
+    }
+}
+
 /// One repetition of the element-sampled pipeline.
 #[derive(Debug, Clone)]
 struct Rep {
-    /// Element `e ∈ L` iff `ehash(e) < keep_below` (probability ρ).
-    /// Keyed on the *reduced* pseudo-element — two raw elements mapping
-    /// to the same pseudo-element must share the keep/reject decision,
-    /// so this hash must never move to raw ids or their fingerprints.
-    ehash: KWise,
+    /// Element `e ∈ L` iff `probe_mix(e ^ gate_salt) < keep_below`
+    /// (probability ρ). Keyed on the *reduced* pseudo-element — two raw
+    /// elements mapping to the same pseudo-element must share the
+    /// keep/reject decision, so the gate must never move to raw ids or
+    /// their fingerprints. Pseudo-elements are already 4-wise hash
+    /// outputs, so the salted finalizer only decorrelates repetitions;
+    /// the whole rejection test is one multiply-mix and one compare
+    /// against a threshold fixed at configuration time (`ρ·2^64`),
+    /// replacing the degree-8 polynomial that used to fire for every
+    /// edge of every repetition.
+    gate_salt: u64,
     keep_below: u64,
     /// Superset id of a set: a 4-wise mix over the shared set
     /// fingerprint (hash-once hot path).
     shash: KWise,
     num_supersets: u64,
-    /// Case 1: small contributing classes (size ≤ 3sα).
-    cntr_small: F2Contributing,
-    /// Case 2: medium contributing classes (size ≤ r₂).
-    cntr_large: F2Contributing,
+    /// Cases 1 and 2 share one two-tier contributing-class finder: one
+    /// sampling hash, one dyadic level schedule up to r₂, one candidate
+    /// tracker and CountSketch per level. Levels within the Case-1
+    /// class-size bound (≤ 3sα) carry the wide `φ₁`-calibrated sketch —
+    /// which serves Case 2 at those sizes at least as accurately as the
+    /// `φ₂` shape would — and only the deeper Case-2-only levels carry
+    /// the narrow `φ₂` shape. The split finders this replaces fed
+    /// byte-identical substreams to two trackers per shared level.
+    cntr: F2Contributing,
     /// Case 2 fallback: directly sampled supersets with distinct-element
     /// coverage sketches (classes larger than r₂).
     ssel_buckets: u64,
     ssel_hash: KWise,
-    sampled: HashMap<u64, L0Estimator>,
+    sampled: SampledStore,
     sample_seed: u64,
 }
 
@@ -85,8 +183,10 @@ pub struct LargeSet {
     /// Cover budget `k`.
     k: usize,
     /// Shared set fingerprint base (hash-once hot path); the per-rep
-    /// `shash` mixes its output into superset ids.
-    set_base: KWise,
+    /// `shash` mixes its output into superset ids. One `Arc`'d
+    /// coefficient table per process; this holder counts a 1-word
+    /// handle.
+    set_base: Arc<KWise>,
     reps: Vec<Rep>,
 }
 
@@ -98,18 +198,22 @@ impl LargeSet {
     pub fn new(u: usize, params: &Params, seed: u64) -> Self {
         let degree = Params::hash_degree(params.mode, params.m, params.n);
         let base_seed = SeedSequence::labeled(seed, "large-set-base").next_seed();
-        Self::with_base(u, params, seed, KWise::new(degree, base_seed))
+        Self::with_base(u, params, seed, Arc::new(KWise::new(degree, base_seed)))
     }
 
     /// Create the subroutine consuming set fingerprints under the shared
     /// `set_base`.
-    pub fn with_base(u: usize, params: &Params, seed: u64, set_base: KWise) -> Self {
-        let mut seq = SeedSequence::labeled(seed, "large-set");
+    pub fn with_base(u: usize, params: &Params, seed: u64, set_base: Arc<KWise>) -> Self {
+        let mut seq = SeedSequence::labeled(seed, "large-set-f");
         let m = params.m;
         let w = params.large_set_w();
         let num_supersets = params.num_supersets(w) as u64;
         let rho = (params.large_set_sample / u.max(1) as f64).min(1.0);
-        let keep_below = (rho * MERSENNE_P as f64) as u64;
+        // Gate threshold on the full 64-bit mix range; the saturating
+        // float cast maps ρ = 1 to `u64::MAX` (keep everything short of
+        // one mix value in 2^64 — the same epsilon the old field-range
+        // threshold carried).
+        let keep_below = (rho * 2f64.powi(64)) as u64;
         let r1 = (3.0 * params.s_alpha).ceil() as u64;
         // r₂: the largest class size the sparse finder handles; beyond
         // it the direct superset-sampling branch takes over.
@@ -123,39 +227,44 @@ impl LargeSet {
             .map(|_| {
                 let mut c1 = ContributingConfig::new(params.phi1(), r1.max(1));
                 let mut c2 = ContributingConfig::new(params.phi2(), r2);
-                // Six survivors per size-guess level: enough for the
+                // Four survivors per size-guess level: enough for the
                 // ≥ thr/2 median test (the class representative only has
                 // to be *sampled*, not measured precisely — the paired
                 // CountSketch supplies the load estimate), and each
                 // subsampled level admits `keep/modulus` of the kept
-                // elements, so halving the keep from the old 12 halves
-                // the expected heavy-hitter updates per survivor.
-                c1.survivors_per_class = 6;
-                c2.survivors_per_class = 6;
+                // elements, so each cut from the old 12 proportionally
+                // trims the expected heavy-hitter updates per survivor.
+                c1.survivors_per_class = 4;
+                c2.survivors_per_class = 4;
                 // Superset-id keys are already uniform hash outputs, so
                 // the finders' internal sampling hashes need only modest
-                // independence — degree 8 instead of Θ(log mn) keeps the
-                // kept-element path cheap.
-                c1.sampling_degree = Some(8);
-                c2.sampling_degree = Some(8);
+                // independence — pairwise instead of Θ(log mn) keeps the
+                // kept-element path cheap (the dyadic level split only
+                // needs pairwise concentration per level).
+                c1.sampling_degree = Some(2);
+                c2.sampling_degree = Some(2);
                 // The Fig 6 thresholds carry 2× slack of their own, so
                 // the inner heavy hitters can run leaner than the
                 // standalone Theorem 2.10 defaults; φ keeps all of γ
-                // and the width multiplier drops to 4 (detection quality
-                // is gated by the regime tests, space by exp_tradeoff).
+                // and the width multiplier drops to 2 (detection quality
+                // is gated by the regime tests, space by exp_tradeoff:
+                // the thresholds sit Ω(sα) above the per-row noise even
+                // at width 2/φ, and the table is the α²/m space driver).
                 for c in [&mut c1, &mut c2] {
                     c.phi_factor = 1.0;
-                    c.hh_width_factor = 4.0;
+                    c.hh_width_factor = 2.0;
                     // Candidate lists are the m/α flattener otherwise
                     // (they cannot exceed the superset count B = Θ(m/w)).
                     c.hh_capacity_factor = 1.0;
                     // The thresholds compare CountSketch medians against
                     // Ω(|L|/sα)-sized loads, far above the per-row noise,
-                    // so 3 rows give the same accept/reject decisions as
-                    // the Theorem 2.10 default of 5 at 60% of the update
+                    // so 2 rows give the same accept/reject decisions as
+                    // the Theorem 2.10 default of 5 at 40% of the update
                     // cost (the hot path pays one row-update per row per
-                    // kept element).
-                    c.hh_rows = 3;
+                    // kept element; the even-row median rounds toward
+                    // zero, which only makes the threshold test more
+                    // conservative).
+                    c.hh_rows = 2;
                     // Keep the candidate tracker's prune amortized: with
                     // `capacity = factor/φ` clamped at 8, a large-φ finder
                     // tracks far fewer ids than the live superset domain
@@ -171,20 +280,16 @@ impl LargeSet {
                     let phi = (c.gamma * c.phi_factor).clamp(1e-9, 1.0);
                     c.hh_capacity_factor = c.hh_capacity_factor.max(floor as f64 * phi);
                 }
+                let cntr_seed = seq.next_seed();
                 Rep {
-                    // Pseudo-elements are hash outputs themselves, so a
-                    // degree-8 polynomial suffices for the sampling
-                    // concentration; this hash fires for every edge of
-                    // every repetition and dominated the old hot path.
-                    ehash: KWise::new(8, seq.next_seed()),
+                    gate_salt: seq.next_seed(),
                     keep_below,
                     shash: KWise::new(4, seq.next_seed()),
                     num_supersets,
-                    cntr_small: F2Contributing::new(c1, num_supersets as usize, u, seq.next_seed()),
-                    cntr_large: F2Contributing::new(c2, num_supersets as usize, u, seq.next_seed()),
+                    cntr: F2Contributing::new_paired(c1, c2, num_supersets as usize, u, cntr_seed),
                     ssel_buckets,
                     ssel_hash: KWise::new(4, seq.next_seed()),
-                    sampled: HashMap::new(),
+                    sampled: SampledStore::new(),
                     sample_seed: seq.next_seed(),
                 }
             })
@@ -212,17 +317,15 @@ impl LargeSet {
     /// evaluation and a compare.
     #[inline]
     fn rep_observe(rep: &mut Rep, edge: Edge, fp_set: u64) {
-        if rep.ehash.hash(edge.elem as u64) >= rep.keep_below {
+        if probe_mix(edge.elem as u64 ^ rep.gate_salt) >= rep.keep_below {
             return; // element not in this repetition's L
         }
         let sid = rep.shash.hash_to_range(fp_set, rep.num_supersets);
-        rep.cntr_small.insert(sid);
-        rep.cntr_large.insert(sid);
+        rep.cntr.insert(sid);
         if rep.ssel_hash.selects(sid, rep.ssel_buckets) {
             let seed = rep.sample_seed ^ sid.wrapping_mul(0x9e3779b97f4a7c15);
             rep.sampled
-                .entry(sid)
-                .or_insert_with(|| L0Estimator::new(16, 2, seed))
+                .get_or_insert_with(sid, || L0Estimator::new(16, 2, seed))
                 .insert(edge.elem as u64);
         }
     }
@@ -261,17 +364,16 @@ impl LargeSet {
     pub fn observe_fp_batch(&mut self, edges: &[Edge], fps: &[u64]) {
         debug_assert_eq!(edges.len(), fps.len());
         let elems: Vec<u64> = edges.iter().map(|e| e.elem as u64).collect();
-        let mut eh = Vec::new();
         let mut sh = Vec::new();
+        let mut csh = Vec::new();
         let mut surv_fps: Vec<u64> = Vec::with_capacity(edges.len());
         let mut surv_elems: Vec<u64> = Vec::with_capacity(edges.len());
         let mut sids: Vec<u64> = Vec::new();
         for rep in &mut self.reps {
-            rep.ehash.hash_batch(&elems, &mut eh);
             surv_fps.clear();
             surv_elems.clear();
             for i in 0..edges.len() {
-                if eh[i] < rep.keep_below {
+                if probe_mix(elems[i] ^ rep.gate_salt) < rep.keep_below {
                     surv_fps.push(fps[i]);
                     surv_elems.push(elems[i]);
                 }
@@ -282,15 +384,17 @@ impl LargeSet {
             rep.shash.hash_batch(&surv_fps, &mut sh);
             sids.clear();
             // Same reduction as `hash_to_range` in `rep_observe`.
-            sids.extend(sh.iter().map(|h| h % rep.num_supersets));
-            rep.cntr_small.insert_batch(&sids);
-            rep.cntr_large.insert_batch(&sids);
+            sids.extend(
+                sh.iter()
+                    .map(|&h| ((h as u128 * rep.num_supersets as u128) >> 61) as u64),
+            );
+            rep.cntr.sampling_hash().hash_batch(&sids, &mut csh);
+            rep.cntr.insert_batch_prehashed(&sids, &csh);
             for (&sid, &elem) in sids.iter().zip(&surv_elems) {
                 if rep.ssel_hash.selects(sid, rep.ssel_buckets) {
                     let seed = rep.sample_seed ^ sid.wrapping_mul(0x9e3779b97f4a7c15);
                     rep.sampled
-                        .entry(sid)
-                        .or_insert_with(|| L0Estimator::new(16, 2, seed))
+                        .get_or_insert_with(sid, || L0Estimator::new(16, 2, seed))
                         .insert(elem);
                 }
             }
@@ -305,7 +409,7 @@ impl LargeSet {
         let mut n = 0u64;
         for rep in &self.reps {
             for &edge in edges {
-                n += u64::from(rep.ehash.hash(edge.elem as u64) < rep.keep_below);
+                n += u64::from(probe_mix(edge.elem as u64 ^ rep.gate_salt) < rep.keep_below);
             }
         }
         n
@@ -347,31 +451,47 @@ impl LargeSet {
     fn rep_hit(&self, rep: &Rep) -> Option<RepHit> {
         let t1 = 0.5 * self.thr1();
         let t2 = 0.5 * self.thr2();
-        // Case 1: a small contributing class of heavily loaded supersets.
-        for r in rep.cntr_small.report() {
-            if r.est as f64 >= t1 {
-                return Some(RepHit {
-                    superset: r.item,
-                    load_estimate: r.est as f64,
-                });
+        // Tier bounds mirror construction: Case 1 searches class sizes
+        // up to r₁ = 3sα, Case 2 up to r₂; both read the one shared
+        // finder and differ only in which levels they scan and which
+        // threshold they apply.
+        let r1p2 = ((3.0 * self.s_alpha).ceil() as u64)
+            .max(1)
+            .next_power_of_two();
+        let r2p2 = (rep.num_supersets / 8)
+            .max(8)
+            .min(rep.num_supersets.max(1))
+            .next_power_of_two();
+        // Case 1 (small classes, threshold t₁) first, then Case 2
+        // (medium classes, t₂); each picks the strongest qualifying hit
+        // — largest estimate, ties to the smaller superset id — the
+        // order the split finders' est-sorted reports walked.
+        for (bound, thr) in [(r1p2, t1), (r2p2, t2)] {
+            let mut best: Option<(i64, u64)> = None;
+            for (modulus, _, hh) in rep.cntr.level_parts() {
+                if modulus > bound {
+                    continue;
+                }
+                for h in hh.heavy_hitters() {
+                    if (h.est as f64) >= thr
+                        && best.is_none_or(|(e, i)| h.est > e || (h.est == e && h.item < i))
+                    {
+                        best = Some((h.est, h.item));
+                    }
+                }
             }
-        }
-        // Case 2: a medium class.
-        for r in rep.cntr_large.report() {
-            if r.est as f64 >= t2 {
+            if let Some((est, item)) = best {
                 return Some(RepHit {
-                    superset: r.item,
-                    load_estimate: r.est as f64,
+                    superset: item,
+                    load_estimate: est as f64,
                 });
             }
         }
         // Case 2 fallback: directly sampled supersets, distinct coverage.
         // Scan in superset-id order so the returned hit is a pure
         // function of the stream, not of the map's iteration order.
-        let mut sids: Vec<u64> = rep.sampled.keys().copied().collect();
-        sids.sort_unstable();
-        for sid in sids {
-            let v = rep.sampled[&sid].estimate();
+        for sid in rep.sampled.sorted_ids() {
+            let v = rep.sampled.get(sid).expect("listed id resident").estimate();
             if v >= t2 {
                 return Some(RepHit {
                     superset: sid,
@@ -413,11 +533,8 @@ impl LargeSet {
     pub fn sketch_stats(&self) -> kcov_obs::SketchStats {
         let mut agg = kcov_obs::SketchStats::default();
         for rep in &self.reps {
-            agg.absorb(rep.cntr_small.stats());
-            agg.absorb(rep.cntr_large.stats());
-            for l0 in rep.sampled.values() {
-                agg.absorb(l0.stats());
-            }
+            agg.absorb(rep.cntr.stats());
+            rep.sampled.for_each(|l0| agg.absorb(l0.stats()));
         }
         agg
     }
@@ -462,31 +579,30 @@ impl LargeSet {
                 (b.keep_below, b.num_supersets, b.ssel_buckets),
                 "LargeSet merge requires identical configuration (repetition shape)"
             );
-            // `sample_seed` derives the per-superset-id sketch hashes,
-            // so it counts as part of the hash-function identity.
+            // `gate_salt` and `sample_seed` derive the element gate and
+            // the per-superset-id sketch hashes, so they count as part
+            // of the hash-function identity.
             assert_eq!(
                 (
-                    a.ehash.hash(0x5eed_c0de),
+                    a.gate_salt,
                     a.shash.hash(0x5eed_c0de),
                     a.ssel_hash.hash(0x5eed_c0de),
                     a.sample_seed
                 ),
                 (
-                    b.ehash.hash(0x5eed_c0de),
+                    b.gate_salt,
                     b.shash.hash(0x5eed_c0de),
                     b.ssel_hash.hash(0x5eed_c0de),
                     b.sample_seed
                 ),
                 "LargeSet merge requires identical hash functions"
             );
-            a.cntr_small.merge(&b.cntr_small);
-            a.cntr_large.merge(&b.cntr_large);
-            for (&sid, l0) in &b.sampled {
-                match a.sampled.get_mut(&sid) {
+            a.cntr.merge(&b.cntr);
+            for sid in b.sampled.sorted_ids() {
+                let l0 = b.sampled.get(sid).expect("listed id resident");
+                match a.sampled.get_mut(sid) {
                     Some(mine) => mine.merge(l0),
-                    None => {
-                        a.sampled.insert(sid, l0.clone());
-                    }
+                    None => a.sampled.set(sid, l0.clone()),
                 }
             }
         }
@@ -514,23 +630,21 @@ impl kcov_sketch::WireEncode for LargeSet {
         put_kwise(out, &self.set_base);
         put_u64(out, self.reps.len() as u64);
         for rep in &self.reps {
-            put_kwise(out, &rep.ehash);
+            put_u64(out, rep.gate_salt);
             put_u64(out, rep.keep_below);
             put_kwise(out, &rep.shash);
             put_u64(out, rep.num_supersets);
-            put_fc_full(out, &rep.cntr_small);
-            put_fc_full(out, &rep.cntr_large);
+            put_fc_full(out, &rep.cntr);
             put_u64(out, rep.ssel_buckets);
             put_kwise(out, &rep.ssel_hash);
             put_u64(out, rep.sample_seed);
             // Sampled supersets in ascending id order: the encoding of a
             // state is unique, so replica files are comparable bytewise.
-            let mut sids: Vec<u64> = rep.sampled.keys().copied().collect();
-            sids.sort_unstable();
+            let sids = rep.sampled.sorted_ids();
             put_u64(out, sids.len() as u64);
             for sid in sids {
                 put_u64(out, sid);
-                put_l0_full(out, &rep.sampled[&sid]);
+                put_l0_full(out, rep.sampled.get(sid).expect("listed id resident"));
             }
         }
     }
@@ -550,22 +664,21 @@ impl kcov_sketch::WireEncode for LargeSet {
         let rho = take_f64(input)?;
         let w = take_f64(input)?;
         let k = take_u64(input)? as usize;
-        let set_base = take_kwise(input)?;
+        let set_base = Arc::new(take_kwise(input)?);
         let num_reps = take_u64(input)? as usize;
         if num_reps > input.len() {
             return Err(err("LargeSet repetition count exceeds input"));
         }
         let mut reps = Vec::with_capacity(num_reps);
         for _ in 0..num_reps {
-            let ehash = take_kwise(input)?;
+            let gate_salt = take_u64(input)?;
             let keep_below = take_u64(input)?;
             let shash = take_kwise(input)?;
             let num_supersets = take_u64(input)?;
             if num_supersets < 1 {
                 return Err(err("LargeSet superset count must be positive"));
             }
-            let cntr_small = take_fc_full(input)?;
-            let cntr_large = take_fc_full(input)?;
+            let cntr = take_fc_full(input)?;
             let ssel_buckets = take_u64(input)?;
             if ssel_buckets < 1 {
                 return Err(err("LargeSet ssel bucket count must be positive"));
@@ -576,7 +689,7 @@ impl kcov_sketch::WireEncode for LargeSet {
             if n > input.len() {
                 return Err(err("LargeSet sampled-superset count exceeds input"));
             }
-            let mut sampled = HashMap::with_capacity(n);
+            let mut sampled = SampledStore::new();
             let mut last: Option<u64> = None;
             for _ in 0..n {
                 let sid = take_u64(input)?;
@@ -584,15 +697,14 @@ impl kcov_sketch::WireEncode for LargeSet {
                     return Err(err("LargeSet sampled supersets not strictly ascending"));
                 }
                 last = Some(sid);
-                sampled.insert(sid, take_l0_full(input)?);
+                sampled.set(sid, take_l0_full(input)?);
             }
             reps.push(Rep {
-                ehash,
+                gate_salt,
                 keep_below,
                 shash,
                 num_supersets,
-                cntr_small,
-                cntr_large,
+                cntr,
                 ssel_buckets,
                 ssel_hash,
                 sampled,
@@ -621,16 +733,20 @@ impl kcov_sketch::WireEncode for LargeSet {
 
 impl SpaceUsage for LargeSet {
     fn space_words(&self) -> usize {
-        self.set_base.space_words()
-            + self.reps
+        // 1-word handle on the shared base (coefficients counted once by
+        // their owner).
+        1 + self.reps
             .iter()
             .map(|r| {
-                r.ehash.space_words()
+                2 // gate_salt + keep_below
                     + r.shash.space_words()
                     + r.ssel_hash.space_words()
-                    + r.cntr_small.space_words()
-                    + r.cntr_large.space_words()
-                    + r.sampled.values().map(SpaceUsage::space_words).sum::<usize>()
+                    + r.cntr.space_words()
+                    + {
+                        let mut s = 0usize;
+                        r.sampled.for_each(|l0| s += l0.space_words());
+                        s
+                    }
                     + 2 * r.sampled.len()
             })
             .sum::<usize>()
@@ -639,22 +755,19 @@ impl SpaceUsage for LargeSet {
     /// Mirrors `space_words` term by term. The `O(log n)` repetitions
     /// aggregate into shared component subtrees (repetition counts are a
     /// parameter, not structure worth one trace event each): per-rep
-    /// hashes under `hashes`, the two contributing-class finders under
-    /// `cntr_small`/`cntr_large`, and the directly sampled supersets
-    /// under `sampled` (sketches plus a 2-word map entry per id).
+    /// hashes under `hashes`, the fused two-tier contributing-class
+    /// finder under `cntr`, and the directly sampled supersets under
+    /// `sampled` (sketches plus a 2-word map entry per id).
     fn space_ledger(&self, node: &mut kcov_obs::LedgerNode) {
-        node.leaf("set_base", self.set_base.space_words());
+        node.leaf("set_base", 1);
         for r in &self.reps {
             node.leaf(
                 "hashes",
-                r.ehash.space_words() + r.shash.space_words() + r.ssel_hash.space_words(),
+                2 + r.shash.space_words() + r.ssel_hash.space_words(),
             );
-            r.cntr_small.space_ledger(node.child("cntr_small"));
-            r.cntr_large.space_ledger(node.child("cntr_large"));
+            r.cntr.space_ledger(node.child("cntr"));
             let sampled = node.child("sampled");
-            for l0 in r.sampled.values() {
-                l0.space_ledger(sampled);
-            }
+            r.sampled.for_each(|l0| l0.space_ledger(sampled));
             sampled.leaf("entries", 2 * r.sampled.len());
         }
     }
@@ -780,7 +893,7 @@ mod tests {
         let ss = few_large(2000, 300, 3, 500, 8);
         let params = Params::practical(300, 2000, 10, 6.0);
         let edges = edge_stream(&ss, ArrivalOrder::Shuffled(17));
-        let base = KWise::new(8, 555);
+        let base = Arc::new(KWise::new(8, 555));
         let proto = LargeSet::with_base(2000, &params, 19, base.clone());
         let mut scalar = proto.clone();
         let mut batched = proto;

@@ -15,6 +15,8 @@
 //! least `|U|/η` then with good probability the output is at least
 //! `|C(OPT)|/Õ(α)`; and the output never exceeds `|C(OPT)|` (w.h.p.).
 
+use std::sync::Arc;
+
 use kcov_hash::{KWise, RangeHash};
 use kcov_obs::{Recorder, SketchStats, Value};
 use kcov_sketch::SpaceUsage;
@@ -88,9 +90,12 @@ pub struct OracleOutput {
 pub struct Oracle {
     u: usize,
     /// Shared set fingerprint base (hash-once hot path); every
-    /// subroutine holds a clone and consumes the one fingerprint the
-    /// caller (or the scalar compatibility path) computes per edge.
-    set_base: KWise,
+    /// subroutine holds the same `Arc` and consumes the one fingerprint
+    /// the caller (or the scalar compatibility path) computes per edge.
+    /// One coefficient table per process: the ledger attributes the
+    /// words to the owning fingerprint front end, holders count the
+    /// 1-word handle.
+    set_base: Arc<KWise>,
     large_common: LargeCommon,
     large_set: LargeSet,
     small_set: Option<SmallSet>,
@@ -105,12 +110,18 @@ impl Oracle {
     pub fn new(u: usize, params: &Params, reporting: bool, seed: u64) -> Self {
         let degree = Params::hash_degree(params.mode, params.m, params.n);
         let base_seed = kcov_hash::SeedSequence::labeled(seed, "oracle-base").next_seed();
-        Self::with_base(u, params, reporting, seed, KWise::new(degree, base_seed))
+        Self::with_base(u, params, reporting, seed, Arc::new(KWise::new(degree, base_seed)))
     }
 
     /// Create an oracle whose subroutines consume set fingerprints under
     /// the shared `set_base`.
-    pub fn with_base(u: usize, params: &Params, reporting: bool, seed: u64, set_base: KWise) -> Self {
+    pub fn with_base(
+        u: usize,
+        params: &Params,
+        reporting: bool,
+        seed: u64,
+        set_base: Arc<KWise>,
+    ) -> Self {
         let mut seq = kcov_hash::SeedSequence::labeled(seed, "oracle");
         Oracle {
             u,
@@ -256,9 +267,11 @@ impl Oracle {
         }
         let d = self.diagnostics();
         let subs: [(&str, Option<f64>, Option<usize>); 4] = [
-            // The oracle's own retained copy of the shared set-fingerprint
-            // base (the subroutines account for their clones themselves).
-            ("set_base", None, Some(self.set_base.space_words())),
+            // The oracle's 1-word handle on the shared set-fingerprint
+            // base (the coefficients are attributed to their owner, the
+            // estimator's fingerprint front end; subroutine handles are
+            // accounted by the subroutines themselves).
+            ("set_base", None, Some(1)),
             (
                 "large_common",
                 d.large_common,
@@ -367,7 +380,7 @@ impl kcov_sketch::WireEncode for Oracle {
             return Err(err("bad Oracle tag"));
         }
         let u = take_u64(input)? as usize;
-        let set_base = take_kwise(input)?;
+        let set_base = Arc::new(take_kwise(input)?);
         let large_common = LargeCommon::decode(input)?;
         let large_set = LargeSet::decode(input)?;
         let small_set = match take_u64(input)? {
@@ -387,8 +400,9 @@ impl kcov_sketch::WireEncode for Oracle {
 
 impl SpaceUsage for Oracle {
     fn space_words(&self) -> usize {
-        self.set_base.space_words()
-            + self.large_common.space_words()
+        // 1-word handle on the shared base; the coefficients are counted
+        // once by their owner.
+        1 + self.large_common.space_words()
             + self.large_set.space_words()
             + self.small_set.as_ref().map_or(0, SpaceUsage::space_words)
     }
@@ -397,7 +411,7 @@ impl SpaceUsage for Oracle {
     /// names the `subroutine` trace events use, so `maxkcov prof` can
     /// cross-check each subtree against its event's `space_words`.
     fn space_ledger(&self, node: &mut kcov_obs::LedgerNode) {
-        node.leaf("set_base", self.set_base.space_words());
+        node.leaf("set_base", 1);
         self.large_common.space_ledger(node.child("large_common"));
         self.large_set.space_ledger(node.child("large_set"));
         if let Some(ss) = &self.small_set {

@@ -16,6 +16,8 @@
 //! Only active when `sα < 2k` (otherwise Claim 4.3 puts the instance in
 //! `LargeSet`'s case).
 
+use std::sync::Arc;
+
 use kcov_hash::{KWise, RangeHash, SeedSequence, MERSENNE_P};
 use kcov_sketch::SpaceUsage;
 use kcov_stream::{Edge, SetSystem};
@@ -72,8 +74,10 @@ pub struct SmallSet {
     /// (`< P`) passes — the always-sample case.
     m_keep: u64,
     edge_cap: usize,
-    /// Shared set fingerprint base (hash-once hot path).
-    set_base: KWise,
+    /// Shared set fingerprint base (hash-once hot path); one `Arc`'d
+    /// coefficient table per process, 1-word handle in this holder's
+    /// space accounting.
+    set_base: Arc<KWise>,
     reps: Vec<Rep>,
 }
 
@@ -84,12 +88,12 @@ impl SmallSet {
     pub fn new(u: usize, params: &Params, seed: u64) -> Self {
         let degree = Params::hash_degree(params.mode, params.m, params.n);
         let base_seed = SeedSequence::labeled(seed, "small-set-base").next_seed();
-        Self::with_base(u, params, seed, KWise::new(degree, base_seed))
+        Self::with_base(u, params, seed, Arc::new(KWise::new(degree, base_seed)))
     }
 
     /// Create the subroutine consuming set fingerprints under the shared
     /// `set_base`.
-    pub fn with_base(u: usize, params: &Params, seed: u64, set_base: KWise) -> Self {
+    pub fn with_base(u: usize, params: &Params, seed: u64, set_base: Arc<KWise>) -> Self {
         let mut seq = SeedSequence::labeled(seed, "small-set");
         let m = params.m;
         let k = params.k as f64;
@@ -402,7 +406,7 @@ impl kcov_sketch::WireEncode for SmallSet {
             return Err(err("SmallSet set-bucket count must be positive"));
         }
         let edge_cap = take_u64(input)? as usize;
-        let set_base = take_kwise(input)?;
+        let set_base = Arc::new(take_kwise(input)?);
         let num_reps = take_u64(input)? as usize;
         if num_reps > input.len() {
             return Err(err("SmallSet repetition count exceeds input"));
@@ -484,8 +488,9 @@ impl kcov_sketch::WireEncode for SmallSet {
 
 impl SpaceUsage for SmallSet {
     fn space_words(&self) -> usize {
-        self.set_base.space_words()
-            + self.reps
+        // 1-word handle on the shared base (coefficients counted once by
+        // their owner).
+        1 + self.reps
             .iter()
             .map(|r| {
                 r.mhash.space_words()
@@ -501,7 +506,7 @@ impl SpaceUsage for SmallSet {
     /// stored edges survive the wire round trip, so decoded replicas
     /// report identical heat for free.
     fn space_ledger(&self, node: &mut kcov_obs::LedgerNode) {
-        node.leaf("set_base", self.set_base.space_words());
+        node.leaf("set_base", 1);
         for r in &self.reps {
             node.leaf("hashes", r.mhash.space_words() + r.ehash.space_words());
             let stored: usize = r.lanes.iter().map(|l| l.edges.len()).sum();
@@ -663,7 +668,7 @@ mod tests {
         let ss = many_small(2000, 400, 50, 0.4, 9);
         let params = Params::practical(400, 2000, 50, 8.0);
         let edges = edge_stream(&ss, ArrivalOrder::Shuffled(19));
-        let base = KWise::new(8, 777);
+        let base = Arc::new(KWise::new(8, 777));
         let proto = SmallSet::with_base(2000, &params, 29, base.clone());
         let mut scalar = proto.clone();
         let mut batched = proto;

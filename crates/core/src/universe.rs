@@ -7,6 +7,8 @@
 //! The `(α, δ, η)`-oracle then only needs to handle instances whose
 //! optimum covers a constant (`1/η = 1/4`) fraction of the universe.
 
+use std::sync::Arc;
+
 use kcov_hash::{four_wise, KWise, RangeHash};
 use kcov_sketch::SpaceUsage;
 use kcov_stream::Edge;
@@ -22,10 +24,17 @@ use kcov_stream::Edge;
 #[derive(Debug, Clone)]
 pub struct UniverseReducer {
     z: u64,
-    hash: KWise,
+    hash: Arc<KWise>,
+    /// Whether `hash` is the lane-invariant shared mix owned by the
+    /// enclosing estimator (space: this holder counts a 1-word handle;
+    /// the estimator attributes the coefficients once under its
+    /// top-level `universe` leaf) or a private mix this reducer owns.
+    shared_mix: bool,
     /// Shared element fingerprint base (hash-once path). `None` for
-    /// standalone reducers that hash raw ids.
-    base: Option<KWise>,
+    /// standalone reducers that hash raw ids. Held by `Arc`: every lane
+    /// shares one coefficient table, and the space ledger attributes the
+    /// words to the owner (the estimator's fingerprint front end).
+    base: Option<Arc<KWise>>,
 }
 
 impl UniverseReducer {
@@ -34,7 +43,8 @@ impl UniverseReducer {
         assert!(z >= 1, "z must be positive");
         UniverseReducer {
             z,
-            hash: four_wise(seed),
+            hash: Arc::new(four_wise(seed)),
+            shared_mix: false,
             base: None,
         }
     }
@@ -43,13 +53,47 @@ impl UniverseReducer {
     /// shared `base`: `map(e) = mix(base(e)) mod z`. The scalar `map`
     /// stays available (it applies the base itself), so standalone and
     /// batched ingestion remain bit-identical.
-    pub fn with_base(z: u64, seed: u64, base: KWise) -> Self {
+    pub fn with_base(z: u64, seed: u64, base: Arc<KWise>) -> Self {
         assert!(z >= 1, "z must be positive");
         UniverseReducer {
             z,
-            hash: four_wise(seed),
+            hash: Arc::new(four_wise(seed)),
+            shared_mix: false,
             base: Some(base),
         }
+    }
+
+    /// Derive a lane-invariant 4-wise mix for sharing across an
+    /// estimator's reducers (one instance per process; see
+    /// [`Self::with_shared_mix`]).
+    pub fn shared_mix(seed: u64) -> Arc<KWise> {
+        Arc::new(four_wise(seed))
+    }
+
+    /// Create a reducer onto `[z]` that applies the *shared*
+    /// lane-invariant `mix` to element fingerprints under `base`. Every
+    /// estimator lane holds the same two `Arc`s; per chunk the mix
+    /// column is evaluated once ([`Self::mix_batch`]) and each lane
+    /// pays only its own range reduction
+    /// ([`Self::map_premixed_batch`]). Sharing the mix couples the
+    /// lanes' reductions (nested prefix samples across `z` guesses),
+    /// which is harmless: Lemma 3.5 is applied per lane and the final
+    /// max never relies on cross-lane independence.
+    pub fn with_shared_mix(z: u64, mix: Arc<KWise>, base: Arc<KWise>) -> Self {
+        assert!(z >= 1, "z must be positive");
+        UniverseReducer {
+            z,
+            hash: mix,
+            shared_mix: true,
+            base: Some(base),
+        }
+    }
+
+    /// Resident words of the mix coefficients — what the owning
+    /// estimator attributes under its `universe` leaf when the mix is
+    /// shared.
+    pub fn mix_words(&self) -> usize {
+        self.hash.space_words()
     }
 
     /// Pseudo-element of `elem` (raw id).
@@ -97,6 +141,36 @@ impl UniverseReducer {
         );
     }
 
+    /// Evaluate the 4-wise mix (not yet range-reduced) over a
+    /// fingerprint column. When every lane shares one mix — the
+    /// estimator construction — this column is computed once per chunk
+    /// and each lane only applies its own range reduction via
+    /// [`Self::map_premixed_batch`].
+    pub fn mix_batch(&self, fps: &[u64], out: &mut Vec<u64>) {
+        self.hash.hash_batch(fps, out);
+    }
+
+    /// Reduce a chunk given the *premixed* column (`mixed[i]` must be
+    /// `mix(base(edges[i].elem))`, i.e. the output of
+    /// [`Self::mix_batch`] on this reducer's mix). Bit-identical to
+    /// [`Self::map_fp_batch`]: the range reduction
+    /// `⌊mixed·z/2^61⌋` is exactly `hash_to_range`'s, so per lane the
+    /// whole universe reduction is one widening multiply per edge.
+    pub fn map_premixed_batch(&self, edges: &[Edge], mixed: &[u64], out: &mut Vec<Edge>) {
+        debug_assert_eq!(edges.len(), mixed.len());
+        out.clear();
+        out.extend(edges.iter().zip(mixed).map(|(e, &h)| {
+            Edge::new(e.set, ((h as u128 * self.z as u128) >> 61) as u32)
+        }));
+    }
+
+    /// Whether `other` applies the same 4-wise mix (the lane-invariant
+    /// sharing contract of the estimator construction).
+    pub fn same_mix(&self, other: &Self) -> bool {
+        let probes = (0..4u64).map(|i| 0x5eed_c0de ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        probes.clone().all(|p| self.hash.hash(p) == other.hash.hash(p))
+    }
+
     /// The pseudo-universe size `z`.
     pub fn z(&self) -> u64 {
         self.z
@@ -131,13 +205,18 @@ impl UniverseReducer {
 
 impl SpaceUsage for UniverseReducer {
     fn space_words(&self) -> usize {
-        self.hash.space_words() + self.base.as_ref().map_or(0, |b| b.space_words()) + 1
+        // State behind a shared `Arc` is attributed to its owner (the
+        // estimator front end for the fingerprint base, the estimator's
+        // `universe` leaf for a shared mix); this holder carries 1-word
+        // handles.
+        let mix = if self.shared_mix { 1 } else { self.hash.space_words() };
+        mix + self.base.as_ref().map_or(0, |_| 1) + 1
     }
 
     fn space_ledger(&self, node: &mut kcov_obs::LedgerNode) {
-        node.leaf("hash", self.hash.space_words());
-        if let Some(b) = &self.base {
-            node.leaf("base", b.space_words());
+        node.leaf("hash", if self.shared_mix { 1 } else { self.hash.space_words() });
+        if self.base.is_some() {
+            node.leaf("base", 1);
         }
         node.leaf("overhead", 1);
     }
@@ -152,6 +231,7 @@ impl kcov_sketch::WireEncode for UniverseReducer {
         use kcov_sketch::wire::{put_kwise, put_u64};
         put_u64(out, TAG_UR);
         put_u64(out, self.z);
+        put_u64(out, self.shared_mix as u64);
         put_kwise(out, &self.hash);
         match &self.base {
             Some(b) => {
@@ -171,13 +251,18 @@ impl kcov_sketch::WireEncode for UniverseReducer {
         if z < 1 {
             return Err(err("UniverseReducer z must be positive"));
         }
-        let hash = take_kwise(input)?;
+        let shared_mix = match take_u64(input)? {
+            0 => false,
+            1 => true,
+            other => return Err(err(format!("bad UniverseReducer mix flag {other}"))),
+        };
+        let hash = Arc::new(take_kwise(input)?);
         let base = match take_u64(input)? {
             0 => None,
-            1 => Some(take_kwise(input)?),
+            1 => Some(Arc::new(take_kwise(input)?)),
             other => return Err(err(format!("bad UniverseReducer base flag {other}"))),
         };
-        Ok(UniverseReducer { z, hash, base })
+        Ok(UniverseReducer { z, hash, shared_mix, base })
     }
 }
 
@@ -256,7 +341,7 @@ mod tests {
 
     #[test]
     fn base_variant_is_fingerprint_consistent() {
-        let base = KWise::new(8, 77);
+        let base = Arc::new(KWise::new(8, 77));
         let r = UniverseReducer::new(64, 5);
         let f = UniverseReducer::with_base(64, 5, base.clone());
         for e in 0..200u64 {
@@ -268,7 +353,7 @@ mod tests {
         assert!(!r.same_function(&f));
         let g = UniverseReducer::with_base(64, 5, base.clone());
         assert!(f.same_function(&g));
-        let h = UniverseReducer::with_base(64, 5, KWise::new(8, 78));
+        let h = UniverseReducer::with_base(64, 5, Arc::new(KWise::new(8, 78)));
         assert!(!f.same_function(&h));
         // Batched fingerprint reduction matches scalar reduction.
         let edges: Vec<Edge> = (0..50u32).map(|i| Edge::new(i, i * 3 % 40)).collect();

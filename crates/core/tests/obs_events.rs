@@ -104,21 +104,26 @@ fn subroutine_space_snapshots_sum_to_the_total() {
         "per-subroutine snapshots must sum exactly to the estimator total"
     );
     // The per-lane space fields partition the total minus the
-    // estimator-global hash-once front end (the "fingerprints"
-    // subroutine event, which belongs to no lane).
+    // estimator-global shared state: the hash-once front end (the
+    // "fingerprints" subroutine event) and the lane-invariant universe
+    // mix (the "universe" event), which belong to no lane.
     let lane_sum: u64 = rec
         .events_of("lane")
         .iter()
         .map(|e| e.u64_field("space_words").unwrap())
         .sum();
-    let fps_words: u64 = rec
-        .events_of("subroutine")
-        .iter()
-        .filter(|e| e.str_field("name") == Some("fingerprints"))
-        .map(|e| e.u64_field("space_words").unwrap())
-        .sum();
+    let global_words = |name: &str| -> u64 {
+        rec.events_of("subroutine")
+            .iter()
+            .filter(|e| e.str_field("name") == Some(name))
+            .map(|e| e.u64_field("space_words").unwrap())
+            .sum()
+    };
+    let fps_words = global_words("fingerprints");
+    let umix_words = global_words("universe");
     assert!(fps_words > 0, "hash-once front end must be accounted");
-    assert_eq!(lane_sum + fps_words, est.space_words() as u64);
+    assert!(umix_words > 0, "shared universe mix must be accounted");
+    assert_eq!(lane_sum + fps_words + umix_words, est.space_words() as u64);
 }
 
 #[test]
@@ -393,7 +398,7 @@ fn ledger_subtrees_match_subroutine_snapshots() {
     for ev in &subs {
         let name = ev.str_field("name").unwrap();
         let lane = ev.u64_field("lane").unwrap();
-        let path = if name == "trivial" || name == "fingerprints" {
+        let path = if name == "trivial" || name == "fingerprints" || name == "universe" {
             format!("estimator/{name}")
         } else {
             format!("estimator/lane{lane}/{name}")

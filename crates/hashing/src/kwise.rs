@@ -90,6 +90,17 @@ impl SignHash {
         }
     }
 
+    /// A pairwise (2-wise) ±1 hash. Sufficient for unbiased CountSketch
+    /// point queries (E[s(x)s(y)] = 0 for x ≠ y needs only pairwise
+    /// independence); the full 4-wise degree is required only where the
+    /// AMS `F2` variance bound is invoked. Two fewer Horner steps per
+    /// evaluation on the row-inner hot loop.
+    pub fn pairwise(seed: u64) -> Self {
+        SignHash {
+            inner: PolyHash::new(2, seed),
+        }
+    }
+
     /// The sign (+1 or −1) assigned to `key`.
     #[inline]
     pub fn sign(&self, key: u64) -> i64 {

@@ -49,10 +49,17 @@ pub trait RangeHash {
     fn hash(&self, key: u64) -> u64;
 
     /// Hash into `[0, r)`. Panics if `r == 0`.
+    ///
+    /// Uses the multiply-shift range reduction `⌊h·r/2^61⌋` (Lemire) on
+    /// the raw field hash `h ∈ [0, 2^61−1)` instead of `h mod r`: the
+    /// per-bucket bias is the same `O(r/2^61)`, but the reduction costs
+    /// one widening multiply instead of a 64-bit division — this runs
+    /// on every CountSketch row update and superset-id reduction of the
+    /// ingest hot path.
     #[inline]
     fn hash_to_range(&self, key: u64, r: u64) -> u64 {
         assert!(r > 0, "range must be positive");
-        self.hash(key) % r
+        ((self.hash(key) as u128 * r as u128) >> 61) as u64
     }
 
     /// Bernoulli selection with probability `1/r`: true iff the key lands

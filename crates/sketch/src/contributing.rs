@@ -156,6 +156,82 @@ impl F2Contributing {
         F2Contributing { hash, levels }
     }
 
+    /// Two-tier finder: one dyadic level schedule up to
+    /// `max(wide.max_class_size, narrow.max_class_size)`, with one
+    /// shared sampling hash. Levels whose modulus stays within
+    /// `wide.max_class_size` carry `wide`'s heavy-hitter shape; deeper
+    /// levels carry `narrow`'s.
+    ///
+    /// A caller that runs two thresholded searches over the *same item
+    /// stream* (e.g. `LargeSet`'s Case-1/Case-2 pair, whose class-size
+    /// bounds differ but whose dyadic subsampling is identical) would
+    /// otherwise instantiate two finders whose shared-modulus levels
+    /// receive byte-identical substreams — every candidate tracker and
+    /// CountSketch on those levels is duplicated work. The paired
+    /// schedule keeps exactly one structure per level: the overlap tier
+    /// uses the wide (smaller-`φ`) sketch, which estimates at least as
+    /// tightly as either original, and only the class sizes one search
+    /// reaches alone pay for their own levels.
+    ///
+    /// The two configs must agree on `survivors_per_class` and
+    /// `sampling_degree` (they share the level schedule and the hash).
+    pub fn new_paired(
+        wide: ContributingConfig,
+        narrow: ContributingConfig,
+        m: usize,
+        n: usize,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            wide.survivors_per_class, narrow.survivors_per_class,
+            "paired finders share the level schedule"
+        );
+        assert_eq!(
+            wide.sampling_degree, narrow.sampling_degree,
+            "paired finders share the sampling hash"
+        );
+        let mut seq = SeedSequence::labeled(seed, "f2-contributing");
+        let wide_p2 = wide.max_class_size.max(1).next_power_of_two();
+        let max_class = wide.max_class_size.max(narrow.max_class_size);
+        let max_level = max_class.max(1).next_power_of_two().trailing_zeros();
+        let hh_config = |c: &ContributingConfig| {
+            let phi = (c.gamma * c.phi_factor).clamp(1e-9, 1.0);
+            let mut h = HeavyHitterConfig::for_phi(phi);
+            h.width_factor = c.hh_width_factor;
+            h.rows = c.hh_rows;
+            h.capacity_factor = c.hh_capacity_factor;
+            h
+        };
+        let hash = match wide.sampling_degree {
+            Some(d) => KWise::new(d, seq.next_seed()),
+            None => log_wise(m, n, seq.next_seed()),
+        };
+        let tier = |modulus: u64| {
+            if modulus <= wide_p2 {
+                hh_config(&wide)
+            } else {
+                hh_config(&narrow)
+            }
+        };
+        let mut levels = vec![Level {
+            modulus: 1,
+            keep: 1,
+            hh: F2HeavyHitter::new(tier(1), seq.next_seed()),
+        }];
+        for i in 1..=max_level {
+            let modulus = 1u64 << i;
+            if modulus <= wide.survivors_per_class {
+                continue;
+            }
+            levels.push(Level {
+                modulus,
+                keep: wide.survivors_per_class,
+                hh: F2HeavyHitter::new(tier(modulus), seq.next_seed()),
+            });
+        }
+        F2Contributing { hash, levels }
+    }
+
     /// Observe one stream update to coordinate `item`.
     pub fn insert(&mut self, item: u64) {
         let h = self.hash.hash(item);
@@ -177,18 +253,54 @@ impl F2Contributing {
     pub fn insert_batch(&mut self, items: &[u64]) {
         let mut hashes: Vec<u64> = Vec::new();
         self.hash.hash_batch(items, &mut hashes);
-        let mut survivors: Vec<u64> = Vec::with_capacity(items.len());
+        self.insert_batch_prehashed(items, &hashes);
+    }
+
+    /// [`F2Contributing::insert_batch`] with the sampling hashes already
+    /// evaluated: `hashes[i]` must equal `self.sampling_hash().hash(items[i])`.
+    /// Lets a caller that owns two finders over the same item stream and
+    /// the same sampling hash (e.g. `LargeSet`'s paired case-1/case-2
+    /// finders) evaluate the hash batch once and feed both.
+    pub fn insert_batch_prehashed(&mut self, items: &[u64], hashes: &[u64]) {
+        debug_assert_eq!(items.len(), hashes.len());
+        debug_assert!(
+            items.first().is_none_or(|&i| self.hash.hash(i) == hashes[0]),
+            "prehashed values disagree with the sampling hash"
+        );
+        // Successive dyadic levels are usually *nested*: `keep` fits
+        // inside the previous level's admitted window (`keep ≤
+        // min(prev_keep, prev_modulus)`), or the previous level admitted
+        // everything. Whenever that holds, the gather filters the
+        // previous level's survivor column instead of rescanning the
+        // whole chunk, so the scan work telescopes geometrically with
+        // depth. Membership and order are unchanged either way — the
+        // per-level heavy hitter sees the exact item sequence the
+        // per-item path feeds it.
+        let mut surv_items: Vec<u64> = Vec::with_capacity(items.len());
+        let mut surv_hashes: Vec<u64> = Vec::new();
+        let mut next_items: Vec<u64> = Vec::new();
+        let mut next_hashes: Vec<u64> = Vec::new();
+        let mut prev: Option<(u64, u64)> = None;
         for level in &mut self.levels {
             let mask = level.modulus - 1;
-            survivors.clear();
-            survivors.extend(
-                items
-                    .iter()
-                    .zip(&hashes)
-                    .filter(|&(_, &h)| h & mask < level.keep)
-                    .map(|(&item, _)| item),
-            );
-            level.hh.insert_batch(&survivors);
+            let nested = prev.is_some_and(|(pm, pk)| pk >= pm || level.keep <= pk.min(pm));
+            let (src_items, src_hashes): (&[u64], &[u64]) = if nested {
+                (&surv_items, &surv_hashes)
+            } else {
+                (items, hashes)
+            };
+            next_items.clear();
+            next_hashes.clear();
+            for (&item, &h) in src_items.iter().zip(src_hashes) {
+                if h & mask < level.keep {
+                    next_items.push(item);
+                    next_hashes.push(h);
+                }
+            }
+            level.hh.insert_batch(&next_items);
+            std::mem::swap(&mut surv_items, &mut next_items);
+            std::mem::swap(&mut surv_hashes, &mut next_hashes);
+            prev = Some((level.modulus, level.keep));
         }
     }
 

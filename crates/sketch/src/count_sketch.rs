@@ -45,7 +45,13 @@ impl CountSketch {
             signs: (0..rows)
                 .map(|_| {
                     let s = four_wise(seq.next_seed());
-                    SignHash::new(seq.next_seed() ^ s.hash(0))
+                    // Pairwise signs suffice for point-query unbiasedness
+                    // (the 4-wise requirement belongs to the AMS f2 bound,
+                    // which the median over rows cushions); the shorter
+                    // polynomial halves the per-row sign cost on the
+                    // row-inner hot loop. The wire format carries the full
+                    // coefficient vector, so the degree round-trips.
+                    SignHash::pairwise(seq.next_seed() ^ s.hash(0))
                 })
                 .collect(),
             table: vec![0i64; rows * width],

@@ -18,7 +18,86 @@ use std::collections::BTreeSet;
 use kcov_hash::{pairwise, KWise, RangeHash, SeedSequence, MERSENNE_P};
 use kcov_obs::{LedgerNode, SketchStats};
 
+use crate::arena::{backend, Backend, SortedSlab};
 use crate::space::SpaceUsage;
+
+/// Bottom-k storage: the arena keeps one flat sorted slab; the
+/// reference backend keeps the pre-arena `BTreeSet`. Both hold the same
+/// value set and iterate ascending, so every estimate, trace byte and
+/// wire byte is backend-invariant (`arena_parity` proves it end to
+/// end).
+#[derive(Debug, Clone)]
+enum KmvStore {
+    Slab(SortedSlab),
+    Tree(BTreeSet<u64>),
+}
+
+impl KmvStore {
+    fn new(k: usize) -> Self {
+        match backend() {
+            Backend::Arena => KmvStore::Slab(SortedSlab::new(k)),
+            Backend::Reference => KmvStore::Tree(BTreeSet::new()),
+        }
+    }
+
+    /// Rebuild from arbitrary (possibly unsorted, possibly duplicated)
+    /// values, keeping at most `k`.
+    fn from_values(k: usize, values: Vec<u64>) -> Self {
+        match backend() {
+            Backend::Arena => KmvStore::Slab(SortedSlab::from_values(k, values)),
+            Backend::Reference => KmvStore::Tree(values.into_iter().collect()),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            KmvStore::Slab(s) => s.len(),
+            KmvStore::Tree(t) => t.len(),
+        }
+    }
+
+    #[inline]
+    fn max(&self) -> Option<u64> {
+        match self {
+            KmvStore::Slab(s) => s.max(),
+            KmvStore::Tree(t) => t.iter().next_back().copied(),
+        }
+    }
+
+    /// Insert while below capacity; `false` on duplicates.
+    fn insert_unsaturated(&mut self, v: u64) -> bool {
+        match self {
+            KmvStore::Slab(s) => s.insert_unsaturated(v),
+            KmvStore::Tree(t) => t.insert(v),
+        }
+    }
+
+    /// Insert into a saturated summary, evicting the maximum; `false`
+    /// (no state change) on duplicates or non-improving values.
+    #[inline]
+    fn insert_evict(&mut self, v: u64) -> bool {
+        match self {
+            KmvStore::Slab(s) => s.insert_evict(v),
+            KmvStore::Tree(t) => {
+                let max = *t.iter().next_back().expect("non-empty");
+                if v < max && t.insert(v) {
+                    t.remove(&max);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn values(&self) -> Vec<u64> {
+        match self {
+            KmvStore::Slab(s) => s.values().to_vec(),
+            KmvStore::Tree(t) => t.iter().copied().collect(),
+        }
+    }
+}
 
 /// A single bottom-k (KMV) distinct-count summary.
 #[derive(Debug, Clone)]
@@ -26,7 +105,7 @@ pub struct Kmv {
     k: usize,
     hash: KWise,
     /// The k smallest distinct hash values seen so far.
-    smallest: BTreeSet<u64>,
+    smallest: KmvStore,
     /// Heat telemetry: items offered to the summary (one add per batch
     /// on the hot path — same lifecycle as the other telemetry
     /// counters: merged by addition, zeroed by plain wire
@@ -47,7 +126,7 @@ impl Kmv {
         Kmv {
             k,
             hash: pairwise(seed),
-            smallest: BTreeSet::new(),
+            smallest: KmvStore::new(k),
             updates: 0,
             evictions: 0,
             merges: 0,
@@ -60,14 +139,9 @@ impl Kmv {
         self.updates += 1;
         let h = self.hash.hash(item);
         if self.smallest.len() < self.k {
-            self.smallest.insert(h);
-        } else {
-            // Only mutate when h beats the current k-th smallest.
-            let max = *self.smallest.iter().next_back().expect("non-empty");
-            if h < max && self.smallest.insert(h) {
-                self.smallest.remove(&max);
-                self.evictions += 1;
-            }
+            self.smallest.insert_unsaturated(h);
+        } else if self.smallest.insert_evict(h) {
+            self.evictions += 1;
         }
     }
 
@@ -87,14 +161,28 @@ impl Kmv {
             self.insert(item);
             rest = tail;
         }
-        let mut max = *self.smallest.iter().next_back().expect("non-empty");
         self.updates += rest.len() as u64;
-        for &item in rest {
-            let h = self.hash.hash(item);
-            if h < max && self.smallest.insert(h) {
-                self.smallest.remove(&max);
-                self.evictions += 1;
-                max = *self.smallest.iter().next_back().expect("non-empty");
+        match &mut self.smallest {
+            // Arena slab: the cut-off is the last slot, re-read after
+            // each accepted insert at the cost of one resident load.
+            KmvStore::Slab(slab) => {
+                for &item in rest {
+                    let h = self.hash.hash(item);
+                    if slab.insert_evict(h) {
+                        self.evictions += 1;
+                    }
+                }
+            }
+            KmvStore::Tree(tree) => {
+                let mut max = *tree.iter().next_back().expect("non-empty");
+                for &item in rest {
+                    let h = self.hash.hash(item);
+                    if h < max && tree.insert(h) {
+                        tree.remove(&max);
+                        self.evictions += 1;
+                        max = *tree.iter().next_back().expect("non-empty");
+                    }
+                }
             }
         }
     }
@@ -106,7 +194,7 @@ impl Kmv {
             // the negligible chance of 61-bit hash collisions).
             self.smallest.len() as f64
         } else {
-            let vk = *self.smallest.iter().next_back().expect("non-empty") as f64;
+            let vk = self.smallest.max().expect("non-empty") as f64;
             (self.k as f64 - 1.0) * MERSENNE_P as f64 / vk
         }
     }
@@ -129,7 +217,7 @@ impl Kmv {
 
     /// The kept hash values, ascending (wire serialization).
     pub fn kept_values(&self) -> Vec<u64> {
-        self.smallest.iter().copied().collect()
+        self.smallest.values()
     }
 
     /// Rebuild from parts (inverse of the accessors). Fails when the
@@ -144,7 +232,7 @@ impl Kmv {
         Ok(Kmv {
             k,
             hash,
-            smallest: values.into_iter().collect(),
+            smallest: KmvStore::from_values(k, values),
             updates: 0,
             evictions: 0,
             merges: 0,
@@ -162,14 +250,16 @@ impl Kmv {
             other.hash.hash(0x5eed_c0de),
             "Kmv merge requires identical hash functions"
         );
-        for &h in &other.smallest {
-            self.smallest.insert(h);
-        }
-        while self.smallest.len() > self.k {
-            let max = *self.smallest.iter().next_back().expect("non-empty");
-            self.smallest.remove(&max);
-            self.evictions += 1;
-        }
+        // Union of the kept sets, trimmed back to the k smallest; every
+        // value dropped past k is one eviction (matching the pre-arena
+        // pop-max loop).
+        let mut union = self.smallest.values();
+        union.extend(other.smallest.values());
+        union.sort_unstable();
+        union.dedup();
+        self.evictions += union.len().saturating_sub(self.k) as u64;
+        union.truncate(self.k);
+        self.smallest = KmvStore::from_values(self.k, union);
         self.merges += 1 + other.merges;
         self.evictions += other.evictions;
         self.updates += other.updates;

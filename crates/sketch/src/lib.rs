@@ -25,6 +25,7 @@
 //! (CountSketch and CountMin also accept signed updates).
 
 pub mod ams_f2;
+pub mod arena;
 pub mod bjkst;
 pub mod contributing;
 pub mod count_min;
@@ -35,6 +36,7 @@ pub mod space;
 pub mod wire;
 
 pub use ams_f2::AmsF2;
+pub use arena::{backend, probe_mix, Backend, OaMap, SortedSlab};
 pub use bjkst::Bjkst;
 pub use contributing::{ContributingConfig, ContributingReport, F2Contributing};
 pub use count_min::CountMin;

@@ -1176,11 +1176,12 @@ fn ledger_invariant_violations(t: &TraceSummary) -> Vec<String> {
         }
     }
     // Per-subroutine partial sums: the lane-subtree child names are the
-    // subroutine event names by construction; `trivial` and
-    // `fingerprints` are estimator-global (their events carry lane 0).
+    // subroutine event names by construction; `trivial`, `fingerprints`
+    // and the shared `universe` mix are estimator-global (their events
+    // carry lane 0).
     for (lane, name, words) in &t.subroutine_events {
         let path = match name.as_str() {
-            "trivial" | "fingerprints" => format!("estimator/{name}"),
+            "trivial" | "fingerprints" | "universe" => format!("estimator/{name}"),
             _ => format!("estimator/lane{lane}/{name}"),
         };
         match rows.iter().find(|r| r.path == path) {

@@ -108,6 +108,29 @@ fn individual_sketches_roundtrip_and_reject_mangling() {
     exhaust("F2HeavyHitter", &hh);
     exhaust("F2Contributing", &fc);
 
+    // The paired two-tier finder (DESIGN.md §14): its level schedule
+    // mixes the wide Case-1 heavy-hitter config on shallow levels with
+    // the narrow Case-2 config past the wide tier's class-size bound,
+    // so the per-level self-describing encoding is what keeps a
+    // round-trip honest — exercise it with deliberately divergent
+    // tier configs.
+    let mut wide = ContributingConfig::new(0.02, 8);
+    let mut narrow = ContributingConfig::new(0.25, 256);
+    for c in [&mut wide, &mut narrow] {
+        c.survivors_per_class = 4;
+        c.sampling_degree = Some(2);
+        c.hh_rows = 2;
+    }
+    wide.hh_width_factor = 2.0;
+    let mut paired = F2Contributing::new_paired(wide, narrow, 1000, 5000, 31);
+    for &x in &items {
+        paired.insert(x);
+    }
+    for _ in 0..200 {
+        paired.insert(42);
+    }
+    exhaust("F2Contributing(paired)", &paired);
+
     let mut cs = CountSketch::new(3, 32, 13);
     let mut cm = CountMin::new(3, 32, 17);
     for &x in &items {
