@@ -1,9 +1,12 @@
 //! `bench_compare` — the bench regression gate: diff a freshly
 //! generated `BENCH_*.json` against its committed baseline and fail on
 //! a >25% throughput drop (tolerance overridable), *any* space
-//! increase (including the `space_ledger` attribution leaves), or a
-//! measured `*space_slope` regressing shallower than baseline. See
-//! [`kcov_bench::compare`] for the leaf classification.
+//! increase (including the `space_ledger` attribution leaves), a
+//! measured `*space_slope` regressing shallower than baseline, or a
+//! sibling `*_ns` phase's attribution share drifting above baseline by
+//! more than the tolerance in share points (absolute ns stay
+//! informational). See [`kcov_bench::compare`] for the leaf
+//! classification.
 //!
 //! ```text
 //! cargo run --release -p kcov-bench --bin bench_compare -- \
@@ -52,8 +55,8 @@ fn run() -> Result<(), String> {
     if !report.gated_anything() {
         return Err(format!(
             "baseline {baseline_path} has no throughput (*edges_per_s), space (*words), \
-             or slope (*space_slope) leaves — nothing to gate, refusing to report a \
-             vacuous pass"
+             slope (*space_slope), or time-share (sibling *_ns) leaves — nothing to \
+             gate, refusing to report a vacuous pass"
         ));
     }
     println!(

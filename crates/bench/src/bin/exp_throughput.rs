@@ -66,11 +66,12 @@ fn main() {
         let mut config = EstimatorConfig::practical(3);
         config.reps = Some(1);
         // The production hot path: batched ingestion through the shared
-        // fingerprint block (DESIGN.md §12), priced per phase — hash
-        // once, lane rejection, sketch updates — by the estimator's own
-        // profiling aids. Best of three runs: the regression gate
-        // compares against a committed baseline, so one slow-scheduled
-        // pass must not read as a fake regression.
+        // fingerprint block (DESIGN.md §12), attributed per phase —
+        // hash+mix, lane rejection, sketch updates — by the estimator's
+        // own time ledger (DESIGN.md §15), so these are the exact
+        // numbers `maxkcov prof --time` reports. Best of three runs:
+        // the regression gate compares against a committed baseline, so
+        // one slow-scheduled pass must not read as a fake regression.
         let runs = if smoke { 3 } else { 1 };
         let mut est = MaxCoverEstimator::new(n, m, k, alpha, &config);
         let mut b = kcov_bench::hot_path_breakdown(&mut est, &edges, 8192);

@@ -89,8 +89,9 @@ fn main() {
         }
     }
 
-    // Estimator hot path, per phase: hash once / lane reject / sketch
-    // update, over the full batched ingest (DESIGN.md §12).
+    // Estimator hot path, per phase: hash+mix / lane reject / sketch
+    // update, attributed by the time ledger over one full batched
+    // ingest (DESIGN.md §12/§15).
     let (n, m, k, alpha) = (20_000usize, 2_000usize, 64usize, 8.0f64);
     let system = kcov_stream::gen::uniform_fixed_size(n, m, 60, 1);
     let edges = kcov_stream::edge_stream(&system, kcov_stream::ArrivalOrder::Shuffled(9));
@@ -104,13 +105,12 @@ fn main() {
         edges.len(),
         est.num_lanes()
     );
-    println!("  hash phase:          {:8.1} ns/edge", per_edge(b.hash_ns));
+    println!("  hash+mix phase:      {:8.1} ns/edge", per_edge(b.hash_ns));
     println!("  lane-reject phase:   {:8.1} ns/edge", per_edge(b.lane_reject_ns));
     println!("  sketch-update phase: {:8.1} ns/edge", per_edge(b.sketch_update_ns));
     println!(
-        "  total:               {:8.1} ns/edge ({:.3} Medges/s, {} survivors)",
+        "  total:               {:8.1} ns/edge ({:.3} Medges/s)",
         per_edge(b.total_ns),
         edges.len() as f64 * 1e3 / b.total_ns as f64,
-        b.survivors
     );
 }

@@ -17,7 +17,14 @@
 //!   paper's `m/α²` contract,
 //! * keys ending in `speedup` or `_ns` or containing `slope` (other
 //!   than the gated `space_slope`) are informational (derived ratios
-//!   or per-phase wall-clock timings) and are not checked,
+//!   or per-phase wall-clock timings) and are not checked as absolute
+//!   values — but when an object holds **two or more** numeric `_ns`
+//!   leaves present in both documents, the *shares* of those sibling
+//!   phases are gated: absolute timings are host noise, yet how a
+//!   fixed workload's wall clock splits across phases is a property of
+//!   the code (the time ledger's attribution, DESIGN.md §15). A leaf's
+//!   fraction of its group total may not grow more than `tolerance`
+//!   (absolute share points) above baseline,
 //! * every other leaf is **identity** (workload shape: `n`, `m`, `k`,
 //!   `alpha`, `edges`, `lanes`, names, …) and must match exactly — a
 //!   mismatch means the two files describe different experiments and
@@ -38,6 +45,8 @@ pub struct CompareReport {
     pub space_leaves: usize,
     /// Leaves checked under the slope rule (`*space_slope`).
     pub slope_leaves: usize,
+    /// Leaves checked under the time-share rule (sibling `*_ns` groups).
+    pub timeshare_leaves: usize,
     /// Human-readable failure descriptions; empty means pass.
     pub failures: Vec<String>,
     /// Per-throughput-leaf ratio lines, for context in CI logs.
@@ -54,12 +63,13 @@ impl CompareReport {
         self.failures.is_empty()
     }
 
-    /// True when at least one throughput, space, or slope leaf was
-    /// actually gated. A baseline with none of the tracked suffix keys
-    /// (`*edges_per_s`, `*words`, `*space_slope`) compares vacuously —
-    /// the caller should treat that as an error, not a pass.
+    /// True when at least one throughput, space, slope, or time-share
+    /// leaf was actually gated. A baseline with none of the tracked
+    /// keys (`*edges_per_s`, `*words`, `*space_slope`, sibling `*_ns`
+    /// groups) compares vacuously — the caller should treat that as an
+    /// error, not a pass.
     pub fn gated_anything(&self) -> bool {
-        self.throughput_leaves + self.space_leaves + self.slope_leaves > 0
+        self.throughput_leaves + self.space_leaves + self.slope_leaves + self.timeshare_leaves > 0
     }
 }
 
@@ -67,6 +77,10 @@ enum Rule {
     Throughput,
     Space,
     Slope,
+    /// `*_ns` leaves: gated on attribution *share*, not value, and
+    /// only in sibling groups — the check runs at the object level
+    /// (see [`time_share_check`]), so the per-leaf arm is a no-op.
+    TimeShare,
     Identity,
     Informational,
 }
@@ -81,11 +95,13 @@ fn rule_for(key: &str) -> Rule {
         Rule::Throughput
     } else if key.ends_with("words") {
         Rule::Space
-    } else if key.ends_with("speedup") || key.contains("slope") || key.ends_with("_ns") {
-        // `_ns` leaves are the per-phase hot-path timings (hash /
-        // lane-reject / sketch-update); like throughput they vary per
-        // host, but they are already priced by the `edges_per_s` gate,
-        // so they stay informational rather than identity-compared.
+    } else if key.ends_with("_ns") {
+        // Per-phase hot-path timings (hash / lane-reject /
+        // sketch-update): absolute values vary per host and stay
+        // unchecked, but sibling groups are gated on share drift at the
+        // object level.
+        Rule::TimeShare
+    } else if key.ends_with("speedup") || key.contains("slope") {
         Rule::Informational
     } else {
         Rule::Identity
@@ -101,9 +117,63 @@ pub fn compare_bench(baseline: &Json, fresh: &Json, tolerance: f64) -> CompareRe
     report
 }
 
+/// The [`Rule::TimeShare`] gate, run per object: collect the numeric
+/// `*_ns` leaves present in both documents; with two or more siblings
+/// forming a phase group, gate each leaf's fraction of the group total
+/// against baseline + `tol` share points. Lone `_ns` leaves and groups
+/// where either total is zero (untraced runs) compare vacuously.
+fn time_share_check(
+    b: &[(String, Json)],
+    f: &[(String, Json)],
+    path: &str,
+    tol: f64,
+    report: &mut CompareReport,
+) {
+    let mut pairs: Vec<(&str, f64, f64)> = Vec::new();
+    for (key, bv) in b {
+        if !key.ends_with("_ns") {
+            continue;
+        }
+        if let (Json::Num(bn), Some(Json::Num(fn_))) =
+            (bv, f.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+        {
+            pairs.push((key, *bn, *fn_));
+        }
+    }
+    if pairs.len() < 2 {
+        return;
+    }
+    let bt: f64 = pairs.iter().map(|(_, bv, _)| bv).sum();
+    let ft: f64 = pairs.iter().map(|(_, _, fv)| fv).sum();
+    if bt <= 0.0 || ft <= 0.0 {
+        return;
+    }
+    for (key, bv, fv) in pairs {
+        report.checked += 1;
+        report.timeshare_leaves += 1;
+        let bs = bv / bt;
+        let fs = fv / ft;
+        report.notes.push(format!(
+            "{path}.{key}: time share {:.1}% vs baseline {:.1}%",
+            fs * 100.0,
+            bs * 100.0
+        ));
+        if fs > bs + tol {
+            report.failures.push(format!(
+                "{path}.{key}: time-share regression, phase grew from {:.1}% to {:.1}% of its \
+                 group (tolerance {:.0} share points)",
+                bs * 100.0,
+                fs * 100.0,
+                tol * 100.0
+            ));
+        }
+    }
+}
+
 fn walk(base: &Json, fresh: &Json, path: &str, tol: f64, report: &mut CompareReport) {
     match (base, fresh) {
         (Json::Obj(b), Json::Obj(f)) => {
+            time_share_check(b, f, path, tol, report);
             for (key, bv) in b {
                 match f.iter().find(|(k, _)| k == key) {
                     Some((_, fv)) => walk(bv, fv, &format!("{path}.{key}"), tol, report),
@@ -138,6 +208,8 @@ fn walk(base: &Json, fresh: &Json, path: &str, tol: f64, report: &mut CompareRep
             let key = key.split('[').next().unwrap_or(key);
             match rule_for(key) {
                 Rule::Informational => {}
+                // Gated as a sibling group in the enclosing-object arm.
+                Rule::TimeShare => {}
                 Rule::Identity => {
                     report.checked += 1;
                     if b != f {
@@ -316,15 +388,51 @@ mod tests {
     }
 
     #[test]
-    fn phase_timing_ns_leaves_are_informational() {
-        // Per-phase hot-path timings vary per host; they must neither
-        // be identity-compared nor gated.
-        let base = doc(r#"{"hash_ns": 100.0, "lane_reject_ns": 50.0, "sketch_update_ns": 900.0}"#);
-        let fresh = doc(r#"{"hash_ns": 130.0, "lane_reject_ns": 40.0, "sketch_update_ns": 700.0}"#);
+    fn lone_ns_leaf_stays_informational() {
+        // A single `_ns` leaf has no sibling group to take a share of;
+        // its absolute value is host noise and must not gate.
+        let base = doc(r#"{"total_ns": 100.0}"#);
+        let fresh = doc(r#"{"total_ns": 9000.0}"#);
         let r = compare_bench(&base, &fresh, 0.25);
         assert!(r.passed(), "{:?}", r.failures);
         assert_eq!(r.checked, 0);
         assert!(!r.gated_anything());
+    }
+
+    #[test]
+    fn ns_sibling_groups_gate_share_drift_not_absolutes() {
+        // Uniformly 10x slower wall clock: every share is unchanged, so
+        // the group passes even though every absolute value exploded.
+        let base = doc(r#"{"hash_ns": 100.0, "lane_reject_ns": 50.0, "sketch_update_ns": 850.0}"#);
+        let slower =
+            doc(r#"{"hash_ns": 1000.0, "lane_reject_ns": 500.0, "sketch_update_ns": 8500.0}"#);
+        let r = compare_bench(&base, &slower, 0.05);
+        assert!(r.passed(), "{:?}", r.failures);
+        assert_eq!(r.timeshare_leaves, 3);
+        assert!(r.gated_anything());
+
+        // Same total, but the hash phase grew from 10% to 30% of the
+        // group — a real attribution shift, gated at 5 share points.
+        let shifted =
+            doc(r#"{"hash_ns": 300.0, "lane_reject_ns": 50.0, "sketch_update_ns": 650.0}"#);
+        let r = compare_bench(&base, &shifted, 0.05);
+        assert!(!r.passed());
+        assert!(r.failures[0].contains("time-share regression"), "{:?}", r.failures);
+    }
+
+    #[test]
+    fn untraced_zero_ns_groups_compare_vacuously() {
+        // An untraced baseline (all-zero attribution) has no shares to
+        // gate against; the group must not divide by zero or fail.
+        let zeros = doc(r#"{"hash_ns": 0.0, "lane_reject_ns": 0.0}"#);
+        let fresh = doc(r#"{"hash_ns": 70.0, "lane_reject_ns": 30.0}"#);
+        let r = compare_bench(&zeros, &fresh, 0.05);
+        assert!(r.passed(), "{:?}", r.failures);
+        assert_eq!(r.timeshare_leaves, 0);
+        assert!(!r.gated_anything());
+        let r = compare_bench(&fresh, &zeros, 0.05);
+        assert!(r.passed(), "{:?}", r.failures);
+        assert_eq!(r.timeshare_leaves, 0);
     }
 
     #[test]

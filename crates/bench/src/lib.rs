@@ -99,72 +99,91 @@ pub fn coarse_config(seed: u64, n: usize, reps: usize) -> kcov_core::EstimatorCo
 }
 
 /// Per-phase cost breakdown of the estimator's batched hot path over a
-/// prepared stream (see DESIGN.md §12): the three sequential phases of
-/// every chunk are priced separately with the estimator's own profiling
-/// aids, all in nanoseconds over the whole stream.
+/// prepared stream (see DESIGN.md §12/§15): a *single* timed ingest,
+/// attributed post-hoc by the estimator's own time ledger
+/// ([`kcov_core::MaxCoverEstimator::time_ledger_tree`]) instead of the
+/// old re-run-each-phase pricing, so no phase is ever paid twice and
+/// the breakdown is exactly the one `maxkcov prof --time` reports.
 ///
-/// * `hash_ns` — filling the shared fingerprint columns
-///   ([`kcov_core::EdgeFingerprints::fill_block`]), the only place raw
-///   ids are hashed.
-/// * `lane_reject_ns` — every lane's universe reduction plus subroutine
-///   admission gates ([`kcov_core::MaxCoverEstimator::gate_survivors`]),
-///   i.e. the work spent deciding an edge does *not* reach a sketch.
-/// * `sketch_update_ns` — the remainder of the full batched ingest
-///   (`total_ns − hash_ns − lane_reject_ns`): sketch updates for
-///   surviving edges plus loop overhead.
+/// * `hash_ns` — shared per-batch preprocessing: fingerprint-column
+///   fill (the only place raw ids are hashed) plus the universe mix
+///   (the `fingerprints` and `universe` ledger leaves).
+/// * `lane_reject_ns` — every lane's universe reduction (the
+///   `lane*/reducer` leaves): the work spent deciding an edge does
+///   *not* reach a sketch.
+/// * `sketch_update_ns` — the lanes' oracle subtrees: admission gates
+///   plus sketch updates for surviving edges.
+/// * `total_ns` — full batched-ingest wall clock; the three attributed
+///   parts are nested inside it, so their sum is ≤ `total_ns` with the
+///   gap being loop overhead.
 #[derive(Debug, Clone, Copy)]
 pub struct HotPathBreakdown {
-    /// Fingerprint-column fill time, ns.
+    /// Fingerprint fill + universe mix time, ns.
     pub hash_ns: u64,
-    /// Reduction + admission-gate time, ns.
+    /// Lane universe-reduction time, ns.
     pub lane_reject_ns: u64,
-    /// Residual sketch-update time, ns (saturating).
+    /// Oracle (admission + sketch-update) time, ns.
     pub sketch_update_ns: u64,
     /// Full batched-ingest wall clock, ns.
     pub total_ns: u64,
-    /// Gate survivors (edges that reached at least one sketch update),
-    /// summed over lanes and subroutine repetitions.
-    pub survivors: u64,
+}
+
+/// Split a time ledger into the three hot-path phases: shared
+/// preprocessing leaves, per-lane `reducer` leaves, and everything else
+/// under each lane (the oracle subtree, including any direct ns parked
+/// on the lane node by the bare-leaf apportion fallback).
+fn ledger_phases(ledger: &kcov_obs::TimeLedger) -> (u64, u64, u64) {
+    let root = &ledger.root;
+    let hash = root.get("fingerprints").map_or(0, |n| n.total_ns())
+        + root.get("universe").map_or(0, |n| n.total_ns());
+    let mut reject = 0u64;
+    let mut update = 0u64;
+    for (name, lane) in root.children() {
+        if !name.starts_with("lane") {
+            continue;
+        }
+        update += lane.ns;
+        for (child, node) in lane.children() {
+            if child == "reducer" {
+                reject += node.total_ns();
+            } else {
+                update += node.total_ns();
+            }
+        }
+    }
+    (hash, reject, update)
 }
 
 /// Measure a [`HotPathBreakdown`] by driving `est` over `edges` in
-/// chunks of `batch`. The estimator ends in the same state as a plain
-/// batched ingest of the stream (the probe passes are read-only).
+/// chunks of `batch` exactly once, with a live recorder attached so the
+/// batch-granular clocks run; the ledger delta across the ingest is the
+/// attribution. The estimator ends in the same state as a plain batched
+/// ingest of the stream, with its original recorder restored.
 pub fn hot_path_breakdown(
     est: &mut kcov_core::MaxCoverEstimator,
     edges: &[kcov_stream::Edge],
     batch: usize,
 ) -> HotPathBreakdown {
     let batch = batch.max(1);
-    let fps = est
-        .fingerprints()
-        .expect("hot-path breakdown needs a non-trivial estimator")
-        .clone();
-    let mut block = kcov_core::FingerprintBlock::default();
-    let t = Instant::now();
-    for chunk in edges.chunks(batch) {
-        fps.fill_block(chunk, &mut block);
-    }
-    let hash_ns = t.elapsed().as_nanos() as u64;
-    let mut survivors = 0u64;
-    let mut lane_reject_ns = 0u64;
-    for chunk in edges.chunks(batch) {
-        fps.fill_block(chunk, &mut block);
-        let t = Instant::now();
-        survivors += est.gate_survivors(chunk, &block.fp_set, &block.fp_elem);
-        lane_reject_ns += t.elapsed().as_nanos() as u64;
-    }
+    assert!(
+        est.fingerprints().is_some(),
+        "hot-path breakdown needs a non-trivial estimator"
+    );
+    let (hash0, reject0, update0) = ledger_phases(&est.time_ledger_tree());
+    let rec = kcov_obs::Recorder::enabled();
+    est.attach_recorder(&rec);
     let t = Instant::now();
     for chunk in edges.chunks(batch) {
         est.observe_batch(chunk);
     }
     let total_ns = t.elapsed().as_nanos() as u64;
+    est.attach_recorder(&kcov_obs::Recorder::disabled());
+    let (hash, reject, update) = ledger_phases(&est.time_ledger_tree());
     HotPathBreakdown {
-        hash_ns,
-        lane_reject_ns,
-        sketch_update_ns: total_ns.saturating_sub(hash_ns + lane_reject_ns),
+        hash_ns: hash.saturating_sub(hash0),
+        lane_reject_ns: reject.saturating_sub(reject0),
+        sketch_update_ns: update.saturating_sub(update0),
         total_ns,
-        survivors,
     }
 }
 

@@ -13,14 +13,16 @@
 
 use std::time::Instant;
 
-use kcov_obs::{LedgerNode, Recorder, SketchStats, SpaceLedger, Value};
+use kcov_obs::{
+    apportion_by_heat, LedgerNode, Recorder, SketchStats, SpaceLedger, TimeLedger, Value,
+};
 use kcov_sketch::SpaceUsage;
 use kcov_stream::Edge;
 
 use crate::fingerprint::{EdgeFingerprints, FingerprintBlock};
 use crate::oracle::{Oracle, OracleOutput, SubroutineKind};
 use crate::params::{ParamMode, Params};
-use crate::telemetry::{self, HeartbeatSnap, IngestHists, LaneBeat};
+use crate::telemetry::{self, HeartbeatSnap, IngestHists, LaneBeat, LaneTimes, StageTimes};
 use crate::universe::UniverseReducer;
 use crate::Witness;
 
@@ -127,6 +129,9 @@ struct Lane {
     z: u64,
     reducer: UniverseReducer,
     oracle: Oracle,
+    /// Batch-granular wall totals for the time-attribution ledger
+    /// (plain replica-local data; only the owning worker writes it).
+    times: LaneTimes,
 }
 
 impl Lane {
@@ -138,15 +143,26 @@ impl Lane {
     /// set-fingerprint column then drive the oracle's batched path.
     /// Set ids pass through universe reduction unchanged, so one
     /// `fp_set` column serves every lane.
+    /// When `timed`, the chunk is bracketed by the lane's only clock
+    /// reads (three `Instant`s per chunk, accumulated into
+    /// [`LaneTimes`]) — the per-edge loops below stay clock-free, and
+    /// untimed ingestion takes a single branch per call.
     fn ingest_fp(
         &mut self,
         edges: &[Edge],
         fp_set: &[u64],
         umix: &[u64],
         scratch: &mut Vec<Edge>,
+        timed: bool,
     ) {
+        let start = timed.then(Instant::now);
         self.reducer.map_premixed_batch(edges, umix, scratch);
+        let reduced_at = start.map(|_| Instant::now());
         self.oracle.observe_fp_batch(scratch, fp_set);
+        if let (Some(start), Some(reduced_at)) = (start, reduced_at) {
+            self.times.reduce_ns += (reduced_at - start).as_nanos() as u64;
+            self.times.ingest_ns += start.elapsed().as_nanos() as u64;
+        }
     }
 
     /// Merge a sibling lane built from the same config and seed.
@@ -157,6 +173,7 @@ impl Lane {
             "Lane merge requires identical hash functions"
         );
         self.oracle.merge(&other.oracle);
+        self.times.merge(&other.times);
     }
 }
 
@@ -312,6 +329,10 @@ pub struct MaxCoverEstimator {
     hists: IngestHists,
     /// Aggregate sketch stats at the previous heartbeat (delta base).
     last_stats: SketchStats,
+    /// Batch-granular wall totals for the lane-invariant stages
+    /// (fingerprint fill, universe mix, trivial branch) — the
+    /// stage-level raw material of the time-attribution ledger.
+    times: StageTimes,
 }
 
 impl MaxCoverEstimator {
@@ -339,6 +360,7 @@ impl MaxCoverEstimator {
                 heartbeats: Vec::new(),
                 hists: IngestHists::default(),
                 last_stats: SketchStats::default(),
+                times: StageTimes::default(),
             };
         }
         let mut seq = kcov_hash::SeedSequence::labeled(config.seed, "estimate-max-cover");
@@ -387,6 +409,7 @@ impl MaxCoverEstimator {
                         seq.next_seed(),
                         fps.set_base().clone(),
                     ),
+                    times: LaneTimes::default(),
                 });
             }
         }
@@ -407,6 +430,7 @@ impl MaxCoverEstimator {
             heartbeats: Vec::new(),
             hists: IngestHists::default(),
             last_stats: SketchStats::default(),
+            times: StageTimes::default(),
         }
     }
 
@@ -475,25 +499,42 @@ impl MaxCoverEstimator {
     /// stream), then shared read-only by every lane — serial or across
     /// the scoped worker threads.
     fn dispatch_batch(&mut self, edges: &[Edge]) {
+        // Time attribution is batch-granular: a handful of monotonic
+        // reads per *chunk* (stage boundaries plus one bracket per lane,
+        // each accumulated into replica-local plain `u64`s), never per
+        // edge, and none at all while the recorder is disabled.
+        let timed = self.rec.is_enabled();
         if let Some(t) = &mut self.trivial {
+            let start = timed.then(Instant::now);
             t.observe_batch(edges);
+            if let Some(start) = start {
+                self.times.trivial_ns += start.elapsed().as_nanos() as u64;
+            }
             return;
         }
         let mut block = std::mem::take(&mut self.block);
+        let start = timed.then(Instant::now);
         self.fps
             .as_ref()
             .expect("non-trivial estimator has fingerprints")
             .fill_block(edges, &mut block);
+        if let Some(start) = start {
+            self.times.hash_ns += start.elapsed().as_nanos() as u64;
+        }
         // Lane-invariant universe mix: one column for every lane.
         if let Some(first) = self.lanes.first() {
+            let start = timed.then(Instant::now);
             first.reducer.mix_batch(&block.fp_elem, &mut block.umix);
+            if let Some(start) = start {
+                self.times.universe_ns += start.elapsed().as_nanos() as u64;
+            }
         }
         let (fp_set, umix) = (&block.fp_set[..], &block.umix[..]);
         let threads = self.threads.clamp(1, self.lanes.len().max(1));
         if threads <= 1 {
             let mut scratch = Vec::with_capacity(edges.len());
             for lane in &mut self.lanes {
-                lane.ingest_fp(edges, fp_set, umix, &mut scratch);
+                lane.ingest_fp(edges, fp_set, umix, &mut scratch, timed);
             }
         } else {
             let shard = self.lanes.len().div_ceil(threads);
@@ -502,7 +543,7 @@ impl MaxCoverEstimator {
                     s.spawn(move || {
                         let mut scratch = Vec::with_capacity(edges.len());
                         for lane in chunk {
-                            lane.ingest_fp(edges, fp_set, umix, &mut scratch);
+                            lane.ingest_fp(edges, fp_set, umix, &mut scratch, timed);
                         }
                     });
                 }
@@ -526,6 +567,7 @@ impl MaxCoverEstimator {
                 ss_fill: 0,
                 evictions: 0,
                 space_words: t.space_words() as u64,
+                ns: self.times.trivial_ns,
             });
         }
         for (i, lane) in self.lanes.iter().enumerate() {
@@ -542,6 +584,7 @@ impl MaxCoverEstimator {
                 ss_fill: ss.fill,
                 evictions: agg.evictions,
                 space_words: (lane.oracle.space_words() + lane.reducer.space_words()) as u64,
+                ns: lane.times.ingest_ns,
             });
             total.absorb(agg);
         }
@@ -577,6 +620,7 @@ impl MaxCoverEstimator {
         self.heartbeats.extend(other.heartbeats.iter().cloned());
         self.hists.merge(&other.hists);
         self.last_stats.absorb(other.last_stats);
+        self.times.merge(&other.times);
         match (&mut self.trivial, &other.trivial) {
             (Some(a), Some(b)) => {
                 a.merge(b);
@@ -860,6 +904,35 @@ impl MaxCoverEstimator {
             "space ledger must attribute every resident word exactly"
         );
         ledger.emit(rec);
+        // Time-attribution ledger (DESIGN.md §15). Its finalize
+        // contract: leaves-only attribution (audited) and ns
+        // conservation — the apportioned total can never exceed the
+        // measured batch wall-clock times the worker-thread count,
+        // because every attributed interval nests inside a batch
+        // interval and at most `threads` lanes overlap.
+        let times = self.time_ledger_tree();
+        assert!(
+            times.audit().is_empty(),
+            "time ledger schema violations: {:?}",
+            times.audit()
+        );
+        let budget = self.hists.batch_ns.sum().saturating_mul(self.threads.max(1) as u64);
+        assert!(
+            times.total_ns() <= budget,
+            "time ledger attributes {} ns against a wall budget of {} ns",
+            times.total_ns(),
+            budget
+        );
+        times.emit(rec);
+        rec.event(
+            "time_ledger_meta",
+            &[
+                ("stage", Value::from("estimate")),
+                ("root", Value::from(times.name())),
+                ("threads", Value::from(self.threads.max(1) as u64)),
+                ("ns", Value::from(times.total_ns())),
+            ],
+        );
     }
 
     /// Convenience: run over a finite edge stream.
@@ -946,21 +1019,6 @@ impl MaxCoverEstimator {
         self.fps.as_ref()
     }
 
-    /// Profiling aid: evaluate every lane's universe reduction and
-    /// subroutine admission gates for a chunk — exactly the work the
-    /// batched path does before any sketch update — and count the edges
-    /// that would reach a sketch, without mutating anything. Benches
-    /// time this to price the lane-reject phase.
-    pub fn gate_survivors(&self, edges: &[Edge], fp_set: &[u64], fp_elem: &[u64]) -> u64 {
-        let mut scratch = Vec::with_capacity(edges.len());
-        let mut n = 0u64;
-        for lane in &self.lanes {
-            lane.reducer.map_fp_batch(edges, fp_elem, &mut scratch);
-            n += lane.oracle.survivors_fp_batch(&scratch, fp_set);
-        }
-        n
-    }
-
     /// Attach an observability recorder after wire reconstruction (the
     /// recorder is process-local and never serialized; a decoded replica
     /// wakes up with a disabled one).
@@ -1000,6 +1058,44 @@ impl MaxCoverEstimator {
     pub fn space_ledger_tree(&self) -> SpaceLedger {
         let mut ledger = SpaceLedger::new("estimator");
         self.space_ledger(&mut ledger.root);
+        ledger
+    }
+
+    /// Build the time-attribution ledger for the current state: a tree
+    /// rooted at `"estimator"` whose *paths mirror the space ledger's*
+    /// (`trivial`, `fingerprints`, the shared `universe` mix, per-lane
+    /// `reducer` plus the oracle's subroutine/sketch subtree) and whose
+    /// leaf values are the batch-granular wall totals, apportioned onto
+    /// sketch leaves by the space ledger's heat counters
+    /// ([`apportion_by_heat`], DESIGN.md §15).
+    ///
+    /// Shape is a pure function of configuration; *values* are
+    /// wall-clock and carry no determinism promise. Recomputed on
+    /// demand from the merged `ns` totals, so Σ shard trees == the
+    /// merged tree exactly. All-zero (but correctly shaped) when the
+    /// recorder was disabled or ingestion went through the per-edge
+    /// path, which records no time.
+    pub fn time_ledger_tree(&self) -> TimeLedger {
+        let mut ledger = TimeLedger::new("estimator");
+        let root = &mut ledger.root;
+        if let Some(t) = &self.trivial {
+            let mut space = LedgerNode::new();
+            t.space_ledger(&mut space);
+            apportion_by_heat(self.times.trivial_ns, &space, root.child("trivial"));
+        }
+        if self.fps.is_some() {
+            root.leaf("fingerprints", self.times.hash_ns);
+        }
+        if !self.lanes.is_empty() {
+            root.leaf("universe", self.times.universe_ns);
+        }
+        for (i, lane) in self.lanes.iter().enumerate() {
+            let ln = root.child(&format!("lane{i}"));
+            ln.leaf("reducer", lane.times.reduce_ns);
+            let mut space = LedgerNode::new();
+            lane.oracle.space_ledger(&mut space);
+            apportion_by_heat(lane.times.oracle_ns(), &space, ln);
+        }
         ledger
     }
 }
@@ -1059,6 +1155,7 @@ impl kcov_sketch::WireEncode for Lane {
         put_u64(out, self.z);
         self.reducer.encode(out);
         self.oracle.encode(out);
+        self.times.encode(out);
     }
 
     fn decode(input: &mut &[u8]) -> Result<Self, kcov_sketch::WireError> {
@@ -1075,7 +1172,8 @@ impl kcov_sketch::WireEncode for Lane {
             )));
         }
         let oracle = Oracle::decode(input)?;
-        Ok(Lane { z, reducer, oracle })
+        let times = LaneTimes::decode(input)?;
+        Ok(Lane { z, reducer, oracle, times })
     }
 }
 
@@ -1117,6 +1215,7 @@ impl kcov_sketch::WireEncode for MaxCoverEstimator {
             }
             self.hists.encode(out);
             self.last_stats.encode(out);
+            self.times.encode(out);
         });
     }
 
@@ -1169,6 +1268,7 @@ impl kcov_sketch::WireEncode for MaxCoverEstimator {
             .collect::<Result<Vec<_>, _>>()?;
         let hists = IngestHists::decode(&mut telem)?;
         let last_stats = SketchStats::decode(&mut telem)?;
+        let times = StageTimes::decode(&mut telem)?;
         expect_section_end(SEC_TELEMETRY, telem)?;
 
         Ok(MaxCoverEstimator {
@@ -1188,6 +1288,7 @@ impl kcov_sketch::WireEncode for MaxCoverEstimator {
             heartbeats,
             hists,
             last_stats,
+            times,
         })
     }
 }
@@ -1440,6 +1541,68 @@ mod tests {
         assert!(s.trivial && g.trivial);
         assert_eq!(s.estimate.to_bits(), g.estimate.to_bits());
         assert_eq!(s.space_words, g.space_words);
+    }
+
+    #[test]
+    fn time_ledger_merges_additively_across_shards() {
+        let inst = planted_cover(800, 120, 8, 0.7, 30, 21);
+        let n = inst.system.num_elements();
+        let m = inst.system.num_sets();
+        let config = fast_config(13, n);
+        let edges = edge_stream(&inst.system, ArrivalOrder::Shuffled(2));
+
+        for shards in [1usize, 2, 4, 7] {
+            let rec = Recorder::enabled();
+            let chunk_len = edges.len().div_ceil(shards);
+            let mut replicas: Vec<MaxCoverEstimator> = (0..shards)
+                .map(|_| {
+                    let mut r = MaxCoverEstimator::new(n, m, 8, 3.0, &config);
+                    r.attach_recorder(&rec);
+                    r
+                })
+                .collect();
+            for (replica, part) in replicas.iter_mut().zip(edges.chunks(chunk_len)) {
+                for chunk in part.chunks(64) {
+                    replica.observe_batch(chunk);
+                }
+            }
+
+            // Per-subtree expectations before the fold: attribution is a
+            // plain sum of u64 counters, so Σ shard ns must equal the
+            // merged ns *exactly* — not approximately.
+            let part_total: u64 =
+                replicas.iter().map(|r| r.time_ledger_tree().root.total_ns()).sum();
+            let mut subtree: Vec<(String, u64)> = Vec::new();
+            for r in &replicas {
+                for (name, node) in r.time_ledger_tree().root.children() {
+                    match subtree.iter_mut().find(|(n, _)| n == name) {
+                        Some((_, ns)) => *ns += node.total_ns(),
+                        None => subtree.push((name.to_string(), node.total_ns())),
+                    }
+                }
+            }
+            assert!(part_total > 0, "shards={shards}: traced ingestion attributed no ns");
+
+            let mut merged = replicas.remove(0);
+            for r in &replicas {
+                merged.merge(r);
+            }
+            let ledger = merged.time_ledger_tree();
+            assert_eq!(
+                ledger.root.total_ns(),
+                part_total,
+                "shards={shards}: merged root ns is not the exact shard sum"
+            );
+            for (name, want) in &subtree {
+                let got = ledger.root.get(name).map_or(0, kcov_obs::TimeNode::total_ns);
+                assert_eq!(got, *want, "shards={shards}: subtree '{name}' not additive");
+            }
+            assert!(
+                ledger.audit().is_empty(),
+                "shards={shards}: merged ledger fails audit: {:?}",
+                ledger.audit()
+            );
+        }
     }
 
     #[test]

@@ -209,22 +209,6 @@ impl LargeCommon {
         }
     }
 
-    /// Profiling aid: evaluate every layer gate exactly as
-    /// [`LargeCommon::observe_fp_batch`] would, counting survivors
-    /// without touching any sketch. Lets benches price the lane-reject
-    /// phase separately from sketch updates.
-    pub fn survivors_fp_batch(&self, edges: &[Edge], fps: &[u64]) -> u64 {
-        debug_assert_eq!(edges.len(), fps.len());
-        let mut n = 0u64;
-        for &fp in fps {
-            let h = self.gate(fp);
-            for lane in &self.lanes {
-                n += u64::from(h & (lane.buckets - 1) == 0);
-            }
-        }
-        n
-    }
-
     /// Gate value of a raw set id (finalize-time enumeration).
     fn gate_of_set(&self, set: u64) -> u64 {
         self.set_mix.hash(self.set_base.hash(set))

@@ -401,20 +401,6 @@ impl LargeSet {
         }
     }
 
-    /// Profiling aid: evaluate the per-repetition element-sampling gate
-    /// exactly as [`LargeSet::observe_fp_batch`] would, counting
-    /// survivors without touching any sketch.
-    pub fn survivors_fp_batch(&self, edges: &[Edge], fps: &[u64]) -> u64 {
-        debug_assert_eq!(edges.len(), fps.len());
-        let mut n = 0u64;
-        for rep in &self.reps {
-            for &edge in edges {
-                n += u64::from(probe_mix(edge.elem as u64 ^ rep.gate_salt) < rep.keep_below);
-            }
-        }
-        n
-    }
-
     /// Threshold 1 (Fig 7): `|L|/(18·η·sα)`, halved at comparison time
     /// for the `(1 ± 1/2)` frequency estimates.
     fn thr1(&self) -> f64 {

@@ -181,19 +181,6 @@ impl Oracle {
         }
     }
 
-    /// Profiling aid: evaluate every subroutine admission gate exactly
-    /// as [`Oracle::observe_fp_batch`] would, counting survivors without
-    /// touching any sketch. Benches use this to price the lane-reject
-    /// phase separately from sketch updates.
-    pub fn survivors_fp_batch(&self, edges: &[Edge], fps: &[u64]) -> u64 {
-        let mut n = self.large_common.survivors_fp_batch(edges, fps)
-            + self.large_set.survivors_fp_batch(edges, fps);
-        if let Some(ss) = &self.small_set {
-            n += ss.survivors_fp_batch(edges, fps);
-        }
-        n
-    }
-
     /// Finalize after the pass: the max of the subroutine estimates,
     /// clamped to the universe size.
     pub fn finalize(&self) -> OracleOutput {

@@ -240,20 +240,6 @@ impl SmallSet {
         }
     }
 
-    /// Profiling aid: evaluate the per-repetition set-sampling gate
-    /// exactly as [`SmallSet::observe_fp_batch`] would, counting
-    /// survivors without touching any stored sub-instance.
-    pub fn survivors_fp_batch(&self, edges: &[Edge], fps: &[u64]) -> u64 {
-        debug_assert_eq!(edges.len(), fps.len());
-        let mut n = 0u64;
-        for rep in &self.reps {
-            for &fp in fps {
-                n += u64::from(rep.mhash.hash(fp) < self.m_keep);
-            }
-        }
-        n
-    }
-
     /// Finalize: greedy `Max k'-Cover` on each stored sub-instance,
     /// rescaled by the element-sampling rate; the best accepted lane
     /// wins. `None` when no lane qualifies.

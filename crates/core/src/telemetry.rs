@@ -34,6 +34,11 @@ pub(crate) struct LaneBeat {
     pub evictions: u64,
     /// Lane resident space in words.
     pub space_words: u64,
+    /// Cumulative wall nanoseconds this lane has spent in batched
+    /// ingest at capture time (wall-clock *payload* — the `ns` field
+    /// name marks it nondeterministic for trace diffing; cadence never
+    /// depends on it).
+    pub ns: u64,
 }
 
 /// One heartbeat: where in the (shard-local) stream it was captured
@@ -122,9 +127,66 @@ pub(crate) fn emit_heartbeats(rec: &Recorder, stage: &str, snaps: &[HeartbeatSna
                     ("ss_fill", Value::from(beat.ss_fill)),
                     ("evictions", Value::from(beat.evictions)),
                     ("space_words", Value::from(beat.space_words)),
+                    ("ns", Value::from(beat.ns)),
                 ],
             );
         }
+    }
+}
+
+/// Batch-granular wall-clock totals for one `(z, rep)` lane: the raw
+/// material of the time-attribution ledger (DESIGN.md §15). One
+/// monotonic clock read per batched chunk per lane — the per-edge hot
+/// loop never reads a clock — accumulated into plain `u64`s owned by
+/// the lane, so ingestion workers write only their own state and the
+/// disabled-recorder path stays one branch. Merged by addition, so
+/// Σ shard ns == merged ns exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct LaneTimes {
+    /// Total wall nanoseconds in the lane's batched ingest call
+    /// (universe reduction + oracle update).
+    pub ingest_ns: u64,
+    /// Wall nanoseconds in the universe-reduction half (the oracle's
+    /// share is `ingest_ns - reduce_ns`).
+    pub reduce_ns: u64,
+}
+
+impl LaneTimes {
+    /// Fold a replica lane's totals into this one.
+    pub fn merge(&mut self, other: &LaneTimes) {
+        self.ingest_ns += other.ingest_ns;
+        self.reduce_ns += other.reduce_ns;
+    }
+
+    /// The oracle's share of the lane interval (saturating: the two
+    /// clock reads bracket nested intervals, so this never underflows
+    /// on trusted data, but wire-decoded values are untrusted).
+    pub fn oracle_ns(&self) -> u64 {
+        self.ingest_ns.saturating_sub(self.reduce_ns)
+    }
+}
+
+/// Batch-granular wall-clock totals for the lane-invariant stage work
+/// of one estimator / pass: the shared hash-once fingerprint fill, the
+/// shared universe mix, and the trivial-regime branch. Same ownership
+/// and merge rules as [`LaneTimes`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct StageTimes {
+    /// Wall nanoseconds filling the fingerprint block (both base
+    /// evaluations, shared by every lane).
+    pub hash_ns: u64,
+    /// Wall nanoseconds evaluating the shared universe mix column.
+    pub universe_ns: u64,
+    /// Wall nanoseconds in the trivial-regime batch path.
+    pub trivial_ns: u64,
+}
+
+impl StageTimes {
+    /// Fold a replica's totals into this one.
+    pub fn merge(&mut self, other: &StageTimes) {
+        self.hash_ns += other.hash_ns;
+        self.universe_ns += other.universe_ns;
+        self.trivial_ns += other.trivial_ns;
     }
 }
 
@@ -147,6 +209,46 @@ use kcov_sketch::wire::{err, put_u64, take_u64, WireEncode, WireError};
 const TAG_BEAT: u64 = 0x42454154; // "BEAT"
 const TAG_SNAP: u64 = 0x534e4150; // "SNAP"
 const TAG_IHIST: u64 = 0x4948; // "IH"
+const TAG_LTIME: u64 = 0x4c54; // "LT"
+const TAG_STIME: u64 = 0x5354; // "ST"
+
+impl WireEncode for LaneTimes {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, TAG_LTIME);
+        put_u64(out, self.ingest_ns);
+        put_u64(out, self.reduce_ns);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        if take_u64(input)? != TAG_LTIME {
+            return Err(err("bad LaneTimes tag"));
+        }
+        Ok(LaneTimes {
+            ingest_ns: take_u64(input)?,
+            reduce_ns: take_u64(input)?,
+        })
+    }
+}
+
+impl WireEncode for StageTimes {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, TAG_STIME);
+        put_u64(out, self.hash_ns);
+        put_u64(out, self.universe_ns);
+        put_u64(out, self.trivial_ns);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        if take_u64(input)? != TAG_STIME {
+            return Err(err("bad StageTimes tag"));
+        }
+        Ok(StageTimes {
+            hash_ns: take_u64(input)?,
+            universe_ns: take_u64(input)?,
+            trivial_ns: take_u64(input)?,
+        })
+    }
+}
 
 impl WireEncode for LaneBeat {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -158,6 +260,7 @@ impl WireEncode for LaneBeat {
         put_u64(out, self.ss_fill);
         put_u64(out, self.evictions);
         put_u64(out, self.space_words);
+        put_u64(out, self.ns);
     }
 
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
@@ -172,6 +275,7 @@ impl WireEncode for LaneBeat {
             ss_fill: take_u64(input)?,
             evictions: take_u64(input)?,
             space_words: take_u64(input)?,
+            ns: take_u64(input)?,
         })
     }
 }
@@ -254,6 +358,7 @@ mod tests {
             ss_fill: 3,
             evictions: 0,
             space_words: 10,
+            ns: 0,
         };
         let snaps = vec![
             HeartbeatSnap { shard: 1, at_edges: 200, lanes: vec![beat(0)] },

@@ -17,7 +17,7 @@
 
 use std::time::Instant;
 
-use kcov_obs::{Recorder, SketchStats};
+use kcov_obs::{apportion_by_heat, LedgerNode, Recorder, SketchStats, TimeLedger};
 use kcov_sketch::SpaceUsage;
 use kcov_stream::Edge;
 
@@ -26,7 +26,7 @@ use crate::fingerprint::{EdgeFingerprints, FingerprintBlock};
 use crate::oracle::Oracle;
 use crate::params::{ParamMode, Params};
 use crate::report::ReportedCover;
-use crate::telemetry::{self, HeartbeatSnap, IngestHists, LaneBeat};
+use crate::telemetry::{self, HeartbeatSnap, IngestHists, LaneBeat, LaneTimes, StageTimes};
 use crate::universe::UniverseReducer;
 
 /// Pass 1: estimate the optimal coverage size.
@@ -148,6 +148,8 @@ impl TwoPassFirst {
             heartbeats: Vec::new(),
             hists: IngestHists::default(),
             last_stats: SketchStats::default(),
+            times: StageTimes::default(),
+            lane_times: vec![LaneTimes::default(); reps],
         }
     }
 }
@@ -173,6 +175,14 @@ pub struct TwoPassSecond {
     heartbeats: Vec<HeartbeatSnap>,
     hists: IngestHists,
     last_stats: SketchStats,
+    /// Batch-granular wall totals for the shared fingerprint fill
+    /// (pass 2 has no shared universe mix or trivial branch, so only
+    /// `hash_ns` is populated).
+    times: StageTimes,
+    /// Batch-granular wall totals per repetition lane, parallel to
+    /// `lanes` (the lanes are plain tuples, so the time state rides in
+    /// a sibling vector).
+    lane_times: Vec<LaneTimes>,
 }
 
 impl TwoPassSecond {
@@ -200,15 +210,28 @@ impl TwoPassSecond {
         if edges.is_empty() {
             return;
         }
-        let start = self.rec.is_enabled().then(Instant::now);
+        // Same batch-granular timing contract as the single-pass
+        // estimator: a handful of monotonic reads per chunk (never per
+        // edge), none at all while the recorder is disabled.
+        let timed = self.rec.is_enabled();
+        let start = timed.then(Instant::now);
         let seen_before = self.edges_seen;
         self.edges_seen += edges.len() as u64;
         let mut block = std::mem::take(&mut self.block);
         self.fps.fill_block(edges, &mut block);
+        if let Some(start) = start {
+            self.times.hash_ns += start.elapsed().as_nanos() as u64;
+        }
         let mut scratch = Vec::with_capacity(edges.len());
-        for (reducer, oracle) in &mut self.lanes {
+        for ((reducer, oracle), times) in self.lanes.iter_mut().zip(&mut self.lane_times) {
+            let lane_start = timed.then(Instant::now);
             reducer.map_fp_batch(edges, &block.fp_elem, &mut scratch);
+            let reduced_at = lane_start.map(|_| Instant::now());
             oracle.observe_fp_batch(&scratch, &block.fp_set);
+            if let (Some(lane_start), Some(reduced_at)) = (lane_start, reduced_at) {
+                times.reduce_ns += (reduced_at - lane_start).as_nanos() as u64;
+                times.ingest_ns += lane_start.elapsed().as_nanos() as u64;
+            }
         }
         self.block = block;
         if let Some(start) = start {
@@ -241,6 +264,7 @@ impl TwoPassSecond {
                 ss_fill: ss.fill,
                 evictions: agg.evictions,
                 space_words: (oracle.space_words() + reducer.space_words()) as u64,
+                ns: self.lane_times.get(i).map_or(0, |t| t.ingest_ns),
             });
             total.absorb(agg);
         }
@@ -269,6 +293,10 @@ impl TwoPassSecond {
         self.heartbeats.extend(other.heartbeats.iter().cloned());
         self.hists.merge(&other.hists);
         self.last_stats.absorb(other.last_stats);
+        self.times.merge(&other.times);
+        for (times, other_times) in self.lane_times.iter_mut().zip(&other.lane_times) {
+            times.merge(other_times);
+        }
         for ((reducer, oracle), (other_reducer, other_oracle)) in
             self.lanes.iter_mut().zip(&other.lanes)
         {
@@ -351,6 +379,26 @@ impl TwoPassSecond {
             },
         }
     }
+
+    /// Build the pass-2 time-attribution ledger: a tree rooted at
+    /// `"pass2"` mirroring the pass-2 space ledger's paths
+    /// (`fingerprints`, per-lane `reducer` plus the oracle subtree),
+    /// apportioned by heat exactly like
+    /// [`MaxCoverEstimator::time_ledger_tree`](crate::MaxCoverEstimator::time_ledger_tree).
+    pub fn time_ledger_tree(&self) -> TimeLedger {
+        let mut ledger = TimeLedger::new("pass2");
+        let root = &mut ledger.root;
+        root.leaf("fingerprints", self.times.hash_ns);
+        for (i, (_, oracle)) in self.lanes.iter().enumerate() {
+            let times = self.lane_times.get(i).copied().unwrap_or_default();
+            let ln = root.child(&format!("lane{i}"));
+            ln.leaf("reducer", times.reduce_ns);
+            let mut space = LedgerNode::new();
+            oracle.space_ledger(&mut space);
+            apportion_by_heat(times.oracle_ns(), &space, ln);
+        }
+        ledger
+    }
 }
 
 // ---- wire format ----------------------------------------------------
@@ -396,6 +444,11 @@ impl kcov_sketch::WireEncode for TwoPassSecond {
             }
             self.hists.encode(out);
             self.last_stats.encode(out);
+            self.times.encode(out);
+            put_u64(out, self.lane_times.len() as u64);
+            for times in &self.lane_times {
+                times.encode(out);
+            }
         });
     }
 
@@ -450,6 +503,17 @@ impl kcov_sketch::WireEncode for TwoPassSecond {
             .collect::<Result<Vec<_>, _>>()?;
         let hists = IngestHists::decode(&mut telem)?;
         let last_stats = SketchStats::decode(&mut telem)?;
+        let times = StageTimes::decode(&mut telem)?;
+        let num_lt = take_u64(&mut telem)? as usize;
+        if num_lt != lanes.len() {
+            return Err(err(format!(
+                "pass-2 lane-time count {num_lt} disagrees with {} lanes",
+                lanes.len()
+            )));
+        }
+        let lane_times = (0..num_lt)
+            .map(|_| LaneTimes::decode(&mut telem))
+            .collect::<Result<Vec<_>, _>>()?;
         expect_section_end(SEC_TELEMETRY, telem)?;
 
         Ok(TwoPassSecond {
@@ -466,6 +530,8 @@ impl kcov_sketch::WireEncode for TwoPassSecond {
             heartbeats,
             hists,
             last_stats,
+            times,
+            lane_times,
         })
     }
 }
@@ -487,6 +553,18 @@ impl SpaceUsage for TwoPassSecond {
             r.space_ledger(ln.child("reducer"));
             o.space_ledger(ln);
         }
+    }
+}
+
+impl TwoPassSecond {
+    /// Emit the pass-2 observability snapshot (heartbeats, ingest
+    /// histograms, the `twopass` event, and the pass-2 time ledger)
+    /// against the configured recorder; a no-op when it is disabled.
+    /// The `run_two_pass*` drivers call this themselves — drivers that
+    /// ingest pass 2 manually (e.g. the CLI's batched loop) call it
+    /// once after [`TwoPassSecond::finalize`].
+    pub fn record_snapshot(&self, cover: &ReportedCover) {
+        record_two_pass(&self.rec, self, cover);
     }
 }
 
@@ -564,6 +642,32 @@ fn record_two_pass(rec: &kcov_obs::Recorder, second: &TwoPassSecond, cover: &Rep
     );
     rec.gauge("twopass.z", second.z() as f64);
     rec.gauge("twopass.space_words", cover.space_words as f64);
+    // Pass-2 time-attribution ledger, same finalize contract as the
+    // single-pass estimator (leaves-only, ns-conserving): pass 2 runs
+    // lanes serially, so the wall budget is the plain batch total.
+    let times = second.time_ledger_tree();
+    assert!(
+        times.audit().is_empty(),
+        "pass-2 time ledger schema violations: {:?}",
+        times.audit()
+    );
+    let budget = second.hists.batch_ns.sum();
+    assert!(
+        times.total_ns() <= budget,
+        "pass-2 time ledger attributes {} ns against a wall budget of {} ns",
+        times.total_ns(),
+        budget
+    );
+    times.emit(rec);
+    rec.event(
+        "time_ledger_meta",
+        &[
+            ("stage", kcov_obs::Value::from("pass2")),
+            ("root", kcov_obs::Value::from(times.name())),
+            ("threads", kcov_obs::Value::from(1u64)),
+            ("ns", kcov_obs::Value::from(times.total_ns())),
+        ],
+    );
 }
 
 #[cfg(test)]

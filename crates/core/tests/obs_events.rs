@@ -251,10 +251,17 @@ fn sharded_heartbeats_are_sorted_and_deterministic() {
     sorted.sort_unstable();
     assert_eq!(keys, sorted, "heartbeats must emit in deterministic order");
     assert!(keys.iter().any(|k| k.0 > 0), "replica shards must contribute beats");
-    // And the full heartbeat payload is identical across two runs.
+    // And the full heartbeat payload is identical across two runs —
+    // modulo the trailing `ns` field, the cumulative lane wall clock,
+    // which like every field named exactly `ns` is a wall-clock
+    // payload excluded from determinism comparisons (DESIGN.md §10).
+    let strip_ns = |line: String| match line.rfind(",\"ns\":") {
+        Some(i) => format!("{}}}", &line[..i]),
+        None => line,
+    };
     let again = run();
-    let lines: Vec<String> = beats.iter().map(|b| b.to_json_line()).collect();
-    let lines2: Vec<String> = again.iter().map(|b| b.to_json_line()).collect();
+    let lines: Vec<String> = beats.iter().map(|b| strip_ns(b.to_json_line())).collect();
+    let lines2: Vec<String> = again.iter().map(|b| strip_ns(b.to_json_line())).collect();
     assert_eq!(lines, lines2, "heartbeat events must be byte-identical across runs");
 }
 

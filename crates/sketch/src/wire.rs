@@ -179,8 +179,12 @@ pub const WIRE_MAGIC: u64 = 0x4b43_4f56_5749_5245;
 /// bases in the estimator state, count-based heavy-hitter candidate
 /// pairs, no embedded AMS sketch); 3 = heat counters in the telemetry
 /// sidecars (per-repetition KMV updates, per-level CountSketch
-/// updates) so decoded replicas carry exact space-ledger heat.
-pub const WIRE_VERSION: u64 = 3;
+/// updates) so decoded replicas carry exact space-ledger heat; 4 =
+/// time-attribution ns fields in the telemetry sidecars (per-lane
+/// ingest/reduce totals, per-stage hash/universe/trivial totals,
+/// per-heartbeat cumulative lane ns) so decoded worker replicas
+/// preserve time-ledger attribution.
+pub const WIRE_VERSION: u64 = 4;
 
 /// Append the versioned full-state header: magic, version, payload tag.
 pub fn put_header(out: &mut Vec<u8>, tag: u64) {

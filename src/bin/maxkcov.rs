@@ -34,11 +34,13 @@
 //! ignored; every flag is registered exactly once in [`FLAG_SPECS`].
 //!
 //! `maxkcov trace-summarize FILE` renders an NDJSON trace written by
-//! `--trace`: aggregate phase timings, heartbeat fill trajectories,
-//! and histogram percentiles, and re-checks the trace's accounting
-//! invariants (phase event nanos vs `time_ns.*` counters, subroutine
-//! space vs the summary total, heartbeat eviction monotonicity vs the
-//! final sketch totals), failing on violation.
+//! `--trace`: aggregate phase timings, heartbeat fill (and cumulative
+//! lane-ns) trajectories, histogram percentiles, and the time-ledger
+//! leaf report, and re-checks the trace's accounting invariants (phase
+//! event nanos vs `time_ns.*` counters, subroutine space vs the
+//! summary total, heartbeat eviction monotonicity vs the final sketch
+//! totals, time-ledger parent sums and ns conservation against the
+//! batch wall clock), failing on violation.
 //!
 //! `maxkcov prof` renders the space-attribution ledger (DESIGN.md §13)
 //! as a sorted words / % / updates / updates-per-word report — either
@@ -47,7 +49,12 @@
 //! invariants like `trace-summarize`) or from a live run (`maxkcov
 //! prof --input FILE --k K --alpha A …`, checking the exact-sum
 //! invariant against the estimator's `space_words`). Violations exit
-//! non-zero.
+//! non-zero. `maxkcov prof --time` renders the *time*-attribution
+//! ledger instead (DESIGN.md §15) — sorted ns / % per leaf, audited
+//! for parent sums and ns conservation — and `--folded` switches the
+//! output to Brendan Gregg folded-stacks text (`frame;frame;... ns`,
+//! one line per leaf) ready for `flamegraph.pl` or
+//! `inferno-flamegraph`.
 //!
 //! Distributed ingestion (DESIGN.md §11): `maxkcov worker` ingests one
 //! contiguous shard of the stream (`--shards N --shard I`) and writes
@@ -69,7 +76,9 @@ use std::time::Instant;
 use kcov_baselines::{greedy_max_cover, max_cover_exact};
 use kcov_core::{EstimatorConfig, MaxCoverEstimator, MaxCoverReporter, ParamMode};
 use kcov_obs::json::Json;
-use kcov_obs::{render_ledger_report, Histogram, LedgerRow, Recorder, Value};
+use kcov_obs::{
+    render_ledger_report, render_time_report, Histogram, LedgerRow, Recorder, TimeLedgerRow, Value,
+};
 use kcov_sketch::{SpaceUsage, WireEncode};
 use kcov_stream::gen;
 use kcov_stream::{
@@ -110,9 +119,9 @@ const USAGE: &str = "usage:
                    [--metrics] [--trace FILE] [--heartbeat N]
   maxkcov merge-from FILE... [--metrics] [--trace FILE]
   maxkcov trace-summarize FILE
-  maxkcov prof     TRACE [--top N]
+  maxkcov prof     TRACE [--top N] [--time [--folded]]
   maxkcov prof     --input FILE --k K --alpha A [--seed S] [--order ORDER] [--mode paper|practical]
-                   [--threads T] [--batch B] [--shards S] [--top N]
+                   [--threads T] [--batch B] [--shards S] [--top N] [--time [--folded]]
 KIND: uniform | zipf | planted | common | few-large | many-small
 ORDER: set | element | roundrobin | shuffle:SEED (default shuffle:0)
 --batch B ingests B edges per observe_batch call (default: per-edge observe);
@@ -133,7 +142,11 @@ a crash after E edges (exits non-zero, periodic snapshots left for recovery).
 prof renders the space-attribution ledger (words / % / updates / upd-per-word)
 from a --trace file's ledger events or from a live run, re-checking the ledger
 invariants (parent sums, summary total, per-subroutine match); --top N limits
-the report to the N hottest leaves (default 20, 0 = all).";
+the report to the N hottest leaves (default 20, 0 = all). prof --time renders
+the time-attribution ledger instead (ns / % per leaf, DESIGN.md sec. 15),
+re-checking its parent-sum and ns-conservation invariants; --folded emits
+Brendan Gregg folded-stacks text (one 'path ns' line per leaf, frames joined
+by ';') ready for flamegraph.pl / inferno-flamegraph.";
 
 /// Whether a flag takes a value or is a bare boolean.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -212,6 +225,8 @@ const FLAG_SPECS: &[FlagSpec] = &[
     FlagSpec { name: "trace", kind: FlagKind::Value, commands: OBS_CMDS },
     FlagSpec { name: "heartbeat", kind: FlagKind::Value, commands: STREAM_CMDS },
     FlagSpec { name: "metrics", kind: FlagKind::Bool, commands: OBS_CMDS },
+    FlagSpec { name: "time", kind: FlagKind::Bool, commands: &["prof"] },
+    FlagSpec { name: "folded", kind: FlagKind::Bool, commands: &["prof"] },
 ];
 
 /// Look up a flag for a subcommand in [`FLAG_SPECS`].
@@ -823,7 +838,9 @@ fn cmd_twopass(flags: &HashMap<String, String>) -> Result<(), String> {
                     second.observe_batch(chunk);
                 }
                 span.finish();
-                second.finalize()
+                let cover = second.finalize();
+                second.record_snapshot(&cover);
+                cover
             }
         }
     };
@@ -890,6 +907,10 @@ struct BeatRow {
     ss_fill: u64,
     evictions: u64,
     space_words: u64,
+    /// Cumulative per-lane ingest wall clock summed over the row's
+    /// lanes — the heartbeat-aligned time trajectory (0 when the trace
+    /// predates wire v4 or the run was untimed).
+    ns: u64,
 }
 
 /// Everything `trace-summarize` extracts from one NDJSON trace.
@@ -915,6 +936,15 @@ struct TraceSummary {
     /// `"ledger"` events as flattened rows, in emission order
     /// (preorder of the attribution tree, subtree totals per row).
     ledger_rows: Vec<LedgerRow>,
+    /// `"time_ledger"` events as flattened rows, in emission order
+    /// (preorder, subtree ns totals per row). A two-pass trace holds
+    /// two trees (`estimator/...` then `pass2/...`), distinguished by
+    /// their root path segment.
+    time_rows: Vec<TimeLedgerRow>,
+    /// `"time_ledger_meta"` events as `(stage, root, threads, ns)` —
+    /// one per emitted time-ledger tree, carrying the wall budget
+    /// factors for the conservation re-check.
+    time_meta: Vec<(String, String, u64, u64)>,
     /// Sum of `"sketch"` event `evictions` and how many contributed —
     /// the finalize-time totals the heartbeat trajectories must stay
     /// below.
@@ -990,6 +1020,33 @@ fn parse_trace(path: &str) -> Result<TraceSummary, String> {
                     children: json_u64(&doc, "children").ok_or_else(|| bad("children"))? as usize,
                 });
             }
+            "time_ledger" => {
+                let path = doc
+                    .get("path")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("path"))?;
+                out.time_rows.push(TimeLedgerRow {
+                    path: path.to_string(),
+                    ns: json_u64(&doc, "ns").ok_or_else(|| bad("ns"))?,
+                    children: json_u64(&doc, "children").ok_or_else(|| bad("children"))? as usize,
+                });
+            }
+            "time_ledger_meta" => {
+                let stage = doc
+                    .get("stage")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("stage"))?;
+                let root = doc
+                    .get("root")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("root"))?;
+                out.time_meta.push((
+                    stage.to_string(),
+                    root.to_string(),
+                    json_u64(&doc, "threads").ok_or_else(|| bad("threads"))?,
+                    json_u64(&doc, "ns").ok_or_else(|| bad("ns"))?,
+                ));
+            }
             "summary" => {
                 let est = doc
                     .get("estimate")
@@ -1016,6 +1073,7 @@ fn parse_trace(path: &str) -> Result<TraceSummary, String> {
                 row.ss_fill += json_u64(&doc, "ss_fill").unwrap_or(0);
                 row.evictions += json_u64(&doc, "evictions").unwrap_or(0);
                 row.space_words += json_u64(&doc, "space_words").unwrap_or(0);
+                row.ns += json_u64(&doc, "ns").unwrap_or(0);
             }
             "histogram" => {
                 let name = doc
@@ -1116,7 +1174,14 @@ fn trace_invariant_violations(t: &TraceSummary) -> Vec<String> {
         *prev = (*prev).max(row.evictions);
     }
     if t.sketch_events > 0 && !final_ev.is_empty() {
-        let beats_total: u64 = final_ev.values().sum();
+        // Only the estimate-stage trajectories: the "sketch" events are
+        // the estimator's finalize snapshot, while pass-2 lanes evict
+        // into sketches no such event covers.
+        let beats_total: u64 = final_ev
+            .iter()
+            .filter(|((stage, _), _)| *stage == "estimate")
+            .map(|(_, v)| v)
+            .sum();
         if beats_total > t.sketch_evictions {
             violations.push(format!(
                 "final heartbeats record {beats_total} evictions across shards but the \
@@ -1199,6 +1264,97 @@ fn ledger_invariant_violations(t: &TraceSummary) -> Vec<String> {
     violations
 }
 
+/// Re-check the invariants of a trace's `"time_ledger"` events
+/// (DESIGN.md §15): every interior row's subtree ns equals the sum of
+/// its immediate children's, every emitted tree has a matching
+/// `"time_ledger_meta"` event whose total agrees with the root row,
+/// and attribution is conserved — a tree's total ns can never exceed
+/// its stage's measured batch wall clock (`*.batch_ns` histogram sum)
+/// times the worker-thread count, because every attributed interval
+/// nests inside a batch interval and at most `threads` lanes overlap.
+/// Heartbeat `ns` trajectories must be monotone in stream position.
+/// Returns all violations.
+fn time_invariant_violations(t: &TraceSummary) -> Vec<String> {
+    let rows = &t.time_rows;
+    let mut violations = Vec::new();
+    for parent in rows.iter().filter(|r| r.children > 0) {
+        let prefix = format!("{}/", parent.path);
+        let children: Vec<&TimeLedgerRow> = rows
+            .iter()
+            .filter(|r| r.path.strip_prefix(&prefix).is_some_and(|rest| !rest.contains('/')))
+            .collect();
+        if children.len() != parent.children {
+            violations.push(format!(
+                "time ledger '{}' declares {} children but the trace holds {}",
+                parent.path,
+                parent.children,
+                children.len()
+            ));
+            continue;
+        }
+        let sum: u64 = children.iter().map(|r| r.ns).sum();
+        if sum != parent.ns {
+            violations.push(format!(
+                "time ledger '{}' totals {} ns != children sum {} ns",
+                parent.path, parent.ns, sum
+            ));
+        }
+    }
+    for (stage, root, threads, meta_ns) in &t.time_meta {
+        match rows.iter().find(|r| &r.path == root) {
+            Some(r) if r.ns == *meta_ns => {}
+            Some(r) => violations.push(format!(
+                "time ledger root '{root}' attributes {} ns but its meta event reports {meta_ns}",
+                r.ns
+            )),
+            None => violations.push(format!(
+                "time_ledger_meta for stage '{stage}' has no time ledger rows at root '{root}'"
+            )),
+        }
+        // The wall budget of each stage: the batch-granular clocks only
+        // run inside `observe_batch`, whose wall intervals the
+        // `batch_ns` histogram records (merged additively across shards
+        // and replicas, exactly like the ledger's ns totals).
+        let hist = match stage.as_str() {
+            "estimate" => "ingest.batch_ns",
+            "pass2" => "pass2.ingest.batch_ns",
+            other => {
+                violations.push(format!("time_ledger_meta names unknown stage '{other}'"));
+                continue;
+            }
+        };
+        let wall: u64 = t
+            .histograms
+            .iter()
+            .filter(|(name, _)| name == hist)
+            .map(|(_, h)| h.sum())
+            .sum();
+        let budget = wall.saturating_mul((*threads).max(1));
+        if *meta_ns > budget {
+            violations.push(format!(
+                "time ledger stage '{stage}' attributes {meta_ns} ns but the wall budget is \
+                 {budget} ns ({hist} sum {wall} x {threads} thread(s))"
+            ));
+        }
+    }
+    // Heartbeat `ns` payloads are cumulative per lane, so each
+    // (stage, shard) trajectory summed over its (constant) lane set is
+    // monotone in stream position.
+    let mut last_ns: BTreeMap<(&str, u64), u64> = BTreeMap::new();
+    for ((stage, shard, at), row) in &t.beats {
+        let prev = last_ns.entry((stage.as_str(), *shard)).or_insert(0);
+        if row.ns < *prev {
+            violations.push(format!(
+                "heartbeat ns not monotone: stage '{stage}' shard {shard} drops from {prev} \
+                 to {} at {at} edges",
+                row.ns
+            ));
+        }
+        *prev = (*prev).max(row.ns);
+    }
+    violations
+}
+
 /// `maxkcov prof` — render the space-attribution ledger, from a trace
 /// file (positional) or a live run (`--input`), re-checking the ledger
 /// invariants either way.
@@ -1207,12 +1363,149 @@ fn cmd_prof(files: &[String], flags: &HashMap<String, String>) -> Result<(), Str
         Some(s) => parse_num(s, "top")?,
         None => 20,
     };
+    let time = flags.contains_key("time");
+    if flags.contains_key("folded") && !time {
+        return Err("--folded needs --time (folded stacks are a time-ledger rendering)".into());
+    }
+    let folded = flags.contains_key("folded");
     match (files, flags.contains_key("input")) {
+        ([path], false) if time => cmd_prof_time_trace(path, top, folded),
         ([path], false) => cmd_prof_trace(path, top),
+        ([], true) if time => cmd_prof_time_live(flags, top, folded),
         ([], true) => cmd_prof_live(flags, top),
         ([], false) => Err("prof needs a TRACE file or --input FILE for a live run".into()),
         (_, true) => Err("prof takes a TRACE file or --input, not both".into()),
         (_, false) => Err("prof takes exactly one TRACE file".into()),
+    }
+}
+
+/// `maxkcov prof --time TRACE` — render the time-attribution ledger of
+/// a trace (one report per emitted tree: `estimator`, and `pass2` for
+/// two-pass traces), or its folded stacks with `--folded`, re-checking
+/// the time invariants either way.
+fn cmd_prof_time_trace(path: &str, top: usize, folded: bool) -> Result<(), String> {
+    let t = parse_trace(path)?;
+    if t.time_rows.is_empty() {
+        return Err(format!(
+            "trace {path} contains no time_ledger events (written by --trace since the \
+             time-attribution ledger landed; re-run the traced command)"
+        ));
+    }
+    let violations = time_invariant_violations(&t);
+    if folded {
+        // Folded stacks only on stdout, so the output pipes straight
+        // into flamegraph.pl / inferno-flamegraph.
+        for row in t.time_rows.iter().filter(|r| r.children == 0) {
+            println!("{} {}", row.path.replace('/', ";"), row.ns);
+        }
+    } else {
+        println!("trace          = {path}");
+        println!("time nodes     = {}", t.time_rows.len());
+        // Emission order groups each tree's preorder rows contiguously;
+        // rendering per root keeps the % column scaled per tree.
+        let mut trees: Vec<Vec<TimeLedgerRow>> = Vec::new();
+        for row in &t.time_rows {
+            let root = row.path.split('/').next().unwrap_or("");
+            match trees.last_mut() {
+                Some(rows)
+                    if rows
+                        .first()
+                        .is_some_and(|r| r.path.split('/').next() == Some(root)) =>
+                {
+                    rows.push(row.clone());
+                }
+                _ => trees.push(vec![row.clone()]),
+            }
+        }
+        for rows in &trees {
+            println!();
+            print!("{}", render_time_report(rows, top));
+        }
+        println!();
+    }
+    if violations.is_empty() {
+        if !folded {
+            println!("time invariants OK");
+        }
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("invariant violated: {v}");
+        }
+        Err(format!(
+            "{} time invariant(s) violated in {path}",
+            violations.len()
+        ))
+    }
+}
+
+/// `maxkcov prof --time --input FILE …` — run an ingest with the
+/// batch-granular clocks live and render the resulting time ledger (or
+/// folded stacks), auditing leaves-only attribution and ns
+/// conservation against the measured ingest wall clock.
+fn cmd_prof_time_live(
+    flags: &HashMap<String, String>,
+    top: usize,
+    folded: bool,
+) -> Result<(), String> {
+    let system = load(flags)?;
+    let k: usize = parse_num(req(flags, "k")?, "k")?;
+    let alpha: f64 = parse_num(req(flags, "alpha")?, "alpha")?;
+    let order = parse_order(flags)?;
+    let mut config = parse_config(flags)?;
+    // The batch-granular clocks only run against a live recorder
+    // (disabled-recorder runs must stay zero-overhead), so attach one
+    // even though prof never emits its event stream.
+    config.recorder = Recorder::enabled();
+    let batch = parse_batch(flags)?;
+    let edges = edge_stream(&system, order);
+    let mut est =
+        MaxCoverEstimator::new(system.num_elements(), system.num_sets(), k, alpha, &config);
+    let t0 = Instant::now();
+    if config.shards > 1 {
+        est.ingest_sharded(&edges, config.shards, batch.unwrap_or(1024));
+    } else {
+        for chunk in edges.chunks(batch.unwrap_or(1024)) {
+            est.observe_batch(chunk);
+        }
+    }
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let times = est.time_ledger_tree();
+    let mut violations = times.audit();
+    // Conservation against the measured wall clock: every attributed
+    // interval nests inside the ingest wall, at most `threads` lanes
+    // overlap within a replica, and `shards` replicas run concurrently.
+    let budget = wall_ns
+        .saturating_mul(config.threads.max(1) as u64)
+        .saturating_mul(config.shards.max(1) as u64);
+    if times.total_ns() > budget {
+        violations.push(format!(
+            "time ledger attributes {} ns but the ingest wall budget is {budget} ns \
+             ({wall_ns} ns x {} thread(s) x {} shard(s))",
+            times.total_ns(),
+            config.threads.max(1),
+            config.shards.max(1)
+        ));
+    }
+    if folded {
+        print!("{}", times.folded());
+    } else {
+        println!("live run       = {} edges, k={k}, alpha={alpha}", edges.len());
+        println!("time nodes     = {}", times.rows().len());
+        println!();
+        print!("{}", times.report(top));
+        println!();
+    }
+    if violations.is_empty() {
+        if !folded {
+            println!("time invariants OK");
+        }
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("invariant violated: {v}");
+        }
+        Err(format!("{} time invariant(s) violated", violations.len()))
     }
 }
 
@@ -1313,18 +1606,26 @@ fn cmd_trace_summarize(path: &str) -> Result<(), String> {
     }
     if !t.beats.is_empty() {
         println!();
-        println!("heartbeats (fills summed over lanes)");
-        println!("  stage     shard    at_edges  lanes   lc_fill   ls_fill   ss_fill  evictions     space");
+        println!("heartbeats (fills and cumulative lane ns summed over lanes)");
+        println!("  stage     shard    at_edges  lanes   lc_fill   ls_fill   ss_fill  evictions     space            ns");
         for ((stage, shard, at), row) in &t.beats {
             println!(
-                "  {stage:<8} {shard:>6}  {at:>10}  {lanes:>5}  {lc:>8}  {ls:>8}  {ss:>8}  {ev:>9}  {sp:>8}",
+                "  {stage:<8} {shard:>6}  {at:>10}  {lanes:>5}  {lc:>8}  {ls:>8}  {ss:>8}  {ev:>9}  {sp:>8}  {ns:>12}",
                 lanes = row.lanes,
                 lc = row.lc_fill,
                 ls = row.ls_fill,
                 ss = row.ss_fill,
                 ev = row.evictions,
                 sp = row.space_words,
+                ns = row.ns,
             );
+        }
+    }
+    if !t.time_rows.is_empty() {
+        println!();
+        println!("time ledger ({} nodes; prof --time for the full report)", t.time_rows.len());
+        for (stage, root, threads, ns) in &t.time_meta {
+            println!("  stage {stage:<9} root {root:<10} threads {threads}  {ns:>12} ns attributed");
         }
     }
     if !t.histograms.is_empty() {
@@ -1344,7 +1645,8 @@ fn cmd_trace_summarize(path: &str) -> Result<(), String> {
             );
         }
     }
-    let violations = trace_invariant_violations(&t);
+    let mut violations = trace_invariant_violations(&t);
+    violations.extend(time_invariant_violations(&t));
     println!();
     if violations.is_empty() {
         println!("invariants OK");

@@ -636,6 +636,150 @@ fn prof_renders_attribution_and_audits_the_ledger() {
     std::fs::remove_file(&trace).ok();
 }
 
+/// `prof --time`: the time-attribution twin of the ledger report —
+/// rendered trees and folded stacks from a trace or a live run, with
+/// the ns-conservation audit deciding the exit status.
+#[test]
+fn prof_time_renders_folded_stacks_and_audits_conservation() {
+    let path = tmp_file("proftime.txt");
+    let path_s = path.to_str().unwrap();
+    let trace = tmp_file("proftime.ndjson");
+    let trace_s = trace.to_str().unwrap();
+    let out = run(&[
+        "gen", "--kind", "planted", "--n", "700", "--m", "110", "--k", "7", "--seed", "9",
+        "--out", path_s,
+    ]);
+    assert!(out.status.success());
+    let out = run(&[
+        "estimate", "--input", path_s, "--k", "7", "--alpha", "4", "--seed", "4",
+        "--batch", "256", "--heartbeat", "500", "--trace", trace_s,
+    ]);
+    assert!(out.status.success());
+
+    // Trace mode: per-tree report plus the invariant verdict.
+    let out = run(&["prof", trace_s, "--time"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in ["time nodes", "estimator", "time invariants OK"] {
+        assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
+    }
+
+    // Folded mode: every stdout line is a flamegraph.pl-ready
+    // "frame;frame;... ns" stack, nothing else (no banner, no verdict).
+    let out = run(&["prof", trace_s, "--time", "--folded"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty(), "folded output is empty");
+    for line in &lines {
+        let (stack, ns) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bad stack: {line}"));
+        assert!(!stack.is_empty() && !stack.contains('/'), "unfolded path in: {line}");
+        ns.parse::<u64>().unwrap_or_else(|_| panic!("non-numeric sample count: {line}"));
+    }
+    assert!(
+        lines.iter().any(|l| l.starts_with("estimator;")),
+        "no estimator frames in:\n{text}"
+    );
+
+    // --folded is a rendering of --time, not a mode of its own.
+    let out = run(&["prof", trace_s, "--folded"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--folded"));
+
+    // Live mode reruns the ingest with the batch clocks on and audits
+    // attribution against its own wall-clock budget.
+    let out = run(&[
+        "prof", "--input", path_s, "--k", "7", "--alpha", "4", "--seed", "4", "--time",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("live run"), "{text}");
+    assert!(text.contains("time invariants OK"), "{text}");
+    let out = run(&[
+        "prof", "--input", path_s, "--k", "7", "--alpha", "4", "--seed", "4",
+        "--shards", "2", "--time", "--folded",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(!String::from_utf8_lossy(&out.stdout).trim().is_empty());
+
+    // Tampering with a single time_ledger leaf breaks the parent-sum
+    // walk: both prof --time and trace-summarize must refuse the trace.
+    let ndjson = std::fs::read_to_string(&trace).unwrap();
+    let mut tampered = String::new();
+    let mut done = false;
+    for line in ndjson.lines() {
+        if !done && line.contains("\"kind\":\"time_ledger\"") && line.contains("\"children\":0") {
+            if let Some(i) = line.find("\"ns\":") {
+                let digits: String =
+                    line[i + 5..].chars().take_while(char::is_ascii_digit).collect();
+                let bumped: u64 = digits.parse::<u64>().unwrap() + 999_999_999_999;
+                tampered.push_str(&line[..i + 5]);
+                tampered.push_str(&bumped.to_string());
+                tampered.push_str(&line[i + 5 + digits.len()..]);
+                tampered.push('\n');
+                done = true;
+                continue;
+            }
+        }
+        tampered.push_str(line);
+        tampered.push('\n');
+    }
+    assert!(done, "no time_ledger leaf found to tamper with");
+    std::fs::write(&trace, &tampered).unwrap();
+    for args in [&["prof", trace_s, "--time"][..], &["trace-summarize", trace_s][..]] {
+        let out = run(args);
+        assert!(!out.status.success(), "{args:?} accepted a tampered time ledger");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("invariant violated"), "{err}");
+    }
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&trace).ok();
+}
+
+/// Overhead budget for the batch-granular clocks: a traced ingest must
+/// hold at least 95% of untraced throughput. Timing-sensitive, so it
+/// is ignored by default and run explicitly (in release) by the CI
+/// bench-smoke job.
+#[test]
+#[ignore = "timing-sensitive; CI bench-smoke runs it in release"]
+fn traced_ingest_overhead_stays_within_budget() {
+    use maxkcov::core::{EstimatorConfig, MaxCoverEstimator};
+    use maxkcov::obs::Recorder;
+    use maxkcov::stream::gen::zipf_popularity;
+    use maxkcov::stream::{edge_stream, ArrivalOrder};
+    use std::time::Instant;
+
+    let system = zipf_popularity(20_000, 400, 30, 1.05, 7);
+    let edges = edge_stream(&system, ArrivalOrder::Shuffled(3));
+    let (n, m) = (system.num_elements(), system.num_sets());
+    let config = EstimatorConfig::practical(11);
+
+    // Best-of-3 on each side so a single scheduler hiccup cannot fail
+    // the gate; the traced side carries a live recorder the whole run.
+    let best_edges_per_s = |rec: &Recorder| -> f64 {
+        let mut best = 0.0f64;
+        for _ in 0..3 {
+            let mut est = MaxCoverEstimator::new(n, m, 20, 4.0, &config);
+            est.attach_recorder(rec);
+            let t = Instant::now();
+            for chunk in edges.chunks(1024) {
+                est.observe_batch(chunk);
+            }
+            best = best.max(edges.len() as f64 / t.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let untraced = best_edges_per_s(&Recorder::disabled());
+    let traced = best_edges_per_s(&Recorder::enabled());
+    assert!(
+        traced >= 0.95 * untraced,
+        "tracing overhead above budget: {traced:.0} edges/s traced vs {untraced:.0} untraced \
+         ({:.1}% slowdown, budget 5%)",
+        (1.0 - traced / untraced) * 100.0
+    );
+}
+
 #[test]
 fn malformed_input_reports_line() {
     let path = tmp_file("bad.txt");

@@ -11,7 +11,7 @@ use maxkcov::core::{
     EdgeFingerprints, EstimatorConfig, LargeCommon, LargeSet, MaxCoverEstimator, Oracle, Params,
     SmallSet, TwoPassFirst, UniverseReducer,
 };
-use maxkcov::obs::{Histogram, SketchStats};
+use maxkcov::obs::{Histogram, Recorder, SketchStats};
 use maxkcov::sketch::{
     AmsF2, Bjkst, ContributingConfig, CountMin, CountSketch, F2Contributing, F2HeavyHitter,
     Kmv, L0Estimator, WireEncode,
@@ -228,6 +228,44 @@ fn full_estimator_state_roundtrips_and_rejects_mangling() {
     // (workers of short streams write these).
     let empty = MaxCoverEstimator::new(400, 32, 4, 2.0, &config);
     exhaust("MaxCoverEstimator(empty)", &empty);
+}
+
+/// Wire v4 carries the time-attribution sidecars (per-lane and
+/// per-stage ns counters). An *untraced* estimator encodes them as
+/// zeros, so the battery above never exercises nonzero ns bytes: feed a
+/// traced replica here, check the attribution survives the round trip
+/// exactly (this is what merge-from relies on to credit replica time),
+/// and run the full mangling battery over the populated sidecars.
+#[test]
+fn traced_estimator_attribution_survives_wire_and_rejects_mangling() {
+    let system = zipf_popularity(400, 32, 12, 1.1, 5);
+    let edges = edge_stream(&system, ArrivalOrder::Shuffled(1));
+    let config = fast_config(21, 400);
+    let mut est = MaxCoverEstimator::new(400, 32, 4, 2.0, &config);
+    est.attach_recorder(&Recorder::enabled());
+    for chunk in edges.chunks(64) {
+        est.observe_batch(chunk);
+    }
+    let before = est.time_ledger_tree();
+    assert!(
+        before.root.total_ns() > 0,
+        "traced ingestion accumulated no attribution — sidecars would be vacuous"
+    );
+
+    let decoded = MaxCoverEstimator::from_bytes(&est.to_bytes())
+        .expect("traced estimator must round-trip");
+    let after = decoded.time_ledger_tree();
+    assert_eq!(
+        after.root.total_ns(),
+        before.root.total_ns(),
+        "total attribution changed across the wire"
+    );
+    for (name, node) in before.root.children() {
+        let got = after.root.get(name).map_or(0, maxkcov::obs::TimeNode::total_ns);
+        assert_eq!(got, node.total_ns(), "subtree '{name}' ns changed across the wire");
+    }
+
+    exhaust("MaxCoverEstimator(traced)", &est);
 }
 
 /// The trivial regime (k ≥ m) serializes a different state section.
